@@ -1,0 +1,288 @@
+// Benchmarks: one per figure of the paper's evaluation (the harness that
+// regenerates each panel), plus microbenchmarks of the hot paths.
+//
+// The per-figure benchmarks run reduced-size trainings per iteration so
+// that `go test -bench=.` completes quickly; the full-size runs are
+// produced by cmd/vtmig-experiments (see EXPERIMENTS.md for the recorded
+// outputs).
+package vtmig_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"vtmig"
+	"vtmig/internal/experiments"
+	"vtmig/internal/nn"
+	"vtmig/internal/pomdp"
+	"vtmig/internal/rl"
+	"vtmig/internal/sim"
+	"vtmig/internal/stackelberg"
+)
+
+// benchCfg returns a reduced DRL configuration for benchmark iterations.
+func benchCfg() experiments.DRLConfig {
+	cfg := experiments.DefaultDRLConfig()
+	cfg.Episodes = 5
+	cfg.Rounds = 40
+	return cfg
+}
+
+// BenchmarkFig2aReturnConvergence regenerates Fig. 2(a): per-episode
+// return of the DRL incentive mechanism on the two-VMU benchmark.
+func BenchmarkFig2aReturnConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		res, err := experiments.RunFig2(stackelberg.DefaultGame(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Return.Len() != cfg.Episodes {
+			b.Fatal("missing return curve")
+		}
+	}
+}
+
+// BenchmarkFig2bUtilityConvergence regenerates Fig. 2(b): the MSP's
+// utility converging to the Stackelberg equilibrium.
+func BenchmarkFig2bUtilityConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		res, err := experiments.RunFig2(stackelberg.DefaultGame(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Utility.Len() != cfg.Episodes || res.OracleUtility <= 0 {
+			b.Fatal("missing utility curve")
+		}
+	}
+}
+
+// BenchmarkFig3aCostSweep regenerates Fig. 3(a): MSP utility and price vs
+// transmission cost, DRL vs equilibrium vs greedy vs random.
+func BenchmarkFig3aCostSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		res, err := experiments.RunCostSweep([]float64{5, 7, 9}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Fig3a.Rows) != 3 {
+			b.Fatal("missing fig3a rows")
+		}
+	}
+}
+
+// BenchmarkFig3bVMUCostSweep regenerates Fig. 3(b): total VMU utility and
+// bandwidth vs transmission cost.
+func BenchmarkFig3bVMUCostSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		res, err := experiments.RunCostSweep([]float64{5, 7, 9}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Fig3b.Rows) != 3 {
+			b.Fatal("missing fig3b rows")
+		}
+	}
+}
+
+// BenchmarkFig3cVMUCountSweep regenerates Fig. 3(c): MSP utility and price
+// vs the number of VMUs (capacity-binding regime included).
+func BenchmarkFig3cVMUCountSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		res, err := experiments.RunVMUSweep([]int{2, 6}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Fig3c.Rows) != 2 {
+			b.Fatal("missing fig3c rows")
+		}
+	}
+}
+
+// BenchmarkFig3dAvgVMUSweep regenerates Fig. 3(d): average VMU utility and
+// bandwidth vs the number of VMUs.
+func BenchmarkFig3dAvgVMUSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		res, err := experiments.RunVMUSweep([]int{2, 6}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Fig3d.Rows) != 2 {
+			b.Fatal("missing fig3d rows")
+		}
+	}
+}
+
+// BenchmarkAblationHistory regenerates the observation-history ablation.
+func BenchmarkAblationHistory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.RunHistoryAblation([]int{1, 4}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReward regenerates the binary-vs-shaped reward
+// ablation.
+func BenchmarkAblationReward(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.RunRewardAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFollowerSolvers regenerates the closed-form vs
+// iterated-best-response solver comparison.
+func BenchmarkFollowerSolvers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunSolverAblation(); len(tab.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAblationMultiMSP regenerates the monopoly-vs-competition
+// ablation (the paper's future-work extension).
+func BenchmarkAblationMultiMSP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMultiMSPAblation([]int{1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- microbenchmarks of the hot paths ---
+
+// BenchmarkStackelbergSolve measures the constrained equilibrium solver.
+func BenchmarkStackelbergSolve(b *testing.B) {
+	g := stackelberg.DefaultGame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eq := g.Solve()
+		if eq.Price <= 0 {
+			b.Fatal("bad solve")
+		}
+	}
+}
+
+// BenchmarkBestResponses measures the follower best-response evaluation
+// (the inner loop of every pricing round).
+func BenchmarkBestResponses(b *testing.B) {
+	g := stackelberg.DefaultGame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if d := g.BestResponses(25.3); len(d) != 2 {
+			b.Fatal("bad demands")
+		}
+	}
+}
+
+// BenchmarkPPOSelectAction measures one policy forward + sampling pass.
+func BenchmarkPPOSelectAction(b *testing.B) {
+	env := newBenchEnv(b)
+	lo, hi := env.ActionBounds()
+	agent := rl.NewPPO(env.ObsDim(), env.ActDim(), lo, hi, rl.DefaultPPOConfig())
+	obs := env.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, v := agent.SelectAction(obs); v != v {
+			b.Fatal("NaN value")
+		}
+	}
+}
+
+// BenchmarkPPOUpdate measures one optimization phase over a K=100 buffer.
+func BenchmarkPPOUpdate(b *testing.B) {
+	env := newBenchEnv(b)
+	lo, hi := env.ActionBounds()
+	agent := rl.NewPPO(env.ObsDim(), env.ActDim(), lo, hi, rl.DefaultPPOConfig())
+	buf := rl.NewRollout(100)
+	obs := env.Reset()
+	for k := 0; k < 100; k++ {
+		raw, envAct, logP, value := agent.SelectAction(obs)
+		next, reward, done := env.Step(envAct)
+		buf.Add(obs, raw, logP, reward, value, done)
+		obs = next
+		if done {
+			obs = env.Reset()
+		}
+	}
+	buf.ComputeGAE(0.95, 0.95, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Update(buf)
+	}
+}
+
+// BenchmarkMLPForward measures the paper's 64×64 tanh network forward
+// pass.
+func BenchmarkMLPForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := nn.NewMLP("bench", []int{12, 64, 64, 1}, nn.ActTanh, rng)
+	x := make([]float64, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := m.Forward(x); len(out) != 1 {
+			b.Fatal("bad forward")
+		}
+	}
+}
+
+// BenchmarkSimulation measures a 60-second end-to-end simulator slice.
+func BenchmarkSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.DurationS = 60
+		cfg.Seed = int64(i + 1)
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run()
+	}
+}
+
+// BenchmarkFacadeSolve measures the public-API entry point.
+func BenchmarkFacadeSolve(b *testing.B) {
+	g := vtmig.DefaultGame()
+	for i := 0; i < b.N; i++ {
+		if eq := g.Solve(); eq.MSPUtility <= 0 {
+			b.Fatal("bad solve")
+		}
+	}
+}
+
+// newBenchEnv builds the paper's POMDP for benchmarks.
+func newBenchEnv(b *testing.B) *pomdp.GameEnv {
+	b.Helper()
+	env, err := pomdp.NewGameEnv(pomdp.Config{
+		Game:       stackelberg.DefaultGame(),
+		HistoryLen: 4,
+		Rounds:     100,
+		Reward:     pomdp.RewardBinary,
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}

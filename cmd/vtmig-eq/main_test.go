@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUniformVMUs(t *testing.T) {
+	if err := run([]string{"-n", "6", "-alpha", "5"}); err != nil {
+		t.Fatalf("run -n 6: %v", err)
+	}
+}
+
+func TestRunCustomSizes(t *testing.T) {
+	if err := run([]string{"-dmb", "150, 250,100", "-cost", "7", "-bmax", "0"}); err != nil {
+		t.Fatalf("run custom: %v", err)
+	}
+}
+
+func TestRunBadDmb(t *testing.T) {
+	if err := run([]string{"-dmb", "abc"}); err == nil {
+		t.Fatal("bad -dmb accepted")
+	}
+}
+
+func TestRunBadGame(t *testing.T) {
+	if err := run([]string{"-cost", "60"}); err == nil {
+		t.Fatal("pmax below cost accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunNothingToDo(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no -fig/-ablation accepted")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "7z", "-episodes", "2"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunUnknownAblation(t *testing.T) {
+	if err := run([]string{"-ablation", "nonsense"}); err == nil {
+		t.Fatal("unknown ablation accepted")
+	}
+}
+
+func TestRunSolverAblation(t *testing.T) {
+	if err := run([]string{"-ablation", "solver"}); err != nil {
+		t.Fatalf("run solver: %v", err)
+	}
+}
+
+func TestRunFig2aTinyWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "2a", "-episodes", "3", "-csv", dir}); err != nil {
+		t.Fatalf("run fig 2a: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no CSV written (err=%v)", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil || len(data) == 0 {
+		t.Fatalf("empty CSV (err=%v)", err)
+	}
+}
+
+func TestRunFig3cTiny(t *testing.T) {
+	if err := run([]string{"-fig", "3c", "-episodes", "2"}); err != nil {
+		t.Fatalf("run fig 3c: %v", err)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"fig3a: MSP utility & price vs transmission cost", "fig3a"},
+		{"ablation: binary (Eq. 12) vs shaped reward", "ablation"},
+		{"Already-Clean_Name", "already-clean_name"},
+	}
+	for _, tt := range tests {
+		if got := sanitize(tt.in); got != tt.want {
+			t.Errorf("sanitize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRunMultiMSPAblationCLI(t *testing.T) {
+	if err := run([]string{"-ablation", "multimsp"}); err != nil {
+		t.Fatalf("run multimsp: %v", err)
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunShortSimulation(t *testing.T) {
+	if err := run([]string{"-duration", "120", "-verbose"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunPricers(t *testing.T) {
+	for _, pricer := range []string{"oracle", "random", "fixed"} {
+		if err := run([]string{"-duration", "60", "-pricer", pricer}); err != nil {
+			t.Errorf("pricer %s: %v", pricer, err)
+		}
+	}
+}
+
+func TestRunUnknownPricer(t *testing.T) {
+	if err := run([]string{"-pricer", "nonsense"}); err == nil {
+		t.Fatal("unknown pricer accepted")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	if err := run([]string{"-vehicles", "0"}); err == nil {
+		t.Fatal("zero vehicles accepted")
+	}
+}
+
+func TestRunFailureInjection(t *testing.T) {
+	if err := run([]string{"-duration", "60", "-failure", "0.4"}); err != nil {
+		t.Fatalf("run with failure injection: %v", err)
+	}
+}

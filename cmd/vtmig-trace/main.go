@@ -1,0 +1,94 @@
+// Command vtmig-trace summarizes a simulation trace produced with
+// vtmig-sim -trace (or sim.Config.TraceWriter): event counts, time range,
+// mean posted price, and an optional per-vehicle migration breakdown.
+//
+// Usage:
+//
+//	vtmig-sim -duration 600 -trace run.jsonl
+//	vtmig-trace -in run.jsonl [-vehicles]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"vtmig/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vtmig-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vtmig-trace", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "", "trace file (JSON lines); required")
+		vehicles = fs.Bool("vehicles", false, "print a per-vehicle migration breakdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in trace file")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return fmt.Errorf("opening trace: %w", err)
+	}
+	defer f.Close()
+
+	events, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	sum := trace.Summarize(events)
+
+	fmt.Printf("events           %d over [%.1f s, %.1f s]\n", len(events), sum.FirstS, sum.LastS)
+	kinds := make([]string, 0, len(sum.Counts))
+	for k := range sum.Counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-20s %d\n", k, sum.Counts[trace.Kind(k)])
+	}
+	if sum.MeanRoundPrice > 0 {
+		fmt.Printf("mean round price %.3f\n", sum.MeanRoundPrice)
+	}
+
+	if *vehicles {
+		type agg struct {
+			migrations int
+			aotmSum    float64
+		}
+		perVehicle := make(map[int]*agg)
+		for _, e := range events {
+			if e.Kind != trace.KindMigrationComplete {
+				continue
+			}
+			a := perVehicle[e.Vehicle]
+			if a == nil {
+				a = &agg{}
+				perVehicle[e.Vehicle] = a
+			}
+			a.migrations++
+			a.aotmSum += e.AoTM
+		}
+		ids := make([]int, 0, len(perVehicle))
+		for id := range perVehicle {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		fmt.Println("\nvehicle  migrations  mean_AoTM(s)")
+		for _, id := range ids {
+			a := perVehicle[id]
+			fmt.Printf("%7d  %10d  %12.3f\n", id, a.migrations, a.aotmSum/float64(a.migrations))
+		}
+	}
+	return nil
+}

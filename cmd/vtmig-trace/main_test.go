@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vtmig/internal/sim"
+)
+
+// writeTrace runs a short simulation with tracing into a temp file.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cfg := sim.DefaultConfig()
+	cfg.DurationS = 200
+	cfg.TraceWriter = f
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	return path
+}
+
+func TestRunSummarizesTrace(t *testing.T) {
+	path := writeTrace(t)
+	if err := run([]string{"-in", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-in", path, "-vehicles"}); err != nil {
+		t.Fatalf("run -vehicles: %v", err)
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/file.jsonl"}); err == nil {
+		t.Fatal("nonexistent file accepted")
+	}
+}
+
+func TestRunGarbageTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path}); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}

@@ -1,0 +1,114 @@
+// Command vtmig-train trains the MSP's DRL pricing agent (Algorithm 1) on
+// the paper's two-VMU benchmark under incomplete information, prints the
+// learning curve, and compares the learned policy against the closed-form
+// Stackelberg equilibrium and the baseline schemes.
+//
+// Usage:
+//
+//	vtmig-train [-episodes 500] [-rounds 100] [-history 4] [-lr 3e-4]
+//	            [-reward binary|shaped] [-seed 1] [-checkpoint out.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vtmig/internal/baselines"
+	"vtmig/internal/experiments"
+	"vtmig/internal/nn"
+	"vtmig/internal/pomdp"
+	"vtmig/internal/stackelberg"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vtmig-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vtmig-train", flag.ContinueOnError)
+	var (
+		episodes   = fs.Int("episodes", 500, "training episodes E")
+		rounds     = fs.Int("rounds", 100, "game rounds per episode K")
+		history    = fs.Int("history", 4, "observation history length L")
+		lr         = fs.Float64("lr", 3e-4, "Adam learning rate")
+		reward     = fs.String("reward", "binary", "reward signal: binary (Eq. 12) or shaped")
+		seed       = fs.Int64("seed", 1, "random seed")
+		checkpoint = fs.String("checkpoint", "", "write trained weights to this JSON file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.DefaultDRLConfig()
+	cfg.Episodes = *episodes
+	cfg.Rounds = *rounds
+	cfg.HistoryLen = *history
+	cfg.PPO.LR = *lr
+	cfg.Seed = *seed
+	switch *reward {
+	case "binary":
+		cfg.Reward = pomdp.RewardBinary
+	case "shaped":
+		cfg.Reward = pomdp.RewardShaped
+	default:
+		return fmt.Errorf("unknown reward %q (want binary or shaped)", *reward)
+	}
+
+	game := stackelberg.DefaultGame()
+	fmt.Printf("Training PPO agent: E=%d K=%d L=%d |I|=%d M=%d lr=%g reward=%s\n",
+		cfg.Episodes, cfg.Rounds, cfg.HistoryLen, cfg.UpdateEvery, cfg.PPO.Epochs, cfg.PPO.LR, *reward)
+	res, err := experiments.TrainAgent(game, cfg)
+	if err != nil {
+		return err
+	}
+
+	// Print the learning curve at one-tenth resolution.
+	stride := len(res.Episodes) / 10
+	if stride == 0 {
+		stride = 1
+	}
+	fmt.Println("\nepisode  return")
+	for i := 0; i < len(res.Episodes); i += stride {
+		fmt.Printf("%7d  %6.1f\n", res.Episodes[i].Episode, res.Episodes[i].Return)
+	}
+	last := res.Episodes[len(res.Episodes)-1]
+	fmt.Printf("%7d  %6.1f (final)\n", last.Episode, last.Return)
+
+	eq := res.OracleOutcome
+	fmt.Printf("\nLearned price  %.3f   (Stackelberg equilibrium %.3f)\n", res.EvalPrice, eq.Price)
+	fmt.Printf("Learned U_s    %.4f  (Stackelberg equilibrium %.4f, regret %.2f%%)\n",
+		res.EvalOutcome.MSPUtility, eq.MSPUtility,
+		(eq.MSPUtility-res.EvalOutcome.MSPUtility)/eq.MSPUtility*100)
+
+	for _, name := range []string{"greedy", "random"} {
+		var p baselines.Policy
+		if name == "greedy" {
+			p = baselines.NewGreedy(game.Cost, game.PMax, 0.1, *seed)
+		} else {
+			p = baselines.NewRandom(game.Cost, game.PMax, *seed)
+		}
+		r := baselines.RunEpisode(game, p, cfg.Rounds)
+		fmt.Printf("Baseline %-7s mean U_s %.4f\n", name, r.MeanUtility)
+	}
+
+	if *checkpoint != "" {
+		f, err := os.Create(*checkpoint)
+		if err != nil {
+			return fmt.Errorf("creating checkpoint: %w", err)
+		}
+		defer f.Close()
+		ck, err := nn.Snapshot(res.Agent.Params())
+		if err != nil {
+			return err
+		}
+		if err := ck.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("Checkpoint written to %s\n", *checkpoint)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTinyTraining(t *testing.T) {
+	if err := run([]string{"-episodes", "3", "-rounds", "20"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunShapedReward(t *testing.T) {
+	if err := run([]string{"-episodes", "3", "-rounds", "20", "-reward", "shaped"}); err != nil {
+		t.Fatalf("run shaped: %v", err)
+	}
+}
+
+func TestRunUnknownReward(t *testing.T) {
+	if err := run([]string{"-reward", "nonsense"}); err == nil {
+		t.Fatal("unknown reward accepted")
+	}
+}
+
+func TestRunCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := run([]string{"-episodes", "2", "-rounds", "10", "-checkpoint", path}); err != nil {
+		t.Fatalf("run with checkpoint: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("checkpoint is empty")
+	}
+}
+
+func TestRunCheckpointBadPath(t *testing.T) {
+	if err := run([]string{"-episodes", "2", "-rounds", "10", "-checkpoint", "/nonexistent-dir/x.json"}); err == nil {
+		t.Fatal("unwritable checkpoint path accepted")
+	}
+}

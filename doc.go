@@ -1,0 +1,32 @@
+// Package vtmig is a Go reproduction of "Learning-based Incentive
+// Mechanism for Task Freshness-aware Vehicular Twin Migration"
+// (Zhang et al., ICDCS 2023, arXiv:2309.04929).
+//
+// The library implements, from scratch on the standard library:
+//
+//   - the Age of Twin Migration (AoTM) freshness metric and the VMU
+//     immersion model (internal/aotm);
+//   - the wireless substrate: path loss, SNR, spectral efficiency, and an
+//     OFDMA bandwidth allocator (internal/channel);
+//   - the AoTM-based Stackelberg game between a monopolist Metaverse
+//     Service Provider and N Vehicular Metaverse Users, with closed-form
+//     and numeric equilibrium solvers and a Definition-1 verifier
+//     (internal/stackelberg);
+//   - the POMDP formulation of the game under incomplete information
+//     (internal/pomdp) and a full PPO/GAE deep-reinforcement-learning
+//     stack, including the neural-network substrate with manual
+//     backpropagation (internal/nn, internal/rl);
+//   - the comparison schemes (random, greedy, fixed, oracle) of the
+//     evaluation (internal/baselines);
+//   - pre-copy live migration, highway mobility, and an end-to-end
+//     discrete-event vehicular-metaverse simulator (internal/migration,
+//     internal/mobility, internal/sim);
+//   - the paper's future-work extension to multiple competing MSPs
+//     (internal/multimsp);
+//   - and a harness that regenerates every figure of the evaluation
+//     (internal/experiments).
+//
+// This root package re-exports the most commonly used entry points so
+// that typical applications only import "vtmig". The runnable programs
+// live under cmd/ and examples/.
+package vtmig

@@ -1,0 +1,20 @@
+package vtmig
+
+import "fmt"
+
+// UnknownBaselineError reports an unrecognized baseline name passed to
+// RunBaseline.
+type UnknownBaselineError struct {
+	// Name is the rejected baseline name.
+	Name string
+}
+
+// Error implements error.
+func (e *UnknownBaselineError) Error() string {
+	return fmt.Sprintf("vtmig: unknown baseline %q (want random, greedy, oracle, qlearning, or identification)", e.Name)
+}
+
+// errUnknownBaseline builds the typed error.
+func errUnknownBaseline(name string) error {
+	return &UnknownBaselineError{Name: name}
+}

@@ -1,0 +1,62 @@
+// Equilibrium analysis: sweep the unit transmission cost and the VMU
+// population size and print how the Stackelberg equilibrium responds —
+// the analytic backbone of Fig. 3 of the paper, without any learning.
+//
+// Run with: go run ./examples/equilibrium_analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vtmig"
+)
+
+func main() {
+	costSweep()
+	populationSweep()
+}
+
+// costSweep reproduces the economics of Fig. 3(a)/(b): higher transmission
+// cost pushes the price up and demand down.
+func costSweep() {
+	fmt.Println("Cost sweep (2 VMUs, D = 200/100 MB, α = 5):")
+	fmt.Println("cost  price   MSP_utility  total_bw(x10kHz)  VMU_utility_sum")
+	for _, c := range []float64{5, 6, 7, 8, 9} {
+		game := vtmig.DefaultGame()
+		game.Cost = c
+		eq := game.Solve()
+		var vmuSum float64
+		for _, u := range eq.VMUUtilities {
+			vmuSum += u
+		}
+		fmt.Printf("%4.0f  %5.2f  %11.3f  %16.1f  %15.3f\n",
+			c, eq.Price, eq.MSPUtility, eq.TotalBandwidth*100, vmuSum)
+	}
+	fmt.Println()
+}
+
+// populationSweep reproduces the economics of Fig. 3(c)/(d): the price is
+// flat while the MSP's pool is slack and rises once Σb hits Bmax.
+func populationSweep() {
+	fmt.Println("Population sweep (D = 100 MB, α = 5, C = 5, Bmax = 0.5 MHz):")
+	fmt.Println("n  price   bound  MSP_utility  avg_bw(x10kHz)  avg_VMU_utility")
+	for n := 1; n <= 6; n++ {
+		vmus := make([]vtmig.VMU, n)
+		for i := range vmus {
+			vmus[i] = vtmig.VMU{ID: i, Alpha: 5, DataSize: vtmig.FromMB(100)}
+		}
+		game, err := vtmig.NewGame(vmus, vtmig.DefaultChannel(), 5, 50, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eq := game.Solve()
+		var avgU float64
+		for _, u := range eq.VMUUtilities {
+			avgU += u / float64(n)
+		}
+		fmt.Printf("%d  %5.2f  %5v  %11.3f  %14.1f  %15.3f\n",
+			n, eq.Price, eq.CapacityBound, eq.MSPUtility,
+			eq.TotalBandwidth/float64(n)*100, avgU)
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: build the paper's two-VMU benchmark game, solve the
+// Stackelberg equilibrium in closed form, and inspect the Age of Twin
+// Migration each VMU obtains at the equilibrium.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vtmig"
+)
+
+func main() {
+	// Two vehicular metaverse users: one migrating a 200 MB twin, one a
+	// 100 MB twin, both with immersion coefficient α = 5.
+	vmus := []vtmig.VMU{
+		{ID: 0, Alpha: 5, DataSize: vtmig.FromMB(200)},
+		{ID: 1, Alpha: 5, DataSize: vtmig.FromMB(100)},
+	}
+
+	// The MSP sells bandwidth at unit cost C=5, capped at pmax=50, from a
+	// 0.5 MHz pool, over the paper's default RSU-to-RSU channel.
+	game, err := vtmig.NewGame(vmus, vtmig.DefaultChannel(), 5, 50, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eq := game.Solve()
+	fmt.Printf("Stackelberg equilibrium price: %.2f\n", eq.Price)
+	fmt.Printf("MSP utility:                   %.2f\n", eq.MSPUtility)
+
+	for i, v := range game.VMUs {
+		rate := game.Channel.Rate(eq.Demands[i]) // model data units per second
+		age := vtmig.AoTM(v.DataSize, rate)
+		fmt.Printf("VMU %d buys %.3f MHz -> AoTM %.3f s, immersion %.2f, utility %.2f\n",
+			i, eq.Demands[i], age, vtmig.Immersion(v.Alpha, age), eq.VMUUtilities[i])
+	}
+
+	// What would a naive flat price do to the MSP?
+	for _, p := range []float64{10, eq.Price, 40} {
+		out := game.Evaluate(p)
+		fmt.Printf("price %5.2f -> MSP utility %.2f (total demand %.3f MHz)\n",
+			p, out.MSPUtility, out.TotalBandwidth)
+	}
+}

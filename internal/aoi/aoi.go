@@ -1,0 +1,181 @@
+// Package aoi implements the Age of Information machinery that the
+// paper's AoTM metric is derived from (Section III-A cites Yates et al.'s
+// AoI survey): the sawtooth age process of a monitored source, exact
+// average/peak age computation from update timestamps, and closed-form
+// averages for the classic sampling disciplines.
+//
+// In the vehicular metaverse, VMUs stream sensing data (vehicle pose,
+// driver state) to the MSP to keep their twins synchronized; the age of
+// that data bounds how faithful the twin is between migrations. The
+// simulator uses this package to report sensing-freshness alongside the
+// migration-freshness (AoTM) of the core paper.
+package aoi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Process tracks the age of information of a single source at a monitor.
+// Age grows linearly with time and resets to the delivery delay of each
+// received update. The zero value is not usable; construct with
+// NewProcess.
+type Process struct {
+	// lastGen is the generation timestamp of the freshest delivered
+	// update.
+	lastGen float64
+	// updates stores (deliveryTime, ageAfterReset) breakpoints.
+	deliveries []delivery
+	started    bool
+	startTime  float64
+}
+
+// delivery is one received update.
+type delivery struct {
+	at  float64 // delivery time
+	age float64 // age immediately after the reset: at - generated
+}
+
+// NewProcess returns an age process that starts observing at startTime
+// with age zero (the monitor is assumed synchronized at start).
+func NewProcess(startTime float64) *Process {
+	return &Process{started: true, startTime: startTime, lastGen: startTime}
+}
+
+// Deliver records an update generated at genTime and delivered at
+// delTime. Deliveries must be reported in non-decreasing delivery order;
+// stale updates (generated before the freshest delivered one) are ignored
+// per the standard "fresh packet wins" monitor model.
+func (p *Process) Deliver(genTime, delTime float64) error {
+	if delTime < genTime {
+		return fmt.Errorf("aoi: delivery at %g precedes generation at %g", delTime, genTime)
+	}
+	if n := len(p.deliveries); n > 0 && delTime < p.deliveries[n-1].at {
+		return fmt.Errorf("aoi: out-of-order delivery at %g (last %g)", delTime, p.deliveries[n-1].at)
+	}
+	if genTime <= p.lastGen {
+		return nil // stale: the monitor already has fresher data
+	}
+	p.lastGen = genTime
+	p.deliveries = append(p.deliveries, delivery{at: delTime, age: delTime - genTime})
+	return nil
+}
+
+// Age returns the instantaneous age at time t (t must be at or after the
+// observation start).
+func (p *Process) Age(t float64) float64 {
+	if t < p.startTime {
+		panic(fmt.Sprintf("aoi: query at %g before start %g", t, p.startTime))
+	}
+	// Find the last delivery at or before t.
+	i := sort.Search(len(p.deliveries), func(i int) bool { return p.deliveries[i].at > t })
+	if i == 0 {
+		return t - p.startTime
+	}
+	d := p.deliveries[i-1]
+	return d.age + (t - d.at)
+}
+
+// AverageAge integrates the sawtooth age over [startTime, horizon] and
+// divides by the interval length — the exact time-average AoI.
+func (p *Process) AverageAge(horizon float64) float64 {
+	if horizon <= p.startTime {
+		panic(fmt.Sprintf("aoi: horizon %g not after start %g", horizon, p.startTime))
+	}
+	var area float64
+	prevT := p.startTime
+	prevAge := 0.0
+	for _, d := range p.deliveries {
+		if d.at > horizon {
+			break
+		}
+		// Age grows linearly from prevAge over (d.at - prevT), then
+		// resets to d.age.
+		dt := d.at - prevT
+		area += dt * (prevAge + prevAge + dt) / 2
+		prevT = d.at
+		prevAge = d.age
+	}
+	dt := horizon - prevT
+	area += dt * (prevAge + prevAge + dt) / 2
+	return area / (horizon - p.startTime)
+}
+
+// PeakAge returns the largest age reached just before any delivery within
+// the horizon (the peak-AoI metric), or the age at the horizon when no
+// delivery occurred.
+func (p *Process) PeakAge(horizon float64) float64 {
+	peak := 0.0
+	prevT := p.startTime
+	prevAge := 0.0
+	for _, d := range p.deliveries {
+		if d.at > horizon {
+			break
+		}
+		if a := prevAge + (d.at - prevT); a > peak {
+			peak = a
+		}
+		prevT = d.at
+		prevAge = d.age
+	}
+	if a := prevAge + (horizon - prevT); a > peak {
+		peak = a
+	}
+	return peak
+}
+
+// Deliveries returns the number of accepted (non-stale) updates.
+func (p *Process) Deliveries() int { return len(p.deliveries) }
+
+// PeriodicAverageAge returns the exact time-average age of a source that
+// generates an update every period and delivers it after a constant
+// delay: avg = period/2 + delay (steady state).
+func PeriodicAverageAge(period, delay float64) float64 {
+	if period <= 0 {
+		panic(fmt.Sprintf("aoi: period must be positive, got %g", period))
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("aoi: delay must be non-negative, got %g", delay))
+	}
+	return period/2 + delay
+}
+
+// MM1AverageAge returns the classic average AoI of an M/M/1 FCFS status
+// update system with arrival rate lambda and service rate mu (Kaul, Yates
+// & Gruteser 2012): (1/μ)·(1 + 1/ρ + ρ²/(1−ρ)) with ρ = λ/μ. It panics
+// unless 0 < λ < μ.
+func MM1AverageAge(lambda, mu float64) float64 {
+	if lambda <= 0 || mu <= 0 || lambda >= mu {
+		panic(fmt.Sprintf("aoi: MM1 requires 0 < lambda < mu, got lambda=%g mu=%g", lambda, mu))
+	}
+	rho := lambda / mu
+	return (1 / mu) * (1 + 1/rho + rho*rho/(1-rho))
+}
+
+// OptimalMM1Utilization returns the load ρ* ≈ 0.53 that minimizes the
+// M/M/1 average AoI for a fixed service rate, found numerically.
+func OptimalMM1Utilization() float64 {
+	// Minimize f(ρ) = 1 + 1/ρ + ρ²/(1−ρ) on (0, 1) by ternary search.
+	lo, hi := 1e-6, 1-1e-6
+	f := func(rho float64) float64 { return 1 + 1/rho + rho*rho/(1-rho) }
+	for i := 0; i < 200; i++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if f(m1) < f(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// SamplingForTargetAge returns the update period needed to hold a
+// periodic source's average age at target given a constant delivery
+// delay. It panics when the target is unreachable (target <= delay).
+func SamplingForTargetAge(target, delay float64) float64 {
+	if target <= delay {
+		panic(fmt.Sprintf("aoi: target age %g unreachable with delay %g", target, delay))
+	}
+	return 2 * (target - delay)
+}

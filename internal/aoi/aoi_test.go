@@ -1,0 +1,263 @@
+package aoi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vtmig/internal/mathx"
+)
+
+func TestAgeGrowsLinearlyWithoutDeliveries(t *testing.T) {
+	p := NewProcess(0)
+	if got := p.Age(0); got != 0 {
+		t.Errorf("Age(0) = %v, want 0", got)
+	}
+	if got := p.Age(5); got != 5 {
+		t.Errorf("Age(5) = %v, want 5", got)
+	}
+}
+
+func TestAgeResetsToDeliveryDelay(t *testing.T) {
+	p := NewProcess(0)
+	// Generated at 3, delivered at 4: age at 4 resets to 1.
+	if err := p.Deliver(3, 4); err != nil {
+		t.Fatalf("Deliver: %v", err)
+	}
+	if got := p.Age(4); got != 1 {
+		t.Errorf("Age(4) = %v, want 1", got)
+	}
+	if got := p.Age(6); got != 3 {
+		t.Errorf("Age(6) = %v, want 3", got)
+	}
+	// Before the delivery the age is still the initial ramp.
+	if got := p.Age(3.5); got != 3.5 {
+		t.Errorf("Age(3.5) = %v, want 3.5", got)
+	}
+}
+
+func TestStaleUpdateIgnored(t *testing.T) {
+	p := NewProcess(0)
+	if err := p.Deliver(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	// Older generation delivered later must not regress freshness.
+	if err := p.Deliver(4, 7); err != nil {
+		t.Fatal(err)
+	}
+	if p.Deliveries() != 1 {
+		t.Errorf("Deliveries = %d, want 1 (stale dropped)", p.Deliveries())
+	}
+	if got := p.Age(7); got != 2 {
+		t.Errorf("Age(7) = %v, want 2 (from the gen-5 update)", got)
+	}
+}
+
+func TestDeliverValidation(t *testing.T) {
+	p := NewProcess(0)
+	if err := p.Deliver(5, 4); err == nil {
+		t.Error("delivery before generation must error")
+	}
+	if err := p.Deliver(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Deliver(8, 9); err == nil {
+		t.Error("out-of-order delivery must error")
+	}
+}
+
+func TestAgeQueryBeforeStartPanics(t *testing.T) {
+	p := NewProcess(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("query before start did not panic")
+		}
+	}()
+	p.Age(5)
+}
+
+func TestAverageAgeNoDeliveries(t *testing.T) {
+	p := NewProcess(0)
+	// Pure ramp: average over [0, 10] is 5.
+	if got := p.AverageAge(10); got != 5 {
+		t.Errorf("AverageAge = %v, want 5", got)
+	}
+}
+
+func TestAverageAgeHandComputed(t *testing.T) {
+	p := NewProcess(0)
+	// Delivery generated at 2, delivered at 2 (zero delay): age resets to
+	// 0 at t=2. Over [0,4]: area = 2*2/2 + 2*2/2 = 4 ⇒ avg = 1.
+	if err := p.Deliver(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AverageAge(4); !mathx.AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("AverageAge = %v, want 1", got)
+	}
+}
+
+func TestAverageAgeMatchesNumericIntegration(t *testing.T) {
+	p := NewProcess(0)
+	updates := [][2]float64{{1, 1.5}, {3, 3.2}, {5, 6}, {8, 8.1}}
+	for _, u := range updates {
+		if err := p.Deliver(u[0], u[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const horizon = 10.0
+	const steps = 200000
+	var sum float64
+	for i := 0; i < steps; i++ {
+		sum += p.Age((float64(i) + 0.5) * horizon / steps)
+	}
+	numeric := sum / steps
+	if got := p.AverageAge(horizon); !mathx.AlmostEqual(got, numeric, 1e-3) {
+		t.Errorf("AverageAge = %v, numeric %v", got, numeric)
+	}
+}
+
+func TestPeakAge(t *testing.T) {
+	p := NewProcess(0)
+	if err := p.Deliver(4, 5); err != nil { // age just before: 5; resets to 1
+		t.Fatal(err)
+	}
+	if err := p.Deliver(6, 7); err != nil { // age just before: 3; resets to 1
+		t.Fatal(err)
+	}
+	if got := p.PeakAge(8); got != 5 {
+		t.Errorf("PeakAge = %v, want 5", got)
+	}
+	// With a long tail the final ramp dominates.
+	if got := p.PeakAge(20); got != 14 {
+		t.Errorf("PeakAge(20) = %v, want 14", got)
+	}
+}
+
+func TestPeriodicAverageAge(t *testing.T) {
+	// Period 4, delay 1 ⇒ steady-state average 3.
+	if got := PeriodicAverageAge(4, 1); got != 3 {
+		t.Errorf("PeriodicAverageAge = %v, want 3", got)
+	}
+}
+
+func TestPeriodicAverageAgeMatchesProcess(t *testing.T) {
+	// Simulate many periods and compare to the closed form.
+	p := NewProcess(0)
+	period, delay := 2.0, 0.5
+	for k := 1; k <= 1000; k++ {
+		gen := float64(k) * period
+		if err := p.Deliver(gen, gen+delay); err != nil {
+			t.Fatal(err)
+		}
+	}
+	horizon := 1000 * period
+	got := p.AverageAge(horizon)
+	want := PeriodicAverageAge(period, delay)
+	if !mathx.AlmostEqual(got, want, 1e-2) {
+		t.Errorf("simulated periodic average %v, closed form %v", got, want)
+	}
+}
+
+func TestPeriodicValidation(t *testing.T) {
+	for _, tc := range []struct{ period, delay float64 }{{0, 1}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PeriodicAverageAge(%v, %v) did not panic", tc.period, tc.delay)
+				}
+			}()
+			PeriodicAverageAge(tc.period, tc.delay)
+		}()
+	}
+}
+
+func TestMM1AverageAgeKnownValue(t *testing.T) {
+	// At ρ = 0.5, μ = 1: 1 + 2 + 0.25/0.5 = 3.5.
+	if got := MM1AverageAge(0.5, 1); !mathx.AlmostEqual(got, 3.5, 1e-12) {
+		t.Errorf("MM1AverageAge = %v, want 3.5", got)
+	}
+}
+
+func TestMM1Validation(t *testing.T) {
+	for _, tc := range []struct{ l, m float64 }{{0, 1}, {1, 1}, {2, 1}, {0.5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MM1AverageAge(%v, %v) did not panic", tc.l, tc.m)
+				}
+			}()
+			MM1AverageAge(tc.l, tc.m)
+		}()
+	}
+}
+
+func TestOptimalMM1Utilization(t *testing.T) {
+	rho := OptimalMM1Utilization()
+	// The literature value is ρ* ≈ 0.53.
+	if math.Abs(rho-0.53) > 0.01 {
+		t.Errorf("optimal utilization = %v, want ≈0.53", rho)
+	}
+	// It must actually be a minimum.
+	f := func(r float64) float64 { return 1 + 1/r + r*r/(1-r) }
+	if f(rho) > f(rho-0.05) || f(rho) > f(rho+0.05) {
+		t.Error("reported utilization is not a local minimum")
+	}
+}
+
+func TestSamplingForTargetAge(t *testing.T) {
+	// target 3, delay 1 ⇒ period 4 (since avg = period/2 + delay).
+	if got := SamplingForTargetAge(3, 1); got != 4 {
+		t.Errorf("SamplingForTargetAge = %v, want 4", got)
+	}
+	if got := PeriodicAverageAge(SamplingForTargetAge(2.5, 0.5), 0.5); !mathx.AlmostEqual(got, 2.5, 1e-12) {
+		t.Errorf("round trip = %v, want 2.5", got)
+	}
+}
+
+func TestSamplingForTargetAgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unreachable target did not panic")
+		}
+	}()
+	SamplingForTargetAge(1, 2)
+}
+
+// Property: average age decreases (weakly) as the update period shrinks.
+func TestFasterSamplingFresherProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		period := 1 + float64(seed%10)
+		delay := 0.2
+		return PeriodicAverageAge(period/2, delay) <= PeriodicAverageAge(period, delay)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: instantaneous age is always non-negative and at most the time
+// since start.
+func TestAgeBoundsProperty(t *testing.T) {
+	f := func(gens [8]uint8) bool {
+		p := NewProcess(0)
+		tNow := 0.0
+		for _, g := range gens {
+			gen := tNow + float64(g%5)
+			del := gen + float64(g%3)
+			if err := p.Deliver(gen, del); err != nil {
+				continue
+			}
+			tNow = del
+		}
+		for _, q := range []float64{tNow, tNow + 1, tNow + 10} {
+			a := p.Age(q)
+			if a < 0 || a > q+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

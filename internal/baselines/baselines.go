@@ -1,0 +1,164 @@
+// Package baselines implements the comparison pricing schemes of
+// Section V: the random scheme (the MSP prices uniformly at random each
+// round) and the greedy scheme (the MSP reuses the best price observed in
+// past rounds, with ε-exploration), plus a fixed-price scheme and the
+// closed-form Stackelberg oracle used as reference lines.
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vtmig/internal/stackelberg"
+)
+
+// Policy is a pricing strategy for the MSP playing repeated rounds.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Price returns the price to post in the given round (zero-based).
+	Price(round int) float64
+	// Observe feeds back the realized outcome of the round so adaptive
+	// policies can learn.
+	Observe(outcome stackelberg.Equilibrium)
+	// Reset clears any per-episode state.
+	Reset()
+}
+
+// Random prices uniformly at random in [C, pmax] each round — the paper's
+// "random scheme".
+type Random struct {
+	lo, hi float64
+	rng    *rand.Rand
+}
+
+var _ Policy = (*Random)(nil)
+
+// NewRandom builds a random policy over [lo, hi].
+func NewRandom(lo, hi float64, seed int64) *Random {
+	if lo >= hi {
+		panic(fmt.Sprintf("baselines: random price range inverted [%g, %g]", lo, hi))
+	}
+	return &Random{lo: lo, hi: hi, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// Price draws uniformly from [lo, hi].
+func (r *Random) Price(int) float64 { return r.lo + r.rng.Float64()*(r.hi-r.lo) }
+
+// Observe is a no-op: the random scheme does not learn.
+func (r *Random) Observe(stackelberg.Equilibrium) {}
+
+// Reset is a no-op.
+func (r *Random) Reset() {}
+
+// Greedy reuses the best price found in past rounds and explores a random
+// price with probability epsilon — the paper's "greedy scheme" ("the MSP
+// determines the best price by selecting from past game rounds").
+type Greedy struct {
+	lo, hi  float64
+	epsilon float64
+	rng     *rand.Rand
+
+	bestPrice   float64
+	bestUtility float64
+	lastPrice   float64
+	seen        bool
+}
+
+var _ Policy = (*Greedy)(nil)
+
+// NewGreedy builds a greedy policy over [lo, hi] with exploration rate
+// epsilon in [0, 1].
+func NewGreedy(lo, hi, epsilon float64, seed int64) *Greedy {
+	if lo >= hi {
+		panic(fmt.Sprintf("baselines: greedy price range inverted [%g, %g]", lo, hi))
+	}
+	if epsilon < 0 || epsilon > 1 {
+		panic(fmt.Sprintf("baselines: epsilon %g out of [0,1]", epsilon))
+	}
+	return &Greedy{lo: lo, hi: hi, epsilon: epsilon, rng: rand.New(rand.NewSource(seed)), bestUtility: math.Inf(-1)}
+}
+
+// Name implements Policy.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Price exploits the best past price, exploring randomly with probability
+// epsilon (and always on the first round).
+func (g *Greedy) Price(int) float64 {
+	if !g.seen || g.rng.Float64() < g.epsilon {
+		g.lastPrice = g.lo + g.rng.Float64()*(g.hi-g.lo)
+	} else {
+		g.lastPrice = g.bestPrice
+	}
+	return g.lastPrice
+}
+
+// Observe records the outcome and keeps the best (price, utility) pair.
+func (g *Greedy) Observe(out stackelberg.Equilibrium) {
+	if out.MSPUtility > g.bestUtility {
+		g.bestUtility = out.MSPUtility
+		g.bestPrice = out.Price
+	}
+	g.seen = true
+}
+
+// Reset clears the learned best price.
+func (g *Greedy) Reset() {
+	g.bestUtility = math.Inf(-1)
+	g.bestPrice = 0
+	g.seen = false
+}
+
+// Fixed posts a constant price every round.
+type Fixed struct {
+	price float64
+	name  string
+}
+
+var _ Policy = (*Fixed)(nil)
+
+// NewFixed builds a constant-price policy.
+func NewFixed(price float64) *Fixed {
+	return &Fixed{price: price, name: fmt.Sprintf("fixed(%.3g)", price)}
+}
+
+// Name implements Policy.
+func (f *Fixed) Name() string { return f.name }
+
+// Price returns the constant price.
+func (f *Fixed) Price(int) float64 { return f.price }
+
+// Observe is a no-op.
+func (f *Fixed) Observe(stackelberg.Equilibrium) {}
+
+// Reset is a no-op.
+func (f *Fixed) Reset() {}
+
+// Oracle posts the closed-form Stackelberg-equilibrium price computed with
+// complete information — the upper reference of Figs. 2–3.
+type Oracle struct {
+	price float64
+}
+
+var _ Policy = (*Oracle)(nil)
+
+// NewOracle solves the game once and caches the equilibrium price.
+func NewOracle(g *stackelberg.Game) *Oracle {
+	return &Oracle{price: g.Solve().Price}
+}
+
+// Name implements Policy.
+func (o *Oracle) Name() string { return "stackelberg-oracle" }
+
+// Price returns the equilibrium price.
+func (o *Oracle) Price(int) float64 { return o.price }
+
+// Observe is a no-op.
+func (o *Oracle) Observe(stackelberg.Equilibrium) {}
+
+// Reset is a no-op.
+func (o *Oracle) Reset() {}

@@ -1,0 +1,288 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"vtmig/internal/mathx"
+	"vtmig/internal/stackelberg"
+)
+
+func TestRandomPricesWithinRange(t *testing.T) {
+	r := NewRandom(5, 50, 1)
+	for i := 0; i < 200; i++ {
+		p := r.Price(i)
+		if p < 5 || p > 50 {
+			t.Fatalf("random price %v outside [5, 50]", p)
+		}
+	}
+}
+
+func TestRandomRangeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted range did not panic")
+		}
+	}()
+	NewRandom(50, 5, 1)
+}
+
+func TestGreedyExploitsBestPrice(t *testing.T) {
+	g := stackelberg.DefaultGame()
+	// With epsilon=0, after observing two rounds the policy must repeat
+	// the better one.
+	pol := NewGreedy(5, 50, 0, 1)
+	pol.Price(0)
+	pol.Observe(g.Evaluate(10))
+	pol.Price(1)
+	pol.Observe(g.Evaluate(25))
+	if got := pol.Price(2); got != 25 {
+		t.Errorf("greedy price = %v, want 25 (the better observed price)", got)
+	}
+}
+
+func TestGreedyFirstRoundExplores(t *testing.T) {
+	pol := NewGreedy(5, 50, 0, 7)
+	p := pol.Price(0)
+	if p < 5 || p > 50 {
+		t.Errorf("first exploration price %v outside range", p)
+	}
+}
+
+func TestGreedyResetForgets(t *testing.T) {
+	g := stackelberg.DefaultGame()
+	pol := NewGreedy(5, 50, 0, 1)
+	pol.Observe(g.Evaluate(25))
+	pol.Reset()
+	// After reset the policy must explore again rather than replay 25.
+	// (It can land on 25 by chance, so check the internal state instead.)
+	if pol.seen || !math.IsInf(pol.bestUtility, -1) {
+		t.Error("Reset did not clear greedy state")
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		lo, hi, ep float64
+	}{{"inverted", 50, 5, 0.1}, {"bad epsilon", 5, 50, 1.5}} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			NewGreedy(tc.lo, tc.hi, tc.ep, 1)
+		})
+	}
+}
+
+func TestFixedAndOracle(t *testing.T) {
+	g := stackelberg.DefaultGame()
+	f := NewFixed(30)
+	if f.Price(0) != 30 || f.Price(99) != 30 {
+		t.Error("fixed policy must return its price")
+	}
+	o := NewOracle(g)
+	want := g.Solve().Price
+	if !mathx.AlmostEqual(o.Price(0), want, 1e-12) {
+		t.Errorf("oracle price = %v, want %v", o.Price(0), want)
+	}
+}
+
+func TestRunEpisodeOracleAchievesEquilibrium(t *testing.T) {
+	g := stackelberg.DefaultGame()
+	res := RunEpisode(g, NewOracle(g), 10)
+	want := g.Solve().MSPUtility
+	if !mathx.AlmostEqual(res.BestUtility, want, 1e-9) {
+		t.Errorf("oracle best utility = %v, want %v", res.BestUtility, want)
+	}
+	if !mathx.AlmostEqual(res.MeanUtility, want, 1e-9) {
+		t.Errorf("oracle mean utility = %v, want %v", res.MeanUtility, want)
+	}
+}
+
+func TestRunEpisodeGreedyBeatsRandomOnAverage(t *testing.T) {
+	g := stackelberg.DefaultGame()
+	var greedyMean, randomMean float64
+	const trials = 20
+	for s := int64(0); s < trials; s++ {
+		greedyMean += RunEpisode(g, NewGreedy(5, 50, 0.1, s), 100).MeanUtility
+		randomMean += RunEpisode(g, NewRandom(5, 50, s), 100).MeanUtility
+	}
+	greedyMean /= trials
+	randomMean /= trials
+	if greedyMean <= randomMean {
+		t.Errorf("greedy mean %v should beat random mean %v", greedyMean, randomMean)
+	}
+}
+
+func TestRunEpisodeBestNeverBelowMean(t *testing.T) {
+	g := stackelberg.DefaultGame()
+	res := RunEpisode(g, NewRandom(5, 50, 3), 50)
+	if res.BestUtility < res.MeanUtility {
+		t.Errorf("best %v < mean %v", res.BestUtility, res.MeanUtility)
+	}
+	if res.Rounds != 50 {
+		t.Errorf("rounds = %d, want 50", res.Rounds)
+	}
+}
+
+func TestRunEpisodeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rounds=0 did not panic")
+		}
+	}()
+	RunEpisode(stackelberg.DefaultGame(), NewFixed(10), 0)
+}
+
+func TestBaselineOrderingMatchesPaper(t *testing.T) {
+	// Fig. 3(a): oracle ≥ greedy ≥ random in best achieved utility over a
+	// long horizon (statistically).
+	g := stackelberg.DefaultGame()
+	oracle := RunEpisode(g, NewOracle(g), 100).BestUtility
+	var greedy, random float64
+	const trials = 20
+	for s := int64(0); s < trials; s++ {
+		greedy += RunEpisode(g, NewGreedy(5, 50, 0.1, s), 100).MeanUtility
+		random += RunEpisode(g, NewRandom(5, 50, s), 100).MeanUtility
+	}
+	greedy /= trials
+	random /= trials
+	if !(oracle >= greedy-1e-9) {
+		t.Errorf("oracle %v must be ≥ greedy %v", oracle, greedy)
+	}
+	if !(greedy > random) {
+		t.Errorf("greedy mean %v must beat random mean %v", greedy, random)
+	}
+}
+
+func TestQLearningFindsGoodPrice(t *testing.T) {
+	g := stackelberg.DefaultGame()
+	// The pricing reward is deterministic, so alpha=1 makes each arm's
+	// estimate exact after one visit.
+	q := NewQLearning(g.Cost, g.PMax, 46, 1.0, 1.0, 0.995, 1)
+	res := RunEpisode(g, q, 2000)
+	oracle := g.Solve()
+	// After 2000 rounds with decayed exploration, the greedy price must
+	// be within one grid step of the optimum.
+	gridStep := (g.PMax - g.Cost) / 45
+	if math.Abs(q.BestPrice()-oracle.Price) > gridStep+1e-9 {
+		t.Errorf("qlearning best price %v, oracle %v (grid step %v)", q.BestPrice(), oracle.Price, gridStep)
+	}
+	if res.BestUtility < 0.99*oracle.MSPUtility {
+		t.Errorf("qlearning best utility %v, oracle %v", res.BestUtility, oracle.MSPUtility)
+	}
+}
+
+func TestQLearningReset(t *testing.T) {
+	g := stackelberg.DefaultGame()
+	q := NewQLearning(g.Cost, g.PMax, 10, 0.5, 0.5, 1, 1)
+	RunEpisode(g, q, 50)
+	q.Reset()
+	for i, v := range q.q {
+		if v != 0 {
+			t.Fatalf("q[%d] = %v after Reset", i, v)
+		}
+	}
+}
+
+func TestQLearningValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"inverted range", func() { NewQLearning(50, 5, 10, 0.1, 0.1, 1, 1) }},
+		{"short grid", func() { NewQLearning(5, 50, 1, 0.1, 0.1, 1, 1) }},
+		{"bad alpha", func() { NewQLearning(5, 50, 10, 0, 0.1, 1, 1) }},
+		{"bad epsilon", func() { NewQLearning(5, 50, 10, 0.1, 2, 1, 1) }},
+		{"bad decay", func() { NewQLearning(5, 50, 10, 0.1, 0.1, 0, 1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+func TestIdentificationRecoversModel(t *testing.T) {
+	g := stackelberg.DefaultGame()
+	g.BMax = 0 // no capacity scaling: the demand law is exact
+	id := NewIdentification(g.Cost, g.PMax, g.Cost)
+	res := RunEpisode(g, id, 10)
+	a, b, ok := id.Identified()
+	if !ok {
+		t.Fatal("model not identified after two probes")
+	}
+	// True aggregates: A = Σα = 10, B = ΣD/e = 3/38.54.
+	e := g.SpectralEfficiency()
+	if !mathx.AlmostEqual(a, 10, 1e-6) {
+		t.Errorf("identified A = %v, want 10", a)
+	}
+	if !mathx.AlmostEqual(b, 3/e, 1e-6) {
+		t.Errorf("identified B = %v, want %v", b, 3/e)
+	}
+	// From round 3 on it plays the exact optimum.
+	oracle := g.Solve()
+	if !mathx.AlmostEqual(res.FinalOutcome.Price, oracle.Price, 1e-6) {
+		t.Errorf("identified price %v, oracle %v", res.FinalOutcome.Price, oracle.Price)
+	}
+}
+
+func TestIdentificationFallbackOnDegenerate(t *testing.T) {
+	// A game where both probes land above every VMU's opt-out price:
+	// demands are zero and identification must fail gracefully.
+	vmus := []stackelberg.VMU{{ID: 0, Alpha: 5, DataSize: 50}}
+	g, err := stackelberg.NewGame(vmus, stackelberg.DefaultGame().Channel, 5, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := NewIdentification(g.Cost, g.PMax, g.Cost)
+	RunEpisode(g, id, 5)
+	if _, _, ok := id.Identified(); ok {
+		t.Error("degenerate observations must not identify")
+	}
+	// Fallback price must stay in range.
+	p := id.Price(4)
+	if p < g.Cost || p > g.PMax {
+		t.Errorf("fallback price %v outside range", p)
+	}
+}
+
+func TestIdentificationReset(t *testing.T) {
+	g := stackelberg.DefaultGame()
+	g.BMax = 0
+	id := NewIdentification(g.Cost, g.PMax, g.Cost)
+	RunEpisode(g, id, 5)
+	id.Reset()
+	if _, _, ok := id.Identified(); ok {
+		t.Error("Reset did not clear identification")
+	}
+	if got := id.Price(0); got != id.probes[0] {
+		t.Errorf("first price after Reset = %v, want probe %v", got, id.probes[0])
+	}
+}
+
+func TestIdentificationValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"inverted", func() { NewIdentification(50, 5, 5) }},
+		{"bad cost", func() { NewIdentification(5, 50, 0) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.f()
+		})
+	}
+}

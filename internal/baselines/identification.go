@@ -1,0 +1,129 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"vtmig/internal/stackelberg"
+)
+
+// Identification is a model-based pricing baseline that exploits the known
+// demand structure instead of model-free learning: the aggregate best
+// response is Σb(p) = A/p − B with A = Σα_n and B = ΣD_n/e, so observing
+// the total demand at two distinct probe prices identifies (A, B) exactly,
+// after which the MSP posts the closed-form optimum
+// p* = sqrt(C·A/B) (Theorem 2 rewritten in the aggregate parameters).
+//
+// It quantifies how much of the DRL machinery the *model* already buys:
+// under the paper's exact utility model, two probes suffice. Its weakness
+// is exactly what motivates learning — any deviation from the assumed
+// demand law (opt-outs at high prices, capacity scaling) biases the
+// estimate, while PPO keeps tracking realized utility.
+type Identification struct {
+	cost   float64
+	lo, hi float64
+
+	probes    [2]float64 // probe prices
+	demands   [2]float64 // observed total demand at each probe
+	round     int
+	a, b      float64 // identified A, B
+	ident     bool
+	bestPrice float64
+}
+
+var _ Policy = (*Identification)(nil)
+
+// NewIdentification builds the baseline for a price range [lo, hi] and
+// unit cost. Probes are placed at 1/3 and 2/3 of the range.
+func NewIdentification(lo, hi, cost float64) *Identification {
+	if lo >= hi {
+		panic(fmt.Sprintf("baselines: identification price range inverted [%g, %g]", lo, hi))
+	}
+	if cost <= 0 {
+		panic(fmt.Sprintf("baselines: identification cost must be positive, got %g", cost))
+	}
+	return &Identification{
+		cost:   cost,
+		lo:     lo,
+		hi:     hi,
+		probes: [2]float64{lo + (hi-lo)/3, lo + 2*(hi-lo)/3},
+	}
+}
+
+// Name implements Policy.
+func (id *Identification) Name() string { return "identification" }
+
+// Price posts the two probes, then the identified optimum forever.
+func (id *Identification) Price(int) float64 {
+	switch {
+	case id.round == 0:
+		return id.probes[0]
+	case id.round == 1:
+		return id.probes[1]
+	case id.ident:
+		return id.bestPrice
+	default:
+		// Identification failed (degenerate observations): fall back to
+		// the midpoint.
+		return (id.lo + id.hi) / 2
+	}
+}
+
+// Observe records probe outcomes and solves for (A, B) after the second.
+func (id *Identification) Observe(out stackelberg.Equilibrium) {
+	if id.round < 2 {
+		id.demands[id.round] = out.TotalBandwidth
+		id.round++
+		if id.round == 2 {
+			id.identify()
+		}
+		return
+	}
+	id.round++
+}
+
+// identify solves the 2×2 system b_i = A/p_i − B.
+func (id *Identification) identify() {
+	p1, p2 := id.probes[0], id.probes[1]
+	b1, b2 := id.demands[0], id.demands[1]
+	// b1 - b2 = A(1/p1 - 1/p2)  ⇒  A = (b1-b2)/(1/p1 - 1/p2).
+	den := 1/p1 - 1/p2
+	if den == 0 {
+		return
+	}
+	a := (b1 - b2) / den
+	b := a/p1 - b1
+	if a <= 0 || b <= 0 {
+		// Degenerate (e.g. both demands zero, or capacity scaling
+		// flattened the curve): cannot identify.
+		return
+	}
+	id.a, id.b = a, b
+	id.bestPrice = clampf(math.Sqrt(id.cost*a/b), id.lo, id.hi)
+	id.ident = true
+}
+
+// Reset forgets the identified model.
+func (id *Identification) Reset() {
+	id.round = 0
+	id.ident = false
+	id.a, id.b, id.bestPrice = 0, 0, 0
+	id.demands = [2]float64{}
+}
+
+// Identified reports whether the model has been identified, returning the
+// aggregate parameter estimates.
+func (id *Identification) Identified() (a, b float64, ok bool) {
+	return id.a, id.b, id.ident
+}
+
+// clampf bounds v to [lo, hi].
+func clampf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

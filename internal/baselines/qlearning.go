@@ -1,0 +1,108 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vtmig/internal/stackelberg"
+)
+
+// QLearning is a tabular ε-greedy Q-learning pricer over a discretized
+// price grid. The pricing game is stateless from the MSP's perspective
+// (followers best-respond memorylessly), so the table is a single row of
+// action values — equivalently a multi-armed bandit with Q-learning
+// updates. It is the classic "discretize and learn" comparator for the
+// paper's continuous-action PPO agent.
+type QLearning struct {
+	prices  []float64
+	q       []float64
+	alpha   float64 // learning rate
+	epsilon float64 // exploration probability
+	decay   float64 // per-round multiplicative epsilon decay
+	rng     *rand.Rand
+
+	lastAction int
+}
+
+var _ Policy = (*QLearning)(nil)
+
+// NewQLearning builds a Q-learning pricer with gridN prices spanning
+// [lo, hi], learning rate alpha, initial exploration epsilon, and
+// per-round epsilon decay (1 = no decay).
+func NewQLearning(lo, hi float64, gridN int, alpha, epsilon, decay float64, seed int64) *QLearning {
+	if lo >= hi {
+		panic(fmt.Sprintf("baselines: qlearning price range inverted [%g, %g]", lo, hi))
+	}
+	if gridN < 2 {
+		panic(fmt.Sprintf("baselines: qlearning needs >= 2 grid points, got %d", gridN))
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("baselines: qlearning alpha %g out of (0, 1]", alpha))
+	}
+	if epsilon < 0 || epsilon > 1 {
+		panic(fmt.Sprintf("baselines: qlearning epsilon %g out of [0, 1]", epsilon))
+	}
+	if decay <= 0 || decay > 1 {
+		panic(fmt.Sprintf("baselines: qlearning decay %g out of (0, 1]", decay))
+	}
+	q := &QLearning{
+		alpha:   alpha,
+		epsilon: epsilon,
+		decay:   decay,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	step := (hi - lo) / float64(gridN-1)
+	for i := 0; i < gridN; i++ {
+		q.prices = append(q.prices, lo+float64(i)*step)
+	}
+	q.q = make([]float64, gridN)
+	q.lastAction = -1
+	return q
+}
+
+// Name implements Policy.
+func (q *QLearning) Name() string { return "qlearning" }
+
+// Price explores with probability epsilon, otherwise exploits the best
+// action value.
+func (q *QLearning) Price(int) float64 {
+	if q.rng.Float64() < q.epsilon {
+		q.lastAction = q.rng.Intn(len(q.prices))
+	} else {
+		q.lastAction = argmax(q.q)
+	}
+	q.epsilon *= q.decay
+	return q.prices[q.lastAction]
+}
+
+// Observe applies the stateless Q update Q(a) += α·(r − Q(a)) with the
+// MSP utility as the reward.
+func (q *QLearning) Observe(out stackelberg.Equilibrium) {
+	if q.lastAction < 0 {
+		return
+	}
+	a := q.lastAction
+	q.q[a] += q.alpha * (out.MSPUtility - q.q[a])
+}
+
+// Reset clears the table and restores full exploration.
+func (q *QLearning) Reset() {
+	for i := range q.q {
+		q.q[i] = 0
+	}
+	q.lastAction = -1
+}
+
+// BestPrice returns the current greedy price (for inspection).
+func (q *QLearning) BestPrice() float64 { return q.prices[argmax(q.q)] }
+
+// argmax returns the index of the largest value (first on ties).
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs[1:] {
+		if v > xs[best] {
+			best = i + 1
+		}
+	}
+	return best
+}

@@ -1,0 +1,51 @@
+package baselines
+
+import (
+	"fmt"
+
+	"vtmig/internal/mathx"
+	"vtmig/internal/stackelberg"
+)
+
+// EpisodeResult summarizes one repeated-pricing episode.
+type EpisodeResult struct {
+	// Policy is the pricing policy's name.
+	Policy string
+	// Rounds is the number of rounds played.
+	Rounds int
+	// BestUtility is the highest MSP utility achieved in any round.
+	BestUtility float64
+	// BestPrice is the price that achieved BestUtility.
+	BestPrice float64
+	// MeanUtility is the MSP utility averaged over rounds.
+	MeanUtility float64
+	// FinalOutcome is the last round's full report.
+	FinalOutcome stackelberg.Equilibrium
+	// BestOutcome is the best round's full report.
+	BestOutcome stackelberg.Equilibrium
+}
+
+// RunEpisode plays the pricing game for the given number of rounds with a
+// policy choosing prices and followers best-responding.
+func RunEpisode(g *stackelberg.Game, p Policy, rounds int) EpisodeResult {
+	if rounds <= 0 {
+		panic(fmt.Sprintf("baselines: rounds must be positive, got %d", rounds))
+	}
+	p.Reset()
+	res := EpisodeResult{Policy: p.Name(), Rounds: rounds}
+	utilities := make([]float64, 0, rounds)
+	for k := 0; k < rounds; k++ {
+		price := p.Price(k)
+		out := g.Evaluate(price)
+		p.Observe(out)
+		utilities = append(utilities, out.MSPUtility)
+		if k == 0 || out.MSPUtility > res.BestUtility {
+			res.BestUtility = out.MSPUtility
+			res.BestPrice = out.Price
+			res.BestOutcome = out
+		}
+		res.FinalOutcome = out
+	}
+	res.MeanUtility = mathx.Mean(utilities)
+	return res
+}

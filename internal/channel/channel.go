@@ -1,0 +1,75 @@
+// Package channel models the wireless link between the source and
+// destination RSUs used for Vehicular Twin migration: free-space path loss
+// with a path-loss exponent, SNR, Shannon spectral efficiency, and an
+// OFDMA sub-channel allocator that keeps concurrent migrations orthogonal.
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"vtmig/internal/mathx"
+)
+
+// Params describes the RSU-to-RSU radio link with the paper's notation.
+type Params struct {
+	// TxPowerDBm is ρ, the transmit power of the source RSU in dBm
+	// (paper: 40 dBm).
+	TxPowerDBm float64
+	// UnitGainDB is h0, the unit channel power gain in dB (paper: −20 dB).
+	UnitGainDB float64
+	// DistanceM is d, the distance between the RSUs in meters
+	// (paper: 500 m).
+	DistanceM float64
+	// PathLossExp is ε, the path-loss exponent (paper: 2).
+	PathLossExp float64
+	// NoiseDBm is N0, the average noise power in dBm (paper: −150 dBm).
+	NoiseDBm float64
+}
+
+// DefaultParams returns the channel parameters of Section V of the paper.
+func DefaultParams() Params {
+	return Params{
+		TxPowerDBm:  40,
+		UnitGainDB:  -20,
+		DistanceM:   500,
+		PathLossExp: 2,
+		NoiseDBm:    -150,
+	}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p Params) Validate() error {
+	if p.DistanceM <= 0 {
+		return fmt.Errorf("channel: distance must be positive, got %g m", p.DistanceM)
+	}
+	if p.PathLossExp < 0 {
+		return fmt.Errorf("channel: path-loss exponent must be non-negative, got %g", p.PathLossExp)
+	}
+	return nil
+}
+
+// SNR returns the linear signal-to-noise ratio ρ·h0·d^-ε / N0.
+func (p Params) SNR() float64 {
+	rho := mathx.DBmToWatt(p.TxPowerDBm)
+	h0 := mathx.DBToLinear(p.UnitGainDB)
+	n0 := mathx.DBmToWatt(p.NoiseDBm)
+	return rho * h0 / (math.Pow(p.DistanceM, p.PathLossExp) * n0)
+}
+
+// SpectralEfficiency returns e = log2(1 + SNR) in bit/s/Hz — the factor
+// that converts purchased bandwidth into migration throughput. With the
+// paper's defaults e ≈ 38.54.
+func (p Params) SpectralEfficiency() float64 {
+	return mathx.Log2OnePlus(p.SNR())
+}
+
+// Rate returns the achievable transmission rate γ = b·log2(1+SNR) for
+// bandwidth b. With b in MHz and the data unit of 100 MB used throughout
+// the reproduction, γ is directly the denominator of the AoTM.
+func (p Params) Rate(bandwidth float64) float64 {
+	if bandwidth < 0 {
+		panic(fmt.Sprintf("channel: negative bandwidth %g", bandwidth))
+	}
+	return bandwidth * p.SpectralEfficiency()
+}

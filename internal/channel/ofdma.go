@@ -1,0 +1,114 @@
+package channel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allocation records one OFDMA bandwidth grant.
+type Allocation struct {
+	// Owner identifies the grantee (e.g. a VMU id).
+	Owner int
+	// Bandwidth is the granted bandwidth in MHz.
+	Bandwidth float64
+}
+
+// OFDMAAllocator hands out orthogonal slices of a shared bandwidth pool.
+// The paper assumes OFDMA keeps all migration channels between the source
+// and destination RSUs orthogonal; this allocator enforces the capacity
+// constraint Σ b_n ≤ Bmax that the MSP's Problem 2 imposes.
+//
+// The allocator is not safe for concurrent use; the discrete-event
+// simulator serializes access.
+type OFDMAAllocator struct {
+	capacity float64
+	grants   map[int]float64
+	used     float64
+}
+
+// NewOFDMAAllocator returns an allocator with the given total capacity in
+// MHz (the MSP's Bmax).
+func NewOFDMAAllocator(capacity float64) *OFDMAAllocator {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("channel: OFDMA capacity must be positive, got %g", capacity))
+	}
+	return &OFDMAAllocator{capacity: capacity, grants: make(map[int]float64)}
+}
+
+// Capacity returns the total pool size in MHz.
+func (a *OFDMAAllocator) Capacity() float64 { return a.capacity }
+
+// Available returns the unallocated bandwidth in MHz.
+func (a *OFDMAAllocator) Available() float64 { return a.capacity - a.used }
+
+// Used returns the currently allocated bandwidth in MHz.
+func (a *OFDMAAllocator) Used() float64 { return a.used }
+
+// Allocate grants bw MHz to owner. It fails when the owner already holds a
+// grant or the pool has insufficient headroom.
+func (a *OFDMAAllocator) Allocate(owner int, bw float64) error {
+	if bw <= 0 {
+		return fmt.Errorf("channel: allocation for owner %d must be positive, got %g MHz", owner, bw)
+	}
+	if _, exists := a.grants[owner]; exists {
+		return fmt.Errorf("channel: owner %d already holds a grant", owner)
+	}
+	const slack = 1e-12 // absorb float rounding in Σb ≤ Bmax checks
+	if a.used+bw > a.capacity+slack {
+		return fmt.Errorf("channel: insufficient capacity: want %g MHz, available %g MHz", bw, a.Available())
+	}
+	a.grants[owner] = bw
+	a.used += bw
+	return nil
+}
+
+// Release returns owner's grant to the pool.
+func (a *OFDMAAllocator) Release(owner int) error {
+	bw, ok := a.grants[owner]
+	if !ok {
+		return fmt.Errorf("channel: owner %d holds no grant", owner)
+	}
+	delete(a.grants, owner)
+	a.used -= bw
+	if a.used < 0 {
+		a.used = 0
+	}
+	return nil
+}
+
+// Grant returns the bandwidth currently held by owner (0 if none).
+func (a *OFDMAAllocator) Grant(owner int) float64 { return a.grants[owner] }
+
+// Grants returns all current allocations sorted by owner id.
+func (a *OFDMAAllocator) Grants() []Allocation {
+	out := make([]Allocation, 0, len(a.grants))
+	for owner, bw := range a.grants {
+		out = append(out, Allocation{Owner: owner, Bandwidth: bw})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+	return out
+}
+
+// ScaleToFit proportionally shrinks the requested demands so that their sum
+// fits within capacity, mirroring how a bandwidth-constrained MSP would
+// admit an over-subscribed round. It returns the scaled demands (a new
+// slice) and the applied scale factor (1 when no scaling was needed).
+func (a *OFDMAAllocator) ScaleToFit(demands []float64) ([]float64, float64) {
+	var total float64
+	for _, d := range demands {
+		if d < 0 {
+			panic(fmt.Sprintf("channel: negative demand %g", d))
+		}
+		total += d
+	}
+	out := make([]float64, len(demands))
+	if total <= a.capacity || total == 0 {
+		copy(out, demands)
+		return out, 1
+	}
+	scale := a.capacity / total
+	for i, d := range demands {
+		out[i] = d * scale
+	}
+	return out, scale
+}

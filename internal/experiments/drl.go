@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"vtmig/internal/pomdp"
+	"vtmig/internal/rl"
+	"vtmig/internal/stackelberg"
+)
+
+// DRLConfig bundles everything needed to train the MSP agent on a game.
+type DRLConfig struct {
+	// Episodes is E (paper: 500).
+	Episodes int
+	// Rounds is K (paper: 100).
+	Rounds int
+	// HistoryLen is L (paper: 4).
+	HistoryLen int
+	// UpdateEvery is |I| (paper: 20).
+	UpdateEvery int
+	// Reward selects the reward signal (paper: binary, Eq. 12).
+	Reward pomdp.RewardKind
+	// PPO carries the learner hyper-parameters.
+	PPO rl.PPOConfig
+	// Restarts trains this many independently seeded agents and keeps the
+	// one with the best evaluated utility. Sparse-reward PPO occasionally
+	// collapses to a dead policy; independent restarts are the standard
+	// remedy. Values below 1 mean 1.
+	Restarts int
+	// Seed drives environment and learner randomness (restart r uses
+	// Seed + r).
+	Seed int64
+}
+
+// DefaultDRLConfig returns the configuration used by the experiment
+// harness: the paper's L=4, K=100, |I|=20, M=10 with a practical number of
+// episodes and learning rate (the paper's lr=1e-5 with E=500 is an
+// ablation; see EXPERIMENTS.md).
+func DefaultDRLConfig() DRLConfig {
+	ppo := rl.DefaultPPOConfig()
+	return DRLConfig{
+		Episodes:    150,
+		Rounds:      100,
+		HistoryLen:  4,
+		UpdateEvery: 20,
+		Reward:      pomdp.RewardBinary,
+		PPO:         ppo,
+		Restarts:    2,
+		Seed:        1,
+	}
+}
+
+// TrainResult is a trained agent plus its learning history and final
+// evaluation.
+type TrainResult struct {
+	// Agent is the trained PPO learner.
+	Agent *rl.PPO
+	// Env is the training environment (reusable for evaluation).
+	Env *pomdp.GameEnv
+	// Episodes are per-episode training statistics; Episodes[i].Return is
+	// the Fig. 2(a) curve.
+	Episodes []rl.EpisodeStats
+	// EvalPrice is the deterministic policy's converged price.
+	EvalPrice float64
+	// EvalOutcome is the full equilibrium report at EvalPrice.
+	EvalOutcome stackelberg.Equilibrium
+	// OracleOutcome is the closed-form Stackelberg equilibrium for
+	// reference.
+	OracleOutcome stackelberg.Equilibrium
+}
+
+// TrainAgent trains the MSP's PPO agent on the given game with
+// Algorithm 1 and evaluates the resulting deterministic policy. With
+// cfg.Restarts > 1 it trains several independently seeded agents in
+// parallel (each with its own environment and network) and returns the
+// one with the highest evaluated MSP utility.
+func TrainAgent(game *stackelberg.Game, cfg DRLConfig) (*TrainResult, error) {
+	restarts := cfg.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	results := make([]*TrainResult, restarts)
+	errs := make([]error, restarts)
+	var wg sync.WaitGroup
+	for r := 0; r < restarts; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = cfg.Seed + int64(r)
+			results[r], errs[r] = trainOnce(game, c)
+		}(r)
+	}
+	wg.Wait()
+	var best *TrainResult
+	for r := 0; r < restarts; r++ {
+		if errs[r] != nil {
+			return nil, errs[r]
+		}
+		if best == nil || results[r].EvalOutcome.MSPUtility > best.EvalOutcome.MSPUtility {
+			best = results[r]
+		}
+	}
+	return best, nil
+}
+
+// trainOnce runs a single training with one seed.
+func trainOnce(game *stackelberg.Game, cfg DRLConfig) (*TrainResult, error) {
+	env, err := pomdp.NewGameEnv(pomdp.Config{
+		Game:       game,
+		HistoryLen: cfg.HistoryLen,
+		Rounds:     cfg.Rounds,
+		Reward:     cfg.Reward,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building env: %w", err)
+	}
+	ppoCfg := cfg.PPO
+	ppoCfg.Seed = cfg.Seed
+	lo, hi := env.ActionBounds()
+	agent := rl.NewPPO(env.ObsDim(), env.ActDim(), lo, hi, ppoCfg)
+	trainer := rl.NewTrainer(env, agent, rl.TrainerConfig{
+		Episodes:         cfg.Episodes,
+		RoundsPerEpisode: cfg.Rounds,
+		UpdateEvery:      cfg.UpdateEvery,
+	})
+	episodes := trainer.Run()
+
+	price := EvaluateAgent(env, agent, 20)
+	return &TrainResult{
+		Agent:         agent,
+		Env:           env,
+		Episodes:      episodes,
+		EvalPrice:     price,
+		EvalOutcome:   game.Evaluate(price),
+		OracleOutcome: game.Solve(),
+	}, nil
+}
+
+// EvaluateAgent estimates the learned deterministic price. It plays the
+// stochastic policy for the given number of rounds — keeping the
+// observation history on the training distribution — and averages the
+// deterministic (mean) action over the trailing half of the rounds.
+//
+// Rolling the deterministic policy forward on its own outputs is NOT a
+// valid readout: constant-price histories never occur during training, so
+// the deterministic closed loop can drift into spurious off-distribution
+// fixed points.
+func EvaluateAgent(env *pomdp.GameEnv, agent *rl.PPO, rounds int) float64 {
+	obs := env.Reset()
+	tail := rounds / 2
+	if tail < 1 {
+		tail = 1
+	}
+	var sum float64
+	var count int
+	for k := 0; k < rounds; k++ {
+		if k >= rounds-tail {
+			sum += agent.MeanAction(obs)[0]
+			count++
+		}
+		_, envAct, _, _ := agent.SelectAction(obs)
+		var done bool
+		obs, _, done = env.Step(envAct)
+		if done {
+			obs = env.Reset()
+		}
+	}
+	return sum / float64(count)
+}
+
+// ReturnSeries extracts the Fig. 2(a) learning curve (per-episode return).
+func ReturnSeries(episodes []rl.EpisodeStats) *Series {
+	s := &Series{Name: "return"}
+	for _, e := range episodes {
+		s.Append(float64(e.Episode), e.Return)
+	}
+	return s
+}

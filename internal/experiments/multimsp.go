@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vtmig/internal/channel"
+	"vtmig/internal/mathx"
+	"vtmig/internal/multimsp"
+	"vtmig/internal/stackelberg"
+)
+
+// RunMultiMSPAblation contrasts the paper's monopoly with the future-work
+// multi-provider extension: for each provider count it reports the
+// competitive price level, total provider profit, and total VMU utility on
+// the two-VMU benchmark.
+func RunMultiMSPAblation(providerCounts []int) (*Table, error) {
+	t := &Table{
+		Title:   "ablation: monopoly vs multi-MSP price competition",
+		Columns: []string{"msps", "mean_price", "total_msp_profit", "total_vmu_utility"},
+	}
+	base := stackelberg.DefaultGame()
+	for _, count := range providerCounts {
+		if count < 1 {
+			return nil, fmt.Errorf("experiments: invalid provider count %d", count)
+		}
+		if count == 1 {
+			eq := base.Solve()
+			t.AddRow(1, eq.Price, eq.MSPUtility, mathx.Sum(eq.VMUUtilities))
+			continue
+		}
+		msps := make([]multimsp.MSP, count)
+		for j := range msps {
+			msps[j] = multimsp.MSP{ID: j, Cost: base.Cost, BMax: base.BMax}
+		}
+		market, err := multimsp.NewMarket(msps, base.VMUs, channel.DefaultParams(), base.PMax)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %d-MSP market: %w", count, err)
+		}
+		res := market.SolvePriceCompetition(300, 80)
+		t.AddRow(float64(count),
+			mathx.Mean(res.Outcome.Prices),
+			mathx.Sum(res.Outcome.MSPUtilities),
+			mathx.Sum(res.Outcome.VMUUtilities),
+		)
+	}
+	return t, nil
+}

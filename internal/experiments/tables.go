@@ -1,0 +1,138 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Fig. 2(a), 2(b), 3(a)–3(d)) plus the reproduction's ablations, printing
+// the same rows/series the paper plots and optionally writing CSV.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled numeric table with named columns — one per figure
+// panel.
+type Table struct {
+	// Title identifies the experiment (e.g. "fig3a").
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows hold the numeric cells; every row has len(Columns) cells.
+	Rows [][]float64
+}
+
+// AddRow appends a row, validating its width.
+func (t *Table) AddRow(cells ...float64) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row width %d, want %d", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
+		return fmt.Errorf("experiments: writing csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = strconv.FormatFloat(v, 'g', 8, 64)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return fmt.Errorf("experiments: writing csv row: %w", err)
+		}
+	}
+	return nil
+}
+
+// String renders the table as aligned text for terminal output.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.Rows))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := strconv.FormatFloat(v, 'f', 3, 64)
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			fmt.Fprintf(&b, "%*s  ", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series is a named (x, y) sequence — one plotted line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Tail returns the mean of the last k y-values (or all when fewer),
+// the standard "converged value" readout for learning curves.
+func (s *Series) Tail(k int) float64 {
+	n := len(s.Y)
+	if n == 0 {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	var sum float64
+	for _, v := range s.Y[n-k:] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// SeriesTable lays out several series that share an x-axis as a Table.
+// All series must have the same length and x-grid.
+func SeriesTable(title, xName string, series ...*Series) *Table {
+	if len(series) == 0 {
+		panic("experiments: SeriesTable needs at least one series")
+	}
+	n := series[0].Len()
+	cols := make([]string, 0, len(series)+1)
+	cols = append(cols, xName)
+	for _, s := range series {
+		if s.Len() != n {
+			panic(fmt.Sprintf("experiments: series %q has %d points, want %d", s.Name, s.Len(), n))
+		}
+		cols = append(cols, s.Name)
+	}
+	t := &Table{Title: title, Columns: cols}
+	for i := 0; i < n; i++ {
+		row := make([]float64, 0, len(cols))
+		row = append(row, series[0].X[i])
+		for _, s := range series {
+			row = append(row, s.Y[i])
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

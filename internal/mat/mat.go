@@ -1,0 +1,217 @@
+// Package mat implements the small dense linear-algebra kernel used by the
+// vtmig neural-network substrate: row-major matrices, vectors, products,
+// and element-wise maps.
+//
+// The package favours explicitness over generality — shapes are validated
+// eagerly and mismatches panic, because a shape error is always a
+// programming bug, never a runtime condition to handle.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the elements in row-major order: element (i, j) lives at
+	// Data[i*Cols+j]. len(Data) == Rows*Cols always holds.
+	Data []float64
+}
+
+// New returns a zero-initialized rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice returns a rows×cols matrix that adopts data (no copy).
+// len(data) must equal rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid shape %dx%d", rows, cols))
+	}
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: FromSlice data length %d does not match shape %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: index (%d, %d) out of range for %dx%d matrix", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("mat: row %d out of range for %dx%d matrix", i, m.Rows, m.Cols))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element of m to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Randomize fills m with samples from N(0, stddev²) using rng.
+func (m *Matrix) Randomize(rng *rand.Rand, stddev float64) {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * stddev
+	}
+}
+
+// XavierInit fills m with the Glorot/Xavier uniform initialization for a
+// layer with fanIn inputs and fanOut outputs.
+func (m *Matrix) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// MulVec computes m · x and stores the result in dst, which must have
+// length m.Rows. x must have length m.Cols. It returns dst.
+func (m *Matrix) MulVec(x, dst []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVec input length %d, want %d", len(x), m.Cols))
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVec output length %d, want %d", len(dst), m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// MulVecT computes mᵀ · x (x has length m.Rows) and stores the result in
+// dst, which must have length m.Cols. It returns dst.
+func (m *Matrix) MulVecT(x, dst []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVecT input length %d, want %d", len(x), m.Rows))
+	}
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVecT output length %d, want %d", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+	return dst
+}
+
+// AddOuterScaled accumulates scale · (x ⊗ y) into m, where x has length
+// m.Rows and y has length m.Cols. It is the rank-1 update used by gradient
+// accumulation.
+func (m *Matrix) AddOuterScaled(x, y []float64, scale float64) {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("mat: AddOuterScaled x length %d, want %d", len(x), m.Rows))
+	}
+	if len(y) != m.Cols {
+		panic(fmt.Sprintf("mat: AddOuterScaled y length %d, want %d", len(y), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := x[i] * scale
+		if s == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			row[j] += s * y[j]
+		}
+	}
+}
+
+// AddScaled accumulates scale · other into m. Shapes must match.
+func (m *Matrix) AddScaled(other *Matrix, scale float64) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("mat: AddScaled shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	for i, v := range other.Data {
+		m.Data[i] += scale * v
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var ss float64
+	for _, v := range m.Data {
+		ss += v * v
+	}
+	return math.Sqrt(ss)
+}
+
+// Equal reports whether m and other have the same shape and identical
+// elements.
+func (m *Matrix) Equal(other *Matrix) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != other.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the matrix for debugging.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("mat.Matrix{%dx%d}", m.Rows, m.Cols)
+}

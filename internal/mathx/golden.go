@@ -1,0 +1,64 @@
+package mathx
+
+import "math"
+
+// invPhi is 1/φ, the golden-section step ratio.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenMax maximizes a unimodal function f on [lo, hi] by golden-section
+// search and returns the maximizing argument and the maximum value. The
+// search runs until the bracket is narrower than tol or maxIter iterations
+// have elapsed. For strictly concave f the result is within tol of the true
+// maximizer.
+func GoldenMax(f func(float64) float64, lo, hi, tol float64, maxIter int) (x, fx float64) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < maxIter && (b-a) > tol; i++ {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x)
+}
+
+// Bisect finds a root of f on [lo, hi] by bisection, assuming f(lo) and
+// f(hi) have opposite signs. It returns the midpoint of the final bracket
+// and whether a sign change was present. The search stops once the bracket
+// is narrower than tol or after maxIter iterations.
+func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, bool) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, true
+	}
+	if fhi == 0 {
+		return hi, true
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, false
+	}
+	for i := 0; i < maxIter && (hi-lo) > tol; i++ {
+		mid := (lo + hi) / 2
+		fmid := f(mid)
+		if fmid == 0 {
+			return mid, true
+		}
+		if (fmid > 0) == (flo > 0) {
+			lo, flo = mid, fmid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, true
+}

@@ -1,0 +1,162 @@
+// Package mathx provides small numeric helpers shared across the vtmig
+// modules: decibel conversions, clamping, approximate float comparison,
+// sequence generation, and streaming statistics.
+//
+// All helpers are pure functions or small value types; none of them
+// allocate beyond their obvious outputs.
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultTol is the default relative tolerance used by AlmostEqual.
+const DefaultTol = 1e-9
+
+// DBToLinear converts a decibel value (a power ratio in dB) to linear scale.
+func DBToLinear(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// LinearToDB converts a linear power ratio to decibels.
+// It returns -Inf for non-positive inputs.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// DBmToWatt converts a power level in dBm to Watts.
+func DBmToWatt(dbm float64) float64 {
+	return math.Pow(10, dbm/10) / 1000
+}
+
+// WattToDBm converts a power level in Watts to dBm.
+// It returns -Inf for non-positive inputs.
+func WattToDBm(w float64) float64 {
+	if w <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(w*1000)
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+// It panics if lo > hi, which always indicates a programming error.
+func Clamp(v, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("mathx: Clamp bounds inverted: lo=%g > hi=%g", lo, hi))
+	}
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}
+
+// ClampInt limits v to the closed interval [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if lo > hi {
+		panic(fmt.Sprintf("mathx: ClampInt bounds inverted: lo=%d > hi=%d", lo, hi))
+	}
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}
+
+// AlmostEqual reports whether a and b agree to within tol, using a mixed
+// absolute/relative criterion: |a-b| <= tol * max(1, |a|, |b|).
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// n must be at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("mathx: Linspace needs n >= 2, got %d", n))
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // avoid accumulated rounding at the endpoint
+	return out
+}
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator),
+// or 0 when fewer than two samples are given.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// MinMax returns the minimum and maximum of xs.
+// It panics on an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("mathx: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Log2OnePlus returns log2(1+x), guarding against negative arguments that
+// would make the logarithm undefined. It panics when 1+x <= 0.
+func Log2OnePlus(x float64) float64 {
+	if 1+x <= 0 {
+		panic(fmt.Sprintf("mathx: Log2OnePlus domain error: 1+%g <= 0", x))
+	}
+	return math.Log2(1 + x)
+}

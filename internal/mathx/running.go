@@ -1,0 +1,86 @@
+package mathx
+
+import "math"
+
+// RunningStat accumulates streaming mean and variance using Welford's
+// algorithm. The zero value is ready to use.
+type RunningStat struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (r *RunningStat) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// Count returns the number of observations seen.
+func (r *RunningStat) Count() int { return r.n }
+
+// Mean returns the running mean, or 0 before any observation.
+func (r *RunningStat) Mean() float64 { return r.mean }
+
+// Variance returns the sample variance (n-1 denominator), or 0 when fewer
+// than two observations have been added.
+func (r *RunningStat) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *RunningStat) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation, or 0 before any observation.
+func (r *RunningStat) Min() float64 { return r.min }
+
+// Max returns the largest observation, or 0 before any observation.
+func (r *RunningStat) Max() float64 { return r.max }
+
+// EWMA is an exponentially weighted moving average.
+// The zero value is not ready to use; construct with NewEWMA.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1].
+// Larger alpha weights recent observations more heavily.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("mathx: EWMA alpha must be in (0, 1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add incorporates one observation and returns the updated average.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return x
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average, or 0 before any observation.
+func (e *EWMA) Value() float64 { return e.value }

@@ -1,0 +1,168 @@
+// Package migration models pre-copy live migration of Vehicular Twins
+// between RSUs, following the strategy referenced by the paper ([11]): the
+// twin's memory is copied in iterative rounds while it keeps running and
+// dirtying pages, and a final stop-and-copy round transfers the residual
+// working set, incurring downtime.
+//
+// The model produces the total migrated data D_n that enters the AoTM and
+// the Stackelberg game, and lets the simulator study how dirty rates and
+// purchased bandwidth shape migration freshness.
+package migration
+
+import "fmt"
+
+// VTSpec describes one Vehicular Twin's migratable footprint, following
+// the paper's decomposition of D_n into system configuration, historical
+// memory data, and real-time state.
+type VTSpec struct {
+	// ConfigMB is the system-configuration payload (CPU/GPU state) in MB.
+	ConfigMB float64
+	// MemoryMB is the historical memory data in MB (the bulk).
+	MemoryMB float64
+	// StateMB is the real-time VMU state payload in MB.
+	StateMB float64
+	// DirtyRateMBps is the rate at which the running twin dirties memory
+	// during migration, in MB/s.
+	DirtyRateMBps float64
+}
+
+// Validate reports whether the spec is physically meaningful.
+func (v VTSpec) Validate() error {
+	if v.ConfigMB < 0 || v.MemoryMB <= 0 || v.StateMB < 0 {
+		return fmt.Errorf("migration: payload sizes must be positive memory and non-negative config/state, got config=%g memory=%g state=%g",
+			v.ConfigMB, v.MemoryMB, v.StateMB)
+	}
+	if v.DirtyRateMBps < 0 {
+		return fmt.Errorf("migration: dirty rate must be non-negative, got %g", v.DirtyRateMBps)
+	}
+	return nil
+}
+
+// BaseSizeMB returns the twin's static payload (config + memory + state).
+func (v VTSpec) BaseSizeMB() float64 { return v.ConfigMB + v.MemoryMB + v.StateMB }
+
+// Config tunes the pre-copy algorithm.
+type Config struct {
+	// StopCopyThresholdMB stops pre-copy once the residual dirty set is
+	// at most this size; the residual moves in the stop-and-copy round.
+	StopCopyThresholdMB float64
+	// MaxPreCopyRounds bounds the iterative phase (protects against
+	// non-converging migrations where dirty rate ≥ link rate).
+	MaxPreCopyRounds int
+	// SwitchOverheadS is the fixed control-plane handover time added to
+	// the downtime, in seconds.
+	SwitchOverheadS float64
+}
+
+// DefaultConfig returns a conventional pre-copy configuration.
+func DefaultConfig() Config {
+	return Config{
+		StopCopyThresholdMB: 1,
+		MaxPreCopyRounds:    30,
+		SwitchOverheadS:     0.02,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.StopCopyThresholdMB <= 0 {
+		return fmt.Errorf("migration: stop-copy threshold must be positive, got %g", c.StopCopyThresholdMB)
+	}
+	if c.MaxPreCopyRounds < 1 {
+		return fmt.Errorf("migration: need at least 1 pre-copy round, got %d", c.MaxPreCopyRounds)
+	}
+	if c.SwitchOverheadS < 0 {
+		return fmt.Errorf("migration: switch overhead must be non-negative, got %g", c.SwitchOverheadS)
+	}
+	return nil
+}
+
+// Round records one pre-copy iteration.
+type Round struct {
+	// CopiedMB is the data transferred this round.
+	CopiedMB float64
+	// DurationS is the round's wall-clock duration.
+	DurationS float64
+}
+
+// Result summarizes a simulated migration.
+type Result struct {
+	// Rounds are the pre-copy iterations in order.
+	Rounds []Round
+	// StopCopyMB is the residual moved during downtime.
+	StopCopyMB float64
+	// TotalDataMB is all data moved (pre-copy + stop-and-copy) — the D_n
+	// of the paper.
+	TotalDataMB float64
+	// DowntimeS is the service interruption (stop-and-copy + switch).
+	DowntimeS float64
+	// TotalTimeS is the end-to-end migration duration.
+	TotalTimeS float64
+	// Converged is false when pre-copy hit MaxPreCopyRounds because the
+	// dirty rate was too high for the link.
+	Converged bool
+}
+
+// Simulate runs the pre-copy algorithm for a twin over a link of
+// rateMBps megabytes per second.
+func Simulate(vt VTSpec, rateMBps float64, cfg Config) (Result, error) {
+	if err := vt.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if rateMBps <= 0 {
+		return Result{}, fmt.Errorf("migration: link rate must be positive, got %g MB/s", rateMBps)
+	}
+
+	var res Result
+	// Round 0 copies the full footprint; later rounds copy what was
+	// dirtied while the previous round was in flight.
+	toCopy := vt.BaseSizeMB()
+	converged := false
+	for i := 0; i < cfg.MaxPreCopyRounds; i++ {
+		dur := toCopy / rateMBps
+		res.Rounds = append(res.Rounds, Round{CopiedMB: toCopy, DurationS: dur})
+		res.TotalDataMB += toCopy
+		res.TotalTimeS += dur
+
+		dirtied := vt.DirtyRateMBps * dur
+		if dirtied <= cfg.StopCopyThresholdMB {
+			toCopy = dirtied
+			converged = true
+			break
+		}
+		if dirtied >= toCopy {
+			// Diverging: dirty rate outpaces the link; cut over now with
+			// whatever is dirty.
+			toCopy = dirtied
+			break
+		}
+		toCopy = dirtied
+	}
+	res.Converged = converged
+
+	// Stop-and-copy: the twin pauses while the residual moves.
+	res.StopCopyMB = toCopy
+	stopDur := toCopy / rateMBps
+	res.TotalDataMB += toCopy
+	res.DowntimeS = stopDur + cfg.SwitchOverheadS
+	res.TotalTimeS += res.DowntimeS
+	return res, nil
+}
+
+// TotalDataClosedForm returns the geometric-series prediction of the total
+// migrated data for n pre-copy rounds at dirty/link ratio rho = w/r:
+// M·(1 − rho^{n+1})/(1 − rho). It matches Simulate when no threshold
+// triggers early exit, and is used to cross-check the simulator.
+func TotalDataClosedForm(baseMB, rho float64, rounds int) float64 {
+	if rho == 1 {
+		return baseMB * float64(rounds+1)
+	}
+	pow := 1.0
+	for i := 0; i <= rounds; i++ {
+		pow *= rho
+	}
+	return baseMB * (1 - pow) / (1 - rho)
+}

@@ -1,0 +1,161 @@
+package migration
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vtmig/internal/mathx"
+)
+
+func spec(memory, dirty float64) VTSpec {
+	return VTSpec{ConfigMB: 10, MemoryMB: memory, StateMB: 5, DirtyRateMBps: dirty}
+}
+
+func TestZeroDirtyRateSingleRound(t *testing.T) {
+	res, err := Simulate(spec(100, 0), 50, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds = %d, want 1", len(res.Rounds))
+	}
+	if !mathx.AlmostEqual(res.TotalDataMB, 115, 1e-9) {
+		t.Errorf("total data = %v, want 115 (no re-dirtying)", res.TotalDataMB)
+	}
+	if !res.Converged {
+		t.Error("zero dirty rate must converge")
+	}
+	// Downtime is just the switch overhead (nothing left to copy).
+	if !mathx.AlmostEqual(res.DowntimeS, DefaultConfig().SwitchOverheadS, 1e-9) {
+		t.Errorf("downtime = %v, want %v", res.DowntimeS, DefaultConfig().SwitchOverheadS)
+	}
+}
+
+func TestTotalDataGrowsWithDirtyRate(t *testing.T) {
+	cfg := DefaultConfig()
+	slow, err := Simulate(spec(200, 5), 50, cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	fast, err := Simulate(spec(200, 20), 50, cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if fast.TotalDataMB <= slow.TotalDataMB {
+		t.Errorf("dirtier twin must move more data: %v vs %v", fast.TotalDataMB, slow.TotalDataMB)
+	}
+}
+
+func TestHigherRateReducesTimeAndData(t *testing.T) {
+	cfg := DefaultConfig()
+	slow, err := Simulate(spec(200, 10), 25, cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	fast, err := Simulate(spec(200, 10), 100, cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if fast.TotalTimeS >= slow.TotalTimeS {
+		t.Errorf("faster link must finish sooner: %v vs %v", fast.TotalTimeS, slow.TotalTimeS)
+	}
+	if fast.TotalDataMB > slow.TotalDataMB {
+		t.Errorf("faster link must not move more data: %v vs %v", fast.TotalDataMB, slow.TotalDataMB)
+	}
+}
+
+func TestDivergingMigrationCutsOver(t *testing.T) {
+	// Dirty rate ≥ link rate: pre-copy cannot converge.
+	res, err := Simulate(spec(100, 80), 40, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Converged {
+		t.Error("diverging migration reported as converged")
+	}
+	if res.DowntimeS <= DefaultConfig().SwitchOverheadS {
+		t.Error("diverging migration must pay real stop-and-copy downtime")
+	}
+}
+
+func TestMaxRoundsBound(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPreCopyRounds = 3
+	// Dirty rate just below the link rate: each round shrinks slowly.
+	res, err := Simulate(spec(1000, 45), 50, cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.Rounds) > 3 {
+		t.Errorf("rounds = %d, want <= 3", len(res.Rounds))
+	}
+}
+
+func TestClosedFormMatchesSimulation(t *testing.T) {
+	// With a tiny threshold and plenty of rounds, the simulated total must
+	// track the geometric series M(1-ρ^{n+1})/(1-ρ).
+	cfg := Config{StopCopyThresholdMB: 1e-9, MaxPreCopyRounds: 60, SwitchOverheadS: 0}
+	vt := VTSpec{MemoryMB: 100, DirtyRateMBps: 10}
+	rate := 50.0
+	res, err := Simulate(vt, rate, cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	rho := vt.DirtyRateMBps / rate
+	want := TotalDataClosedForm(100, rho, len(res.Rounds))
+	if !mathx.AlmostEqual(res.TotalDataMB, want, 1e-6) {
+		t.Errorf("total data = %v, closed form %v", res.TotalDataMB, want)
+	}
+}
+
+func TestClosedFormRhoOne(t *testing.T) {
+	if got := TotalDataClosedForm(100, 1, 3); got != 400 {
+		t.Errorf("closed form at rho=1 = %v, want 400", got)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	tests := []struct {
+		name string
+		vt   VTSpec
+		rate float64
+		cfg  Config
+	}{
+		{"zero memory", VTSpec{MemoryMB: 0}, 50, cfg},
+		{"negative dirty", VTSpec{MemoryMB: 1, DirtyRateMBps: -1}, 50, cfg},
+		{"zero rate", spec(100, 0), 0, cfg},
+		{"bad threshold", spec(100, 0), 50, Config{StopCopyThresholdMB: 0, MaxPreCopyRounds: 5}},
+		{"bad rounds", spec(100, 0), 50, Config{StopCopyThresholdMB: 1, MaxPreCopyRounds: 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Simulate(tt.vt, tt.rate, tt.cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+// Accounting invariants: total data ≥ footprint, downtime ≤ total time,
+// per-round sum equals pre-copy total.
+func TestAccountingInvariantsProperty(t *testing.T) {
+	f := func(memSeed, dirtySeed, rateSeed uint8) bool {
+		vt := spec(50+float64(memSeed), float64(dirtySeed%60))
+		rate := 20 + float64(rateSeed)
+		res, err := Simulate(vt, rate, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		var preCopy float64
+		for _, r := range res.Rounds {
+			preCopy += r.CopiedMB
+		}
+		return res.TotalDataMB >= vt.BaseSizeMB()-1e-9 &&
+			res.DowntimeS <= res.TotalTimeS+1e-9 &&
+			mathx.AlmostEqual(preCopy+res.StopCopyMB, res.TotalDataMB, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package mobility provides the vehicular substrate of the simulation: a
+// (circular) highway with evenly spaced RSUs of limited coverage, vehicles
+// with simple kinematics, and handover detection — the trigger for VT
+// migrations in the paper's system model.
+package mobility
+
+import (
+	"fmt"
+	"math"
+)
+
+// RSU is one roadside unit.
+type RSU struct {
+	// ID is unique within a highway.
+	ID int
+	// PositionM is the RSU's location along the highway in meters.
+	PositionM float64
+	// RadiusM is the coverage radius in meters.
+	RadiusM float64
+}
+
+// Covers reports whether the RSU covers a position on a highway of the
+// given circular length.
+func (r RSU) Covers(posM, highwayLenM float64) bool {
+	return circularDistance(r.PositionM, posM, highwayLenM) <= r.RadiusM
+}
+
+// Highway is a circular road with RSUs.
+type Highway struct {
+	// LengthM is the circumference in meters.
+	LengthM float64
+	// RSUs are sorted by position.
+	RSUs []RSU
+}
+
+// NewHighway builds a highway of the given length with count RSUs spaced
+// evenly, each with the given coverage radius.
+func NewHighway(lengthM float64, count int, radiusM float64) (*Highway, error) {
+	if lengthM <= 0 {
+		return nil, fmt.Errorf("mobility: highway length must be positive, got %g", lengthM)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("mobility: need at least one RSU, got %d", count)
+	}
+	if radiusM <= 0 {
+		return nil, fmt.Errorf("mobility: coverage radius must be positive, got %g", radiusM)
+	}
+	h := &Highway{LengthM: lengthM}
+	spacing := lengthM / float64(count)
+	for i := 0; i < count; i++ {
+		h.RSUs = append(h.RSUs, RSU{ID: i, PositionM: float64(i) * spacing, RadiusM: radiusM})
+	}
+	return h, nil
+}
+
+// FullCoverage reports whether every highway position is covered by at
+// least one RSU.
+func (h *Highway) FullCoverage() bool {
+	spacing := h.LengthM / float64(len(h.RSUs))
+	// Evenly spaced RSUs cover everything iff radius ≥ spacing/2.
+	return h.RSUs[0].RadiusM >= spacing/2
+}
+
+// NearestRSU returns the RSU closest to the position (by circular
+// distance) and whether that RSU actually covers it.
+func (h *Highway) NearestRSU(posM float64) (RSU, bool) {
+	best := h.RSUs[0]
+	bestDist := circularDistance(best.PositionM, posM, h.LengthM)
+	for _, r := range h.RSUs[1:] {
+		if d := circularDistance(r.PositionM, posM, h.LengthM); d < bestDist {
+			best, bestDist = r, d
+		}
+	}
+	return best, bestDist <= best.RadiusM
+}
+
+// RSUDistance returns the circular distance between two RSUs on the
+// highway — the d of the migration channel model.
+func (h *Highway) RSUDistance(a, b int) float64 {
+	return circularDistance(h.RSUs[a].PositionM, h.RSUs[b].PositionM, h.LengthM)
+}
+
+// Vehicle is one vehicle (and its VMU) moving along the highway.
+type Vehicle struct {
+	// ID is unique within a simulation.
+	ID int
+	// PositionM is the location along the highway in meters.
+	PositionM float64
+	// SpeedMps is the speed in meters per second (non-negative; the
+	// highway is one-way).
+	SpeedMps float64
+}
+
+// Advance moves the vehicle for dt seconds, wrapping at the highway
+// length.
+func (v *Vehicle) Advance(dt, highwayLenM float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("mobility: negative time step %g", dt))
+	}
+	v.PositionM = math.Mod(v.PositionM+v.SpeedMps*dt, highwayLenM)
+	if v.PositionM < 0 {
+		v.PositionM += highwayLenM
+	}
+}
+
+// Handover describes one serving-RSU change.
+type Handover struct {
+	VehicleID int
+	// FromRSU is the previous serving RSU (-1 on first attach).
+	FromRSU int
+	// ToRSU is the new serving RSU.
+	ToRSU int
+}
+
+// Tracker detects handovers by remembering each vehicle's serving RSU.
+// The zero value is not usable; construct with NewTracker.
+type Tracker struct {
+	highway *Highway
+	serving map[int]int
+}
+
+// NewTracker builds a handover tracker for a highway.
+func NewTracker(h *Highway) *Tracker {
+	return &Tracker{highway: h, serving: make(map[int]int)}
+}
+
+// Serving returns the vehicle's current serving RSU id, or -1 when the
+// vehicle has never attached.
+func (t *Tracker) Serving(vehicleID int) int {
+	if id, ok := t.serving[vehicleID]; ok {
+		return id
+	}
+	return -1
+}
+
+// Update re-evaluates the serving RSU for a vehicle and returns a
+// handover event if it changed. The first attach also reports a handover
+// with FromRSU = -1.
+func (t *Tracker) Update(v *Vehicle) (Handover, bool) {
+	rsu, _ := t.highway.NearestRSU(v.PositionM)
+	prev, attached := t.serving[v.ID]
+	if attached && prev == rsu.ID {
+		return Handover{}, false
+	}
+	t.serving[v.ID] = rsu.ID
+	from := -1
+	if attached {
+		from = prev
+	}
+	return Handover{VehicleID: v.ID, FromRSU: from, ToRSU: rsu.ID}, true
+}
+
+// circularDistance returns the shortest distance between two positions on
+// a circle of the given circumference.
+func circularDistance(a, b, circumference float64) float64 {
+	d := math.Abs(a - b)
+	d = math.Mod(d, circumference)
+	if d > circumference/2 {
+		d = circumference - d
+	}
+	return d
+}

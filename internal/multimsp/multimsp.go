@@ -1,0 +1,270 @@
+// Package multimsp implements the paper's stated future-work extension:
+// multiple Metaverse Service Providers competing to sell migration
+// bandwidth to the same VMU population. Each MSP posts a unit price; every
+// VMU purchases its best-response bandwidth from the provider that
+// maximizes its utility (with deterministic round-robin tie-breaking), and
+// over-subscribed providers admit demand proportionally.
+//
+// Price competition is resolved by iterated best response over a price
+// grid (the profit function is discontinuous when a provider undercuts a
+// rival, so grid search replaces the golden-section search used in the
+// monopoly case). The package lets the experiments harness contrast the
+// monopoly equilibrium of the base paper with Bertrand-style competition.
+package multimsp
+
+import (
+	"fmt"
+	"math"
+
+	"vtmig/internal/channel"
+	"vtmig/internal/mathx"
+	"vtmig/internal/stackelberg"
+)
+
+// MSP is one competing provider.
+type MSP struct {
+	// ID is unique within a market.
+	ID int
+	// Cost is the provider's unit transmission cost.
+	Cost float64
+	// BMax is the provider's bandwidth pool in MHz (<= 0: unconstrained).
+	BMax float64
+}
+
+// Validate reports whether the MSP parameters are admissible.
+func (m MSP) Validate() error {
+	if m.Cost <= 0 {
+		return fmt.Errorf("multimsp: MSP %d: cost must be positive, got %g", m.ID, m.Cost)
+	}
+	return nil
+}
+
+// Market is a multi-provider bandwidth market.
+type Market struct {
+	// MSPs are the competing providers.
+	MSPs []MSP
+	// VMUs are the buyers (same follower model as the base game).
+	VMUs []stackelberg.VMU
+	// Channel is the shared RSU-to-RSU link model.
+	Channel channel.Params
+	// PMax caps every provider's price.
+	PMax float64
+}
+
+// NewMarket constructs a validated market.
+func NewMarket(msps []MSP, vmus []stackelberg.VMU, ch channel.Params, pmax float64) (*Market, error) {
+	mkt := &Market{MSPs: msps, VMUs: vmus, Channel: ch, PMax: pmax}
+	if err := mkt.Validate(); err != nil {
+		return nil, err
+	}
+	return mkt, nil
+}
+
+// Validate reports whether the market is admissible.
+func (m *Market) Validate() error {
+	if len(m.MSPs) == 0 {
+		return fmt.Errorf("multimsp: market needs at least one MSP")
+	}
+	if len(m.VMUs) == 0 {
+		return fmt.Errorf("multimsp: market needs at least one VMU")
+	}
+	seen := make(map[int]bool, len(m.MSPs))
+	for _, p := range m.MSPs {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("multimsp: duplicate MSP id %d", p.ID)
+		}
+		seen[p.ID] = true
+		if m.PMax <= p.Cost {
+			return fmt.Errorf("multimsp: pmax %g must exceed MSP %d cost %g", m.PMax, p.ID, p.Cost)
+		}
+	}
+	for _, v := range m.VMUs {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+	}
+	return m.Channel.Validate()
+}
+
+// Outcome reports the market state for one price vector.
+type Outcome struct {
+	// Prices are the posted prices, indexed like MSPs.
+	Prices []float64
+	// Assignment maps each VMU index to the chosen MSP index (-1 when the
+	// VMU opts out everywhere).
+	Assignment []int
+	// Demands are the admitted bandwidth purchases per VMU.
+	Demands []float64
+	// MSPUtilities are each provider's profits.
+	MSPUtilities []float64
+	// VMUUtilities are the buyers' utilities.
+	VMUUtilities []float64
+}
+
+// vmuBestResponse mirrors the base game's Eq. (8) for an arbitrary price.
+func (m *Market) vmuBestResponse(n int, price float64) float64 {
+	v := m.VMUs[n]
+	b := v.Alpha/price - v.DataSize/m.Channel.SpectralEfficiency()
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// vmuUtility mirrors the base game's Eq. (2).
+func (m *Market) vmuUtility(n int, bandwidth, price float64) float64 {
+	if bandwidth == 0 {
+		return 0
+	}
+	v := m.VMUs[n]
+	e := m.Channel.SpectralEfficiency()
+	return v.Alpha*math.Log(1+bandwidth*e/v.DataSize) - price*bandwidth
+}
+
+// Evaluate computes the market outcome for a posted price vector: each VMU
+// selects the utility-maximizing provider (round-robin on ties), then each
+// provider proportionally admits demand up to its capacity.
+func (m *Market) Evaluate(prices []float64) Outcome {
+	if len(prices) != len(m.MSPs) {
+		panic(fmt.Sprintf("multimsp: price vector length %d, want %d", len(prices), len(m.MSPs)))
+	}
+	out := Outcome{
+		Prices:       append([]float64(nil), prices...),
+		Assignment:   make([]int, len(m.VMUs)),
+		Demands:      make([]float64, len(m.VMUs)),
+		MSPUtilities: make([]float64, len(m.MSPs)),
+		VMUUtilities: make([]float64, len(m.VMUs)),
+	}
+
+	// Provider selection with deterministic round-robin tie-breaking.
+	tieRotor := 0
+	for n := range m.VMUs {
+		best := -1
+		bestU := 0.0 // opting out yields 0
+		var ties []int
+		for j, p := range prices {
+			b := m.vmuBestResponse(n, p)
+			if b <= 0 {
+				continue
+			}
+			u := m.vmuUtility(n, b, p)
+			switch {
+			case u > bestU+1e-12:
+				best, bestU = j, u
+				ties = ties[:0]
+				ties = append(ties, j)
+			case best >= 0 && mathx.AlmostEqual(u, bestU, 1e-12):
+				ties = append(ties, j)
+			}
+		}
+		if len(ties) > 1 {
+			best = ties[tieRotor%len(ties)]
+			tieRotor++
+		}
+		out.Assignment[n] = best
+		if best >= 0 {
+			out.Demands[n] = m.vmuBestResponse(n, prices[best])
+		}
+	}
+
+	// Capacity admission per provider.
+	for j, msp := range m.MSPs {
+		if msp.BMax <= 0 {
+			continue
+		}
+		var total float64
+		for n, a := range out.Assignment {
+			if a == j {
+				total += out.Demands[n]
+			}
+		}
+		if total > msp.BMax {
+			scale := msp.BMax / total
+			for n, a := range out.Assignment {
+				if a == j {
+					out.Demands[n] *= scale
+				}
+			}
+		}
+	}
+
+	// Utilities.
+	for n, a := range out.Assignment {
+		if a < 0 {
+			continue
+		}
+		out.VMUUtilities[n] = m.vmuUtility(n, out.Demands[n], prices[a])
+		out.MSPUtilities[a] += (prices[a] - m.MSPs[a].Cost) * out.Demands[n]
+	}
+	return out
+}
+
+// EquilibriumResult reports the price-competition fixed point.
+type EquilibriumResult struct {
+	// Outcome is the market state at the final prices.
+	Outcome Outcome
+	// Iterations is the number of best-response sweeps performed.
+	Iterations int
+	// Converged is false when the dynamics still cycled at the sweep cap
+	// (possible in Bertrand-style games at grid resolution).
+	Converged bool
+}
+
+// SolvePriceCompetition runs iterated best response over a price grid:
+// each provider in turn picks the grid price maximizing its profit given
+// the rivals' prices, until no provider moves or maxSweeps is reached.
+func (m *Market) SolvePriceCompetition(gridN, maxSweeps int) EquilibriumResult {
+	if gridN < 2 {
+		panic(fmt.Sprintf("multimsp: gridN must be >= 2, got %d", gridN))
+	}
+	if maxSweeps < 1 {
+		panic(fmt.Sprintf("multimsp: maxSweeps must be >= 1, got %d", maxSweeps))
+	}
+	prices := make([]float64, len(m.MSPs))
+	for j := range prices {
+		prices[j] = m.PMax // start from the monopoly-friendly top
+	}
+	var sweeps int
+	converged := false
+	for sweeps = 0; sweeps < maxSweeps; sweeps++ {
+		moved := false
+		for j, msp := range m.MSPs {
+			grid := mathx.Linspace(msp.Cost, m.PMax, gridN)
+			bestP, bestU := prices[j], math.Inf(-1)
+			for _, p := range grid {
+				trial := append([]float64(nil), prices...)
+				trial[j] = p
+				u := m.Evaluate(trial).MSPUtilities[j]
+				if u > bestU+1e-12 {
+					bestU, bestP = u, p
+				}
+			}
+			if bestP != prices[j] {
+				prices[j] = bestP
+				moved = true
+			}
+		}
+		if !moved {
+			converged = true
+			break
+		}
+	}
+	return EquilibriumResult{
+		Outcome:    m.Evaluate(prices),
+		Iterations: sweeps,
+		Converged:  converged,
+	}
+}
+
+// MonopolyBenchmark solves the single-MSP Stackelberg game over the same
+// VMUs (using the first MSP's cost and capacity) for comparison.
+func (m *Market) MonopolyBenchmark() (stackelberg.Equilibrium, error) {
+	g, err := stackelberg.NewGame(m.VMUs, m.Channel, m.MSPs[0].Cost, m.PMax, m.MSPs[0].BMax)
+	if err != nil {
+		return stackelberg.Equilibrium{}, err
+	}
+	return g.Solve(), nil
+}

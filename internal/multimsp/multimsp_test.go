@@ -1,0 +1,195 @@
+package multimsp
+
+import (
+	"testing"
+
+	"vtmig/internal/aotm"
+	"vtmig/internal/channel"
+	"vtmig/internal/mathx"
+	"vtmig/internal/stackelberg"
+)
+
+func benchmarkVMUs() []stackelberg.VMU {
+	return []stackelberg.VMU{
+		{ID: 0, Alpha: 5, DataSize: aotm.FromMB(200)},
+		{ID: 1, Alpha: 5, DataSize: aotm.FromMB(100)},
+	}
+}
+
+func duopoly(t *testing.T) *Market {
+	t.Helper()
+	m, err := NewMarket(
+		[]MSP{{ID: 0, Cost: 5, BMax: 0.5}, {ID: 1, Cost: 5, BMax: 0.5}},
+		benchmarkVMUs(), channel.DefaultParams(), 50,
+	)
+	if err != nil {
+		t.Fatalf("NewMarket: %v", err)
+	}
+	return m
+}
+
+func TestMarketValidation(t *testing.T) {
+	ch := channel.DefaultParams()
+	vmus := benchmarkVMUs()
+	tests := []struct {
+		name string
+		msps []MSP
+		vmus []stackelberg.VMU
+		pmax float64
+	}{
+		{"no MSPs", nil, vmus, 50},
+		{"no VMUs", []MSP{{ID: 0, Cost: 5}}, nil, 50},
+		{"dup MSP ids", []MSP{{ID: 0, Cost: 5}, {ID: 0, Cost: 6}}, vmus, 50},
+		{"zero cost", []MSP{{ID: 0, Cost: 0}}, vmus, 50},
+		{"pmax below cost", []MSP{{ID: 0, Cost: 5}}, vmus, 5},
+		{"bad vmu", []MSP{{ID: 0, Cost: 5}}, []stackelberg.VMU{{ID: 0, Alpha: 0, DataSize: 1}}, 50},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewMarket(tt.msps, tt.vmus, ch, tt.pmax); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestVMUsPickCheaperProvider(t *testing.T) {
+	m := duopoly(t)
+	out := m.Evaluate([]float64{30, 20})
+	for n, a := range out.Assignment {
+		if a != 1 {
+			t.Errorf("VMU %d chose MSP %d, want 1 (cheaper)", n, a)
+		}
+	}
+	if out.MSPUtilities[0] != 0 {
+		t.Errorf("undercut MSP earned %v, want 0", out.MSPUtilities[0])
+	}
+	if out.MSPUtilities[1] <= 0 {
+		t.Errorf("cheap MSP earned %v, want > 0", out.MSPUtilities[1])
+	}
+}
+
+func TestTieBreakingSplitsLoad(t *testing.T) {
+	m := duopoly(t)
+	out := m.Evaluate([]float64{20, 20})
+	// Round-robin tie-breaking must not send everyone to one provider.
+	if out.Assignment[0] == out.Assignment[1] {
+		t.Errorf("equal prices sent both VMUs to MSP %d", out.Assignment[0])
+	}
+}
+
+func TestOptOutAtExtremePrices(t *testing.T) {
+	m, err := NewMarket(
+		[]MSP{{ID: 0, Cost: 5}},
+		[]stackelberg.VMU{{ID: 0, Alpha: 5, DataSize: 50}}, // huge twin
+		channel.DefaultParams(), 50,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Evaluate([]float64{50})
+	if out.Assignment[0] != -1 {
+		t.Errorf("assignment = %d, want -1 (opt out)", out.Assignment[0])
+	}
+	if out.Demands[0] != 0 || out.VMUUtilities[0] != 0 {
+		t.Errorf("opted-out VMU has demand %v, utility %v", out.Demands[0], out.VMUUtilities[0])
+	}
+}
+
+func TestCapacityAdmissionScales(t *testing.T) {
+	m, err := NewMarket(
+		[]MSP{{ID: 0, Cost: 5, BMax: 0.05}}, // tiny pool
+		benchmarkVMUs(), channel.DefaultParams(), 50,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Evaluate([]float64{10})
+	if got := mathx.Sum(out.Demands); got > 0.05+1e-9 {
+		t.Errorf("admitted %v MHz, exceeds BMax 0.05", got)
+	}
+}
+
+func TestCompetitionDrivesPricesDown(t *testing.T) {
+	m := duopoly(t)
+	res := m.SolvePriceCompetition(200, 60)
+	mono, err := m.MonopolyBenchmark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range res.Outcome.Prices {
+		if p >= mono.Price {
+			t.Errorf("MSP %d competitive price %v must be below monopoly %v", j, p, mono.Price)
+		}
+	}
+	// Buyers must be better off under competition.
+	if compTotal, monoTotal := mathx.Sum(res.Outcome.VMUUtilities), mathx.Sum(mono.VMUUtilities); compTotal <= monoTotal {
+		t.Errorf("competition VMU utility %v must exceed monopoly %v", compTotal, monoTotal)
+	}
+}
+
+func TestBertrandPricesApproachCost(t *testing.T) {
+	// With equal costs and ample capacity, undercutting drives prices
+	// near cost (within grid resolution).
+	m, err := NewMarket(
+		[]MSP{{ID: 0, Cost: 5}, {ID: 1, Cost: 5}},
+		benchmarkVMUs(), channel.DefaultParams(), 50,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.SolvePriceCompetition(400, 100)
+	for j, p := range res.Outcome.Prices {
+		if p > 5+(50-5)/399.0*4+1e-9 { // within a few grid steps of cost
+			t.Errorf("MSP %d price %v did not approach cost 5", j, p)
+		}
+	}
+}
+
+func TestSingleMSPRecoversMonopoly(t *testing.T) {
+	m, err := NewMarket(
+		[]MSP{{ID: 0, Cost: 5, BMax: 0.5}},
+		benchmarkVMUs(), channel.DefaultParams(), 50,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.SolvePriceCompetition(2000, 10)
+	mono, err := m.MonopolyBenchmark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(res.Outcome.Prices[0], mono.Price, 0.05) {
+		t.Errorf("single-provider competitive price %v, monopoly %v", res.Outcome.Prices[0], mono.Price)
+	}
+	if !res.Converged {
+		t.Error("single-provider dynamics must converge")
+	}
+}
+
+func TestSolverValidation(t *testing.T) {
+	m := duopoly(t)
+	for _, tc := range []struct {
+		name            string
+		grid, maxSweeps int
+	}{{"bad grid", 1, 10}, {"bad sweeps", 10, 0}} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			m.SolvePriceCompetition(tc.grid, tc.maxSweeps)
+		})
+	}
+}
+
+func TestEvaluatePriceLengthPanics(t *testing.T) {
+	m := duopoly(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong price vector length did not panic")
+		}
+	}()
+	m.Evaluate([]float64{10})
+}

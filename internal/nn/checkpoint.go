@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Checkpoint is a serializable snapshot of named parameter values.
+type Checkpoint struct {
+	// Params maps parameter names to their flat values.
+	Params map[string][]float64 `json:"params"`
+}
+
+// Snapshot captures the current values of params into a Checkpoint.
+// Parameter names must be unique.
+func Snapshot(params []*Param) (*Checkpoint, error) {
+	ck := &Checkpoint{Params: make(map[string][]float64, len(params))}
+	for _, p := range params {
+		if _, dup := ck.Params[p.Name]; dup {
+			return nil, fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		v := make([]float64, len(p.Value))
+		copy(v, p.Value)
+		ck.Params[p.Name] = v
+	}
+	return ck, nil
+}
+
+// Restore copies checkpointed values into the matching parameters. Every
+// parameter must be present in the checkpoint with the right length.
+func (c *Checkpoint) Restore(params []*Param) error {
+	for _, p := range params {
+		v, ok := c.Params[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint missing parameter %q", p.Name)
+		}
+		if len(v) != len(p.Value) {
+			return fmt.Errorf("nn: checkpoint parameter %q has length %d, want %d", p.Name, len(v), len(p.Value))
+		}
+		copy(p.Value, v)
+	}
+	return nil
+}
+
+// Save writes the checkpoint as JSON.
+func (c *Checkpoint) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("nn: encoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a JSON checkpoint.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("nn: decoding checkpoint: %w", err)
+	}
+	return &c, nil
+}

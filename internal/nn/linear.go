@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"math/rand"
+
+	"vtmig/internal/mat"
+)
+
+// Linear is a fully connected layer: y = W·x + b.
+type Linear struct {
+	in, out int
+	w       *Param // out×in, row-major
+	b       *Param // out
+
+	// caches for backward
+	lastX   []float64
+	outBuf  []float64
+	gradBuf []float64
+}
+
+var _ Module = (*Linear)(nil)
+
+// NewLinear returns a Linear layer with Xavier-uniform weights and zero
+// biases. The name prefixes the parameter names ("<name>.W", "<name>.b").
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		in:      in,
+		out:     out,
+		w:       newParam(name+".W", in*out),
+		b:       newParam(name+".b", out),
+		lastX:   make([]float64, in),
+		outBuf:  make([]float64, out),
+		gradBuf: make([]float64, in),
+	}
+	mat.FromSlice(out, in, l.w.Value).XavierInit(rng, in, out)
+	return l
+}
+
+// Forward computes W·x + b.
+func (l *Linear) Forward(x []float64) []float64 {
+	checkLen("Linear", "input", len(x), l.in)
+	copy(l.lastX, x)
+	w := mat.FromSlice(l.out, l.in, l.w.Value)
+	w.MulVec(x, l.outBuf)
+	mat.AddInto(l.outBuf, l.outBuf, l.b.Value)
+	return l.outBuf
+}
+
+// Backward accumulates dW += grad ⊗ x and db += grad, and returns Wᵀ·grad.
+func (l *Linear) Backward(grad []float64) []float64 {
+	checkLen("Linear", "output grad", len(grad), l.out)
+	gw := mat.FromSlice(l.out, l.in, l.w.Grad)
+	gw.AddOuterScaled(grad, l.lastX, 1)
+	mat.AddInto(l.b.Grad, l.b.Grad, grad)
+	w := mat.FromSlice(l.out, l.in, l.w.Value)
+	w.MulVecT(grad, l.gradBuf)
+	return l.gradBuf
+}
+
+// Params returns the weight and bias parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.w, l.b} }
+
+// InDim returns the input width.
+func (l *Linear) InDim() int { return l.in }
+
+// OutDim returns the output width.
+func (l *Linear) OutDim() int { return l.out }

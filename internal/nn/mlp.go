@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MLP is a multi-layer perceptron: a stack of Linear layers with an
+// element-wise activation between consecutive layers. The output layer is
+// linear (no activation), the usual choice for regression heads and policy
+// means.
+type MLP struct {
+	modules []Module
+	params  []*Param
+	in, out int
+}
+
+var _ Module = (*MLP)(nil)
+
+// NewMLP builds an MLP with the given layer sizes. sizes[0] is the input
+// width, sizes[len-1] the output width; every in-between entry is a hidden
+// layer followed by the activation. The paper's network is
+// NewMLP("pi", []int{obs, 64, 64, 1}, ActTanh, rng).
+func NewMLP(name string, sizes []int, hidden Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: NewMLP needs at least 2 sizes, got %d", len(sizes)))
+	}
+	m := &MLP{in: sizes[0], out: sizes[len(sizes)-1]}
+	for i := 0; i < len(sizes)-1; i++ {
+		lin := NewLinear(fmt.Sprintf("%s.l%d", name, i), sizes[i], sizes[i+1], rng)
+		m.modules = append(m.modules, lin)
+		if i < len(sizes)-2 {
+			m.modules = append(m.modules, NewActivation(hidden, sizes[i+1]))
+		}
+	}
+	for _, mod := range m.modules {
+		m.params = append(m.params, mod.Params()...)
+	}
+	return m
+}
+
+// Forward runs the input through every layer.
+func (m *MLP) Forward(x []float64) []float64 {
+	h := x
+	for _, mod := range m.modules {
+		h = mod.Forward(h)
+	}
+	return h
+}
+
+// Backward propagates the output gradient back through every layer and
+// returns the gradient with respect to the input.
+func (m *MLP) Backward(grad []float64) []float64 {
+	g := grad
+	for i := len(m.modules) - 1; i >= 0; i-- {
+		g = m.modules[i].Backward(g)
+	}
+	return g
+}
+
+// Params returns all learnable parameters in layer order.
+func (m *MLP) Params() []*Param { return m.params }
+
+// InDim returns the input width.
+func (m *MLP) InDim() int { return m.in }
+
+// OutDim returns the output width.
+func (m *MLP) OutDim() int { return m.out }

@@ -1,0 +1,63 @@
+// Package nn implements the small feed-forward neural-network substrate
+// used by the DRL incentive mechanism: linear layers, activations,
+// multi-layer perceptrons with manual backpropagation, gradient clipping,
+// optimizers (SGD, Adam), and checkpointing.
+//
+// The package is sample-at-a-time: a call to Backward consumes the caches
+// written by the immediately preceding call to Forward on the same module.
+// Callers that process minibatches interleave Forward/Backward per sample
+// and let gradients accumulate, then apply an optimizer step.
+package nn
+
+import "fmt"
+
+// Param is one learnable tensor: a flat value slice and its accumulated
+// gradient. Optimizers mutate Value in place; Backward accumulates into
+// Grad; ZeroGrads resets Grad.
+type Param struct {
+	// Name identifies the parameter for checkpoints, e.g. "trunk.l0.W".
+	Name string
+	// Value is the flat parameter storage (row-major for matrices).
+	Value []float64
+	// Grad is the accumulated gradient, same length as Value.
+	Grad []float64
+}
+
+// newParam allocates a named parameter of length n with zero value and
+// gradient.
+func newParam(name string, n int) *Param {
+	return &Param{Name: name, Value: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// ZeroGrads resets the gradient of every parameter to zero.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// Module is a differentiable computation with learnable parameters.
+type Module interface {
+	// Forward computes the module output for input x and caches whatever
+	// Backward needs. The returned slice is owned by the module and is
+	// overwritten by the next Forward call.
+	Forward(x []float64) []float64
+	// Backward takes dLoss/dOutput, accumulates parameter gradients, and
+	// returns dLoss/dInput. It must be called after a matching Forward.
+	// The returned slice is owned by the module.
+	Backward(grad []float64) []float64
+	// Params returns the module's learnable parameters.
+	Params() []*Param
+	// InDim and OutDim report the expected input and output widths.
+	InDim() int
+	OutDim() int
+}
+
+// checkLen panics when a slice given to a module has the wrong length.
+func checkLen(module string, what string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("nn: %s %s length %d, want %d", module, what, got, want))
+	}
+}

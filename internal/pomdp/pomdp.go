@@ -1,0 +1,260 @@
+// Package pomdp wraps the Stackelberg pricing game as the partially
+// observable Markov decision process of Section IV: the MSP agent observes
+// only the last L rounds of (price, bandwidth-demand) pairs, acts by
+// choosing the next unit bandwidth price in [C, pmax], and receives the
+// binary reward of Eq. (12).
+package pomdp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vtmig/internal/rl"
+	"vtmig/internal/stackelberg"
+)
+
+// RewardKind selects the reward signal.
+type RewardKind int
+
+const (
+	// RewardBinary is Eq. (12): R = 1 when the MSP's utility reaches a new
+	// episode-best, else 0.
+	RewardBinary RewardKind = iota + 1
+	// RewardShaped is the ablation variant: the MSP's utility normalized
+	// by the closed-form equilibrium utility, a dense signal in ≈[0, 1].
+	RewardShaped
+)
+
+// String returns the reward kind's name.
+func (r RewardKind) String() string {
+	switch r {
+	case RewardBinary:
+		return "binary"
+	case RewardShaped:
+		return "shaped"
+	default:
+		return fmt.Sprintf("RewardKind(%d)", int(r))
+	}
+}
+
+// Config parameterizes the environment.
+type Config struct {
+	// Game is the underlying Stackelberg game.
+	Game *stackelberg.Game
+	// HistoryLen is L, the number of past rounds in the observation
+	// (paper: 4).
+	HistoryLen int
+	// Rounds is K, the episode length (paper: 100).
+	Rounds int
+	// Reward selects the reward signal (paper: RewardBinary).
+	Reward RewardKind
+	// ResetBestPerEpisode resets the U_best reference of Eq. (12) at every
+	// episode boundary. The paper defines U_best as "the highest utility
+	// that the MSP has obtained until round k", i.e. persistent across the
+	// whole training run (false, the default) — with a per-episode reset
+	// the binary reward degenerates: any constant price trivially matches
+	// its own best every round.
+	ResetBestPerEpisode bool
+	// BestTolFrac widens Eq. (12) to R = 1{U_s ≥ U_best·(1 − tol)}: with a
+	// continuous action space, bit-exact equality with the historical best
+	// is unreachable, so a small band is required for the return to reach
+	// the max round K as in Fig. 2(a). Zero selects the default (1e-3);
+	// negative values demand exact ≥.
+	BestTolFrac float64
+	// Seed drives the random initial history of each episode.
+	Seed int64
+}
+
+// defaultBestTolFrac is the tolerance band applied when BestTolFrac == 0.
+// 0.3 % keeps the reward discriminating (converged prices land within
+// ≈1–3 price units of the optimum, costing <0.1 % utility) while staying
+// dense enough for PPO to find the band in the capacity-bound regime of
+// Fig. 3(c).
+const defaultBestTolFrac = 3e-3
+
+// bestTolFrac resolves the configured tolerance.
+func (c Config) bestTolFrac() float64 {
+	if c.BestTolFrac == 0 {
+		return defaultBestTolFrac
+	}
+	if c.BestTolFrac < 0 {
+		return 0
+	}
+	return c.BestTolFrac
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Game == nil {
+		return fmt.Errorf("pomdp: nil game")
+	}
+	if err := c.Game.Validate(); err != nil {
+		return err
+	}
+	if c.HistoryLen <= 0 {
+		return fmt.Errorf("pomdp: history length must be positive, got %d", c.HistoryLen)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("pomdp: rounds must be positive, got %d", c.Rounds)
+	}
+	switch c.Reward {
+	case RewardBinary, RewardShaped:
+	default:
+		return fmt.Errorf("pomdp: unknown reward kind %d", int(c.Reward))
+	}
+	return nil
+}
+
+// GameEnv is the POMDP. It implements rl.Env.
+type GameEnv struct {
+	cfg  Config
+	game *stackelberg.Game
+	rng  *rand.Rand
+
+	// history holds the last L rounds, oldest first; each entry is a
+	// normalized (price, demands...) record of width 1+N.
+	history [][]float64
+	round   int
+	bestUs  float64
+	// oracleUs is the closed-form equilibrium utility used for reward
+	// shaping and regret reporting.
+	oracleUs float64
+
+	last stackelberg.Equilibrium
+	obs  []float64
+}
+
+var _ rl.Env = (*GameEnv)(nil)
+
+// NewGameEnv builds the environment.
+func NewGameEnv(cfg Config) (*GameEnv, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	env := &GameEnv{
+		cfg:      cfg,
+		game:     cfg.Game,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		oracleUs: cfg.Game.Solve().MSPUtility,
+		bestUs:   math.Inf(-1),
+	}
+	env.obs = make([]float64, env.ObsDim())
+	return env, nil
+}
+
+// ObsDim is L × (1 + N): L rounds of one price plus N demands.
+func (e *GameEnv) ObsDim() int { return e.cfg.HistoryLen * (1 + e.game.N()) }
+
+// ActDim is 1: the unit bandwidth price.
+func (e *GameEnv) ActDim() int { return 1 }
+
+// ActionBounds returns [C, pmax], the action space of Section IV-A.2.
+func (e *GameEnv) ActionBounds() (lo, hi []float64) {
+	return []float64{e.game.Cost}, []float64{e.game.PMax}
+}
+
+// Rounds returns K.
+func (e *GameEnv) Rounds() int { return e.cfg.Rounds }
+
+// OracleUtility returns the closed-form Stackelberg-equilibrium MSP
+// utility, the dashed reference line of Fig. 2(b).
+func (e *GameEnv) OracleUtility() float64 { return e.oracleUs }
+
+// Reset starts a new episode with a random initial history (the paper
+// generates p_{k-L}, b_{k-L} randomly during the initial stage).
+func (e *GameEnv) Reset() []float64 {
+	e.round = 0
+	if e.cfg.ResetBestPerEpisode {
+		e.bestUs = math.Inf(-1)
+	}
+	e.history = e.history[:0]
+	for i := 0; i < e.cfg.HistoryLen; i++ {
+		price := e.game.Cost + e.rng.Float64()*(e.game.PMax-e.game.Cost)
+		eq := e.game.Evaluate(price)
+		e.history = append(e.history, e.record(eq))
+	}
+	return e.buildObs()
+}
+
+// Step applies the pricing action, lets the followers best-respond, and
+// returns the next observation, the reward, and episode termination.
+func (e *GameEnv) Step(action []float64) ([]float64, float64, bool) {
+	if len(action) != 1 {
+		panic(fmt.Sprintf("pomdp: action length %d, want 1", len(action)))
+	}
+	if e.round >= e.cfg.Rounds {
+		panic("pomdp: Step called on finished episode; call Reset")
+	}
+	eq := e.game.Evaluate(action[0])
+	e.last = eq
+
+	var reward float64
+	switch e.cfg.Reward {
+	case RewardBinary:
+		// Eq. (12): reward 1 iff the utility reaches the historical best,
+		// within the configured tolerance band.
+		threshold := e.bestUs
+		if tol := e.cfg.bestTolFrac(); tol > 0 && !math.IsInf(threshold, -1) {
+			threshold -= tol * math.Max(math.Abs(e.bestUs), 1)
+		}
+		if eq.MSPUtility >= threshold {
+			reward = 1
+		}
+	case RewardShaped:
+		if e.oracleUs > 0 {
+			reward = eq.MSPUtility / e.oracleUs
+		} else {
+			reward = eq.MSPUtility
+		}
+	}
+	if eq.MSPUtility > e.bestUs {
+		e.bestUs = eq.MSPUtility
+	}
+
+	// Slide the history window.
+	copy(e.history, e.history[1:])
+	e.history[len(e.history)-1] = e.record(eq)
+
+	e.round++
+	done := e.round >= e.cfg.Rounds
+	return e.buildObs(), reward, done
+}
+
+// LastOutcome returns the full equilibrium report of the most recent round
+// (for metric collection).
+func (e *GameEnv) LastOutcome() stackelberg.Equilibrium { return e.last }
+
+// BestUtility returns the best MSP utility seen this episode.
+func (e *GameEnv) BestUtility() float64 { return e.bestUs }
+
+// record normalizes one round's outcome into an observation row: the
+// price mapped to [0,1] over [C, pmax] and each demand divided by a
+// bandwidth reference scale.
+func (e *GameEnv) record(eq stackelberg.Equilibrium) []float64 {
+	row := make([]float64, 1+e.game.N())
+	row[0] = (eq.Price - e.game.Cost) / (e.game.PMax - e.game.Cost)
+	ref := e.demandScale()
+	for n, b := range eq.Demands {
+		row[1+n] = b / ref
+	}
+	return row
+}
+
+// demandScale returns the normalization constant for demands: Bmax when
+// configured, otherwise the demand at the minimum price (an upper bound).
+func (e *GameEnv) demandScale() float64 {
+	if e.game.BMax > 0 {
+		return e.game.BMax
+	}
+	return e.game.TotalDemand(e.game.Cost) + 1e-9
+}
+
+// buildObs flattens the history window, oldest round first.
+func (e *GameEnv) buildObs() []float64 {
+	i := 0
+	for _, row := range e.history {
+		i += copy(e.obs[i:], row)
+	}
+	return e.obs
+}

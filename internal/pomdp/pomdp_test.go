@@ -1,0 +1,298 @@
+package pomdp
+
+import (
+	"math"
+	"testing"
+
+	"vtmig/internal/mathx"
+	"vtmig/internal/stackelberg"
+)
+
+func newEnv(t *testing.T, mutate func(*Config)) *GameEnv {
+	t.Helper()
+	cfg := Config{
+		Game:       stackelberg.DefaultGame(),
+		HistoryLen: 4,
+		Rounds:     100,
+		Reward:     RewardBinary,
+		Seed:       1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	env, err := NewGameEnv(cfg)
+	if err != nil {
+		t.Fatalf("NewGameEnv: %v", err)
+	}
+	return env
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil game", func(c *Config) { c.Game = nil }},
+		{"zero history", func(c *Config) { c.HistoryLen = 0 }},
+		{"zero rounds", func(c *Config) { c.Rounds = 0 }},
+		{"bad reward", func(c *Config) { c.Reward = RewardKind(0) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Config{
+				Game:       stackelberg.DefaultGame(),
+				HistoryLen: 4,
+				Rounds:     100,
+				Reward:     RewardBinary,
+			}
+			tt.mutate(&cfg)
+			if _, err := NewGameEnv(cfg); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestObsDimMatchesPaper(t *testing.T) {
+	// L=4, N=2 ⇒ observation width 4×(1+2) = 12.
+	env := newEnv(t, nil)
+	if got := env.ObsDim(); got != 12 {
+		t.Errorf("ObsDim = %d, want 12", got)
+	}
+	if got := len(env.Reset()); got != 12 {
+		t.Errorf("len(Reset()) = %d, want 12", got)
+	}
+}
+
+func TestActionBoundsArePriceRange(t *testing.T) {
+	env := newEnv(t, nil)
+	lo, hi := env.ActionBounds()
+	if lo[0] != 5 || hi[0] != 50 {
+		t.Errorf("bounds = [%v, %v], want [5, 50]", lo[0], hi[0])
+	}
+	if env.ActDim() != 1 {
+		t.Errorf("ActDim = %d, want 1", env.ActDim())
+	}
+}
+
+func TestObservationsNormalized(t *testing.T) {
+	env := newEnv(t, nil)
+	obs := env.Reset()
+	for i := 0; i < 50; i++ {
+		for j, v := range obs {
+			if v < -1e-9 || v > 1.5 {
+				t.Fatalf("obs[%d] = %v outside normalized range", j, v)
+			}
+		}
+		obs, _, _ = env.Step([]float64{5 + float64(i%45)})
+	}
+}
+
+func TestEpisodeTerminatesAfterKRounds(t *testing.T) {
+	env := newEnv(t, func(c *Config) { c.Rounds = 5 })
+	env.Reset()
+	var done bool
+	for k := 0; k < 5; k++ {
+		if done {
+			t.Fatalf("done before round %d", k)
+		}
+		_, _, done = env.Step([]float64{25})
+	}
+	if !done {
+		t.Error("episode not done after K rounds")
+	}
+}
+
+func TestStepAfterDonePanics(t *testing.T) {
+	env := newEnv(t, func(c *Config) { c.Rounds = 1 })
+	env.Reset()
+	env.Step([]float64{25})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step after done did not panic")
+		}
+	}()
+	env.Step([]float64{25})
+}
+
+func TestBinaryRewardSemantics(t *testing.T) {
+	env := newEnv(t, nil)
+	env.Reset()
+	// First round always achieves a new best ⇒ reward 1.
+	_, r1, _ := env.Step([]float64{20})
+	if r1 != 1 {
+		t.Errorf("first-round reward = %v, want 1", r1)
+	}
+	// A clearly worse price ⇒ reward 0.
+	_, r2, _ := env.Step([]float64{5.01})
+	if r2 != 0 {
+		t.Errorf("worse-price reward = %v, want 0", r2)
+	}
+	// Matching/improving the best ⇒ reward 1 (Eq. 12 uses ≥).
+	_, r3, _ := env.Step([]float64{25})
+	if r3 != 1 {
+		t.Errorf("better-price reward = %v, want 1", r3)
+	}
+}
+
+func TestBestUtilityTracksMaximum(t *testing.T) {
+	env := newEnv(t, nil)
+	env.Reset()
+	env.Step([]float64{10})
+	u10 := env.LastOutcome().MSPUtility
+	env.Step([]float64{25})
+	u25 := env.LastOutcome().MSPUtility
+	env.Step([]float64{7})
+	if got := env.BestUtility(); got != math.Max(u10, u25) {
+		t.Errorf("BestUtility = %v, want %v", got, math.Max(u10, u25))
+	}
+}
+
+func TestShapedRewardNormalized(t *testing.T) {
+	env := newEnv(t, func(c *Config) { c.Reward = RewardShaped })
+	env.Reset()
+	// At the oracle price, shaped reward ≈ 1.
+	oracle := env.cfg.Game.Solve().Price
+	_, r, _ := env.Step([]float64{oracle})
+	if !mathx.AlmostEqual(r, 1, 1e-6) {
+		t.Errorf("shaped reward at oracle price = %v, want ≈1", r)
+	}
+	// At a poor price, shaped reward must be lower but positive.
+	_, r2, _ := env.Step([]float64{5.5})
+	if r2 >= r || r2 <= 0 {
+		t.Errorf("shaped reward at poor price = %v, want in (0, %v)", r2, r)
+	}
+}
+
+func TestBestPersistsAcrossEpisodesByDefault(t *testing.T) {
+	// The paper's U_best is the highest utility obtained "until round k"
+	// over the whole run; a per-episode reset would let any constant
+	// price earn maximal return.
+	env := newEnv(t, nil)
+	env.Reset()
+	env.Step([]float64{25})
+	best := env.BestUtility()
+	if best <= 0 {
+		t.Fatalf("BestUtility = %v, want > 0", best)
+	}
+	env.Reset()
+	if env.BestUtility() != best {
+		t.Errorf("BestUtility after Reset = %v, want %v (persistent)", env.BestUtility(), best)
+	}
+	// A poor price must not be rewarded in the new episode.
+	_, r, _ := env.Step([]float64{5.01})
+	if r != 0 {
+		t.Errorf("poor-price reward after Reset = %v, want 0", r)
+	}
+}
+
+func TestResetBestPerEpisodeOption(t *testing.T) {
+	env := newEnv(t, func(c *Config) { c.ResetBestPerEpisode = true })
+	env.Reset()
+	env.Step([]float64{25})
+	env.Reset()
+	// With the option set, the first step of a new episode is a new best.
+	_, r, _ := env.Step([]float64{5.01})
+	if r != 1 {
+		t.Errorf("first reward after Reset = %v, want 1", r)
+	}
+}
+
+func TestBinaryToleranceBand(t *testing.T) {
+	// With a 1% band, a price yielding utility within 1% of the best must
+	// still be rewarded.
+	env := newEnv(t, func(c *Config) { c.BestTolFrac = 0.01 })
+	env.Reset()
+	oracle := stackelberg.DefaultGame().Solve().Price
+	env.Step([]float64{oracle})
+	_, r, _ := env.Step([]float64{oracle + 0.05})
+	if r != 1 {
+		t.Errorf("near-best reward = %v, want 1 within tolerance band", r)
+	}
+}
+
+func TestBinaryExactModeRejectsNearMiss(t *testing.T) {
+	env := newEnv(t, func(c *Config) { c.BestTolFrac = -1 }) // exact ≥
+	env.Reset()
+	oracle := stackelberg.DefaultGame().Solve().Price
+	env.Step([]float64{oracle})
+	_, r, _ := env.Step([]float64{oracle + 0.05})
+	if r != 0 {
+		t.Errorf("near-miss reward in exact mode = %v, want 0", r)
+	}
+}
+
+func TestHistorySlidesOldestFirst(t *testing.T) {
+	env := newEnv(t, func(c *Config) { c.HistoryLen = 2 })
+	env.Reset()
+	// Play two known prices; the observation must contain them in order.
+	obs, _, _ := env.Step([]float64{50}) // normalized price 1
+	obs, _, _ = env.Step([]float64{5})   // normalized price 0
+	rowWidth := 1 + env.game.N()
+	if got := obs[0]; !mathx.AlmostEqual(got, 1, 1e-9) {
+		t.Errorf("older price slot = %v, want 1 (price 50)", got)
+	}
+	if got := obs[rowWidth]; !mathx.AlmostEqual(got, 0, 1e-9) {
+		t.Errorf("newer price slot = %v, want 0 (price 5)", got)
+	}
+}
+
+func TestOracleUtilityMatchesGameSolve(t *testing.T) {
+	env := newEnv(t, nil)
+	want := stackelberg.DefaultGame().Solve().MSPUtility
+	if !mathx.AlmostEqual(env.OracleUtility(), want, 1e-9) {
+		t.Errorf("OracleUtility = %v, want %v", env.OracleUtility(), want)
+	}
+}
+
+func TestActionLengthPanics(t *testing.T) {
+	env := newEnv(t, nil)
+	env.Reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step with 2-dim action did not panic")
+		}
+	}()
+	env.Step([]float64{1, 2})
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	e1 := newEnv(t, func(c *Config) { c.Seed = 42 })
+	e2 := newEnv(t, func(c *Config) { c.Seed = 42 })
+	o1, o2 := e1.Reset(), e2.Reset()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("same seed produced different initial histories at %d", i)
+		}
+	}
+}
+
+func TestRewardKindString(t *testing.T) {
+	if RewardBinary.String() != "binary" || RewardShaped.String() != "shaped" {
+		t.Error("RewardKind.String mismatch")
+	}
+}
+
+func TestUnconstrainedGameDemandScale(t *testing.T) {
+	// With BMax <= 0 the demand normalization falls back to the demand at
+	// the minimum price; observations must stay bounded.
+	g := stackelberg.DefaultGame()
+	g.BMax = 0
+	env, err := NewGameEnv(Config{Game: g, HistoryLen: 2, Rounds: 10, Reward: RewardBinary, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewGameEnv: %v", err)
+	}
+	obs := env.Reset()
+	for k := 0; k < 10; k++ {
+		for i, v := range obs {
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Fatalf("round %d: obs[%d] = %v outside [0, 1]", k, i, v)
+			}
+		}
+		var done bool
+		obs, _, done = env.Step([]float64{5 + float64(k*5)})
+		if done {
+			break
+		}
+	}
+}

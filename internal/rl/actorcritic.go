@@ -1,0 +1,124 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vtmig/internal/nn"
+)
+
+// ActorCritic is the paper's shared-parameter policy/value network: a
+// common trunk (two hidden layers of 64 tanh units by default) feeding a
+// policy-mean head and a state-value head, plus a state-independent
+// learnable log-standard-deviation for the Gaussian policy.
+type ActorCritic struct {
+	obsDim, actDim int
+
+	trunk   []nn.Module // Linear+Tanh pairs
+	meanHd  *nn.Linear
+	valueHd *nn.Linear
+	logStd  *nn.Param
+
+	params []*nn.Param
+
+	// scratch buffers reused across calls
+	meanOut      []float64
+	meanGradBuf  []float64
+	valueGradBuf []float64
+	trunkGradBuf []float64
+}
+
+// NewActorCritic builds the network. hidden lists the hidden-layer widths
+// (the paper uses {64, 64}); act is the hidden activation; initLogStd
+// seeds the exploration scale.
+func NewActorCritic(obsDim, actDim int, hidden []int, act nn.Activation, initLogStd float64, rng *rand.Rand) *ActorCritic {
+	if obsDim <= 0 || actDim <= 0 {
+		panic(fmt.Sprintf("rl: invalid dims obs=%d act=%d", obsDim, actDim))
+	}
+	if len(hidden) == 0 {
+		panic("rl: ActorCritic needs at least one hidden layer")
+	}
+	ac := &ActorCritic{obsDim: obsDim, actDim: actDim}
+	prev := obsDim
+	for i, h := range hidden {
+		lin := nn.NewLinear(fmt.Sprintf("trunk.l%d", i), prev, h, rng)
+		ac.trunk = append(ac.trunk, lin, nn.NewActivation(act, h))
+		prev = h
+	}
+	ac.meanHd = nn.NewLinear("head.mean", prev, actDim, rng)
+	ac.valueHd = nn.NewLinear("head.value", prev, 1, rng)
+	ac.logStd = &nn.Param{
+		Name:  "policy.logstd",
+		Value: make([]float64, actDim),
+		Grad:  make([]float64, actDim),
+	}
+	for i := range ac.logStd.Value {
+		ac.logStd.Value[i] = initLogStd
+	}
+	for _, m := range ac.trunk {
+		ac.params = append(ac.params, m.Params()...)
+	}
+	ac.params = append(ac.params, ac.meanHd.Params()...)
+	ac.params = append(ac.params, ac.valueHd.Params()...)
+	ac.params = append(ac.params, ac.logStd)
+
+	ac.meanOut = make([]float64, actDim)
+	ac.meanGradBuf = make([]float64, actDim)
+	ac.valueGradBuf = make([]float64, prev)
+	ac.trunkGradBuf = make([]float64, prev)
+	return ac
+}
+
+// Forward computes the policy mean, the log-std vector, and the state
+// value for an observation, caching activations for a following Backward.
+// The mean is tanh-squashed into (-1, 1) — the normalized action space —
+// which prevents the saturation runaway where an unbounded mean drifts
+// past the action clamp and all gradients die. The returned slices alias
+// internal buffers.
+func (ac *ActorCritic) Forward(obs []float64) (mean, logStd []float64, value float64) {
+	if len(obs) != ac.obsDim {
+		panic(fmt.Sprintf("rl: observation length %d, want %d", len(obs), ac.obsDim))
+	}
+	h := obs
+	for _, m := range ac.trunk {
+		h = m.Forward(h)
+	}
+	raw := ac.meanHd.Forward(h)
+	for i, v := range raw {
+		ac.meanOut[i] = math.Tanh(v)
+	}
+	value = ac.valueHd.Forward(h)[0]
+	return ac.meanOut, ac.logStd.Value, value
+}
+
+// Backward accumulates gradients given dLoss/dMean (with respect to the
+// squashed mean), dLoss/dLogStd, and dLoss/dValue for the observation
+// passed to the immediately preceding Forward call.
+func (ac *ActorCritic) Backward(dMean, dLogStd []float64, dValue float64) {
+	for i, g := range dMean {
+		// d tanh(u)/du = 1 - tanh(u)².
+		ac.meanGradBuf[i] = g * (1 - ac.meanOut[i]*ac.meanOut[i])
+	}
+	gm := ac.meanHd.Backward(ac.meanGradBuf)
+	gv := ac.valueHd.Backward([]float64{dValue})
+	for i := range ac.trunkGradBuf {
+		ac.trunkGradBuf[i] = gm[i] + gv[i]
+	}
+	g := ac.trunkGradBuf
+	for i := len(ac.trunk) - 1; i >= 0; i-- {
+		g = ac.trunk[i].Backward(g)
+	}
+	for i, d := range dLogStd {
+		ac.logStd.Grad[i] += d
+	}
+}
+
+// Params returns every learnable parameter (trunk, heads, log-std).
+func (ac *ActorCritic) Params() []*nn.Param { return ac.params }
+
+// ObsDim returns the observation width.
+func (ac *ActorCritic) ObsDim() int { return ac.obsDim }
+
+// ActDim returns the action width.
+func (ac *ActorCritic) ActDim() int { return ac.actDim }

@@ -1,0 +1,28 @@
+// Package rl implements the deep-reinforcement-learning substrate of the
+// paper: a diagonal-Gaussian stochastic policy, a shared actor–critic
+// network, Generalized Advantage Estimation, Proximal Policy Optimization
+// with the clipped surrogate objective (Eqs. 14–19), and the episode-driven
+// training loop of Algorithm 1.
+//
+// Everything is built on the Go standard library and the vtmig nn package;
+// no external deep-learning framework is used.
+package rl
+
+// Env is a (possibly partially observable) environment with continuous
+// observations and actions. The POMDP of the paper (internal/pomdp) is the
+// canonical implementation.
+type Env interface {
+	// Reset starts a new episode and returns the initial observation.
+	Reset() []float64
+	// Step applies an action and returns the next observation, the scalar
+	// reward, and whether the episode has terminated.
+	Step(action []float64) (obs []float64, reward float64, done bool)
+	// ObsDim is the length of observations returned by Reset and Step.
+	ObsDim() int
+	// ActDim is the length of actions expected by Step.
+	ActDim() int
+	// ActionBounds returns the per-dimension closed action interval
+	// [lo[i], hi[i]] that Step accepts. Policies clamp sampled actions to
+	// these bounds before stepping.
+	ActionBounds() (lo, hi []float64)
+}

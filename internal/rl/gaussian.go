@@ -1,0 +1,53 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+)
+
+// log(2π), the normalization constant of the Gaussian log-density.
+const log2Pi = 1.8378770664093453
+
+// gaussianSample draws a ~ N(mean, exp(logStd)²) element-wise.
+func gaussianSample(rng *rand.Rand, mean, logStd, dst []float64) []float64 {
+	for i := range mean {
+		dst[i] = mean[i] + math.Exp(logStd[i])*rng.NormFloat64()
+	}
+	return dst
+}
+
+// gaussianLogProb returns the log-density of action under the diagonal
+// Gaussian N(mean, exp(logStd)²).
+func gaussianLogProb(action, mean, logStd []float64) float64 {
+	var lp float64
+	for i := range mean {
+		std := math.Exp(logStd[i])
+		z := (action[i] - mean[i]) / std
+		lp += -0.5*z*z - logStd[i] - 0.5*log2Pi
+	}
+	return lp
+}
+
+// gaussianLogProbGrads computes the gradient of the log-density with
+// respect to the mean (into dMean) and the log-std (into dLogStd).
+//
+//	∂logp/∂μᵢ       = (aᵢ-μᵢ)/σᵢ²
+//	∂logp/∂logσᵢ    = ((aᵢ-μᵢ)/σᵢ)² - 1
+func gaussianLogProbGrads(action, mean, logStd, dMean, dLogStd []float64) {
+	for i := range mean {
+		std := math.Exp(logStd[i])
+		z := (action[i] - mean[i]) / std
+		dMean[i] = z / std
+		dLogStd[i] = z*z - 1
+	}
+}
+
+// gaussianEntropy returns the differential entropy of the diagonal
+// Gaussian: Σᵢ (logσᵢ + ½log(2πe)).
+func gaussianEntropy(logStd []float64) float64 {
+	var h float64
+	for _, ls := range logStd {
+		h += ls + 0.5*(log2Pi+1)
+	}
+	return h
+}

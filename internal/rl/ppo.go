@@ -1,0 +1,312 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vtmig/internal/mathx"
+	"vtmig/internal/nn"
+)
+
+// PPOConfig collects the hyper-parameters of the PPO learner. The defaults
+// returned by DefaultPPOConfig match Section V of the paper where the paper
+// specifies a value, and standard PPO practice elsewhere.
+type PPOConfig struct {
+	// Gamma is the reward discount factor γ ∈ [0, 1].
+	Gamma float64
+	// Lambda is the GAE smoothing factor λ ∈ [0, 1].
+	Lambda float64
+	// ClipEps is the PPO clipping radius ε of Eq. (19).
+	ClipEps float64
+	// ValueCoef is the value-loss coefficient c of Eq. (14).
+	ValueCoef float64
+	// EntropyCoef weights an optional entropy bonus (0 disables; the paper
+	// does not use one).
+	EntropyCoef float64
+	// LR is the Adam learning rate (the paper uses 1e-5; our default is
+	// larger because we normalize advantages).
+	LR float64
+	// MaxGradNorm bounds the global gradient norm per minibatch
+	// (<= 0 disables clipping).
+	MaxGradNorm float64
+	// Epochs is M, the number of update epochs per optimization phase.
+	Epochs int
+	// MiniBatch is |I|, the minibatch size.
+	MiniBatch int
+	// NormalizeAdv enables advantage normalization per update phase.
+	NormalizeAdv bool
+	// FullEpochs switches from the paper's Algorithm 1 (each of the M
+	// iterations samples one random minibatch of size |I| from the buffer)
+	// to standard PPO (each of the M epochs sweeps the whole buffer in
+	// shuffled minibatches).
+	FullEpochs bool
+	// Hidden lists hidden-layer widths (the paper: two layers of 64).
+	Hidden []int
+	// Activation is the hidden nonlinearity.
+	Activation nn.Activation
+	// InitLogStd seeds the Gaussian exploration log-scale.
+	InitLogStd float64
+	// MinLogStd floors the log-scale so exploration never collapses to
+	// exactly zero during training.
+	MinLogStd float64
+	// Seed drives weight initialization and action sampling.
+	Seed int64
+}
+
+// DefaultPPOConfig returns the configuration used throughout the
+// reproduction.
+func DefaultPPOConfig() PPOConfig {
+	return PPOConfig{
+		Gamma:        0.95,
+		Lambda:       0.95,
+		ClipEps:      0.2,
+		ValueCoef:    0.5,
+		EntropyCoef:  0.0,
+		LR:           3e-4,
+		MaxGradNorm:  0.5,
+		Epochs:       10,
+		MiniBatch:    20,
+		NormalizeAdv: true,
+		Hidden:       []int{64, 64},
+		Activation:   nn.ActTanh,
+		InitLogStd:   -0.5,
+		MinLogStd:    -4,
+		Seed:         1,
+	}
+}
+
+// validate panics on nonsensical settings; every violation is a
+// programming error in the caller.
+func (c PPOConfig) validate() {
+	if c.Epochs <= 0 || c.MiniBatch <= 0 {
+		panic(fmt.Sprintf("rl: PPO Epochs=%d MiniBatch=%d must be positive", c.Epochs, c.MiniBatch))
+	}
+	if c.ClipEps <= 0 || c.ClipEps >= 1 {
+		panic(fmt.Sprintf("rl: PPO ClipEps=%g must be in (0,1)", c.ClipEps))
+	}
+	if c.LR <= 0 {
+		panic(fmt.Sprintf("rl: PPO LR=%g must be positive", c.LR))
+	}
+}
+
+// PPO is the proximal-policy-optimization learner of Section IV. It owns
+// the actor–critic network, the optimizer, and the action-sampling RNG.
+//
+// The policy operates in a normalized action space: the Gaussian lives in
+// [-1, 1] per dimension (so a zero-initialized mean starts at the center
+// of the environment's action interval and the exploration scale is
+// interval-relative), and actions are affinely mapped to [lo, hi] before
+// being handed to the environment. Rollout buffers store the raw
+// normalized samples.
+type PPO struct {
+	cfg PPOConfig
+	net *ActorCritic
+	opt *nn.Adam
+	rng *rand.Rand
+
+	actLo, actHi []float64
+
+	// scratch
+	dMean   []float64
+	dLogStd []float64
+	sample  []float64
+}
+
+// NewPPO builds a PPO learner for an environment with the given
+// observation/action dimensions and action bounds.
+func NewPPO(obsDim, actDim int, actLo, actHi []float64, cfg PPOConfig) *PPO {
+	cfg.validate()
+	if len(actLo) != actDim || len(actHi) != actDim {
+		panic(fmt.Sprintf("rl: action bounds length %d/%d, want %d", len(actLo), len(actHi), actDim))
+	}
+	for i := range actLo {
+		if actLo[i] >= actHi[i] {
+			panic(fmt.Sprintf("rl: action bound %d inverted: [%g, %g]", i, actLo[i], actHi[i]))
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &PPO{
+		cfg:     cfg,
+		net:     NewActorCritic(obsDim, actDim, cfg.Hidden, cfg.Activation, cfg.InitLogStd, rng),
+		opt:     nn.NewAdam(cfg.LR),
+		rng:     rng,
+		actLo:   append([]float64(nil), actLo...),
+		actHi:   append([]float64(nil), actHi...),
+		dMean:   make([]float64, actDim),
+		dLogStd: make([]float64, actDim),
+		sample:  make([]float64, actDim),
+	}
+}
+
+// Config returns the learner's configuration.
+func (p *PPO) Config() PPOConfig { return p.cfg }
+
+// Params exposes the network parameters (for checkpointing).
+func (p *PPO) Params() []*nn.Param { return p.net.Params() }
+
+// Denormalize maps a raw normalized action (clamped to [-1, 1]) onto the
+// environment's action interval.
+func (p *PPO) Denormalize(raw []float64) []float64 {
+	out := make([]float64, len(raw))
+	for i := range raw {
+		z := mathx.Clamp(raw[i], -1, 1)
+		out[i] = p.actLo[i] + (z+1)/2*(p.actHi[i]-p.actLo[i])
+	}
+	return out
+}
+
+// SelectAction samples an action from the current policy at obs. It
+// returns the raw normalized Gaussian sample (stored in the rollout; its
+// log-prob is logProb), the environment action (the denormalized,
+// bounds-respecting form), and the value estimate V(obs). The returned
+// slices are freshly allocated.
+func (p *PPO) SelectAction(obs []float64) (raw, env []float64, logProb, value float64) {
+	mean, logStd, v := p.net.Forward(obs)
+	gaussianSample(p.rng, mean, logStd, p.sample)
+	raw = append([]float64(nil), p.sample...)
+	logProb = gaussianLogProb(raw, mean, logStd)
+	return raw, p.Denormalize(raw), logProb, v
+}
+
+// MeanAction returns the deterministic (mean) action mapped to the
+// environment bounds — the policy used for evaluation after training.
+func (p *PPO) MeanAction(obs []float64) []float64 {
+	mean, _, _ := p.net.Forward(obs)
+	return p.Denormalize(mean)
+}
+
+// Value returns the critic's estimate V(obs).
+func (p *PPO) Value(obs []float64) float64 {
+	_, _, v := p.net.Forward(obs)
+	return v
+}
+
+// UpdateStats summarizes one Update call.
+type UpdateStats struct {
+	// PolicyLoss is the mean negative clipped surrogate over all
+	// minibatch samples (lower is better for the optimizer).
+	PolicyLoss float64
+	// ValueLoss is the mean squared TD error against V^targ.
+	ValueLoss float64
+	// Entropy is the mean policy entropy.
+	Entropy float64
+	// ClipFraction is the fraction of samples whose ratio was clipped.
+	ClipFraction float64
+	// Samples is the number of gradient samples processed.
+	Samples int
+}
+
+// Update runs the paper's optimization phase (Eq. 14): M epochs of
+// minibatch stochastic gradient ascent on
+// L^CLIP − c·L^VF (+ β·entropy), sampling minibatches from the rollout
+// buffer. Advantages must already be computed via ComputeGAE.
+func (p *PPO) Update(buf *Rollout) UpdateStats {
+	steps := buf.Steps()
+	n := len(steps)
+	if n == 0 {
+		return UpdateStats{}
+	}
+	if p.cfg.NormalizeAdv {
+		buf.NormalizeAdvantages()
+	}
+
+	var stats UpdateStats
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < p.cfg.Epochs; epoch++ {
+		p.rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		if p.cfg.FullEpochs {
+			for start := 0; start < n; start += p.cfg.MiniBatch {
+				end := start + p.cfg.MiniBatch
+				if end > n {
+					end = n
+				}
+				p.updateMiniBatch(steps, idx[start:end], &stats)
+			}
+			continue
+		}
+		// Algorithm 1, lines 11–13: one random minibatch of size |I|
+		// sampled from BF per iteration m.
+		size := p.cfg.MiniBatch
+		if size > n {
+			size = n
+		}
+		p.updateMiniBatch(steps, idx[:size], &stats)
+	}
+	if stats.Samples > 0 {
+		inv := 1 / float64(stats.Samples)
+		stats.PolicyLoss *= inv
+		stats.ValueLoss *= inv
+		stats.Entropy *= inv
+		stats.ClipFraction *= inv
+	}
+	return stats
+}
+
+// updateMiniBatch accumulates gradients of the PPO loss over one minibatch
+// and applies a single Adam step.
+func (p *PPO) updateMiniBatch(steps []Transition, batch []int, stats *UpdateStats) {
+	params := p.net.Params()
+	nn.ZeroGrads(params)
+	scale := 1 / float64(len(batch))
+
+	for _, i := range batch {
+		tr := &steps[i]
+		mean, logStd, value := p.net.Forward(tr.Obs)
+
+		newLogP := gaussianLogProb(tr.Action, mean, logStd)
+		ratio := math.Exp(newLogP - tr.LogProb)
+		adv := tr.Advantage
+
+		// Clipped surrogate (Eqs. 15, 19). The unclipped branch carries
+		// gradient only when it attains the min.
+		surr1 := ratio * adv
+		clipped := mathx.Clamp(ratio, 1-p.cfg.ClipEps, 1+p.cfg.ClipEps)
+		surr2 := clipped * adv
+		useUnclipped := surr1 <= surr2
+		if ratio != clipped {
+			stats.ClipFraction++
+		}
+
+		// Gradient of the maximized objective w.r.t. mean/logstd.
+		var dObjDLogP float64
+		if useUnclipped {
+			dObjDLogP = ratio * adv // d(r·A)/dlogp = r·A... chain below
+		}
+		gaussianLogProbGrads(tr.Action, mean, logStd, p.dMean, p.dLogStd)
+		// We minimize loss = -objective, so flip signs. The entropy bonus
+		// adds +β·H; dH/dlogσ = 1 per dimension.
+		for d := range p.dMean {
+			p.dMean[d] *= -dObjDLogP * scale
+			p.dLogStd[d] = -dObjDLogP*p.dLogStd[d]*scale - p.cfg.EntropyCoef*scale
+		}
+
+		// Value loss (Eq. 16): (V - V^targ)². d/dV = 2(V - V^targ).
+		vErr := value - tr.Return
+		dValue := p.cfg.ValueCoef * 2 * vErr * scale
+
+		p.net.Backward(p.dMean, p.dLogStd, dValue)
+
+		stats.PolicyLoss += -math.Min(surr1, surr2)
+		stats.ValueLoss += vErr * vErr
+		stats.Entropy += gaussianEntropy(logStd)
+		stats.Samples++
+	}
+
+	nn.ClipGradNorm(params, p.cfg.MaxGradNorm)
+	p.opt.Step(params)
+	p.clampLogStd()
+}
+
+// clampLogStd keeps the exploration scale above the configured floor.
+func (p *PPO) clampLogStd() {
+	ls := p.net.logStd
+	for i := range ls.Value {
+		if ls.Value[i] < p.cfg.MinLogStd {
+			ls.Value[i] = p.cfg.MinLogStd
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package rl
+
+import (
+	"fmt"
+
+	"vtmig/internal/mat"
+	"vtmig/internal/mathx"
+)
+
+// Transition is one environment step as stored in the rollout buffer.
+type Transition struct {
+	Obs     []float64
+	Action  []float64 // raw (pre-clamp) sample, whose log-prob was taken
+	LogProb float64
+	Reward  float64
+	Value   float64
+	Done    bool
+
+	// Advantage and Return are filled in by ComputeGAE.
+	Advantage float64
+	Return    float64
+}
+
+// Rollout is the replay buffer BF of Algorithm 1. It collects transitions
+// within an episode and computes advantages before updates.
+type Rollout struct {
+	steps []Transition
+	// gaeFrom marks the first index not yet covered by a ComputeGAE call,
+	// supporting the paper's mid-episode updates every |I| rounds.
+	gaeFrom int
+}
+
+// NewRollout returns an empty buffer with the given capacity hint.
+func NewRollout(capacity int) *Rollout {
+	return &Rollout{steps: make([]Transition, 0, capacity)}
+}
+
+// Add appends a transition. Obs and Action are copied.
+func (r *Rollout) Add(obs, action []float64, logProb, reward, value float64, done bool) {
+	r.steps = append(r.steps, Transition{
+		Obs:     mat.CloneSlice(obs),
+		Action:  mat.CloneSlice(action),
+		LogProb: logProb,
+		Reward:  reward,
+		Value:   value,
+		Done:    done,
+	})
+}
+
+// Len returns the number of stored transitions.
+func (r *Rollout) Len() int { return len(r.steps) }
+
+// Steps returns the stored transitions. The slice is owned by the buffer.
+func (r *Rollout) Steps() []Transition { return r.steps }
+
+// Reset discards all transitions (start of a new episode in Algorithm 1).
+func (r *Rollout) Reset() {
+	r.steps = r.steps[:0]
+	r.gaeFrom = 0
+}
+
+// ComputeGAE fills Advantage and Return for all transitions added since
+// the previous call, using Generalized Advantage Estimation with discount
+// gamma and smoothing lambda. bootstrapValue is V(s_T) for the state
+// following the last stored transition (zero if that state is terminal).
+//
+//	δ_t = r_t + γ·V_{t+1}·(1-done_t) - V_t
+//	A_t = δ_t + γλ·(1-done_t)·A_{t+1}
+//	Return_t = A_t + V_t   (the V^targ of Eq. 16)
+func (r *Rollout) ComputeGAE(gamma, lambda, bootstrapValue float64) {
+	if gamma < 0 || gamma > 1 {
+		panic(fmt.Sprintf("rl: gamma %g out of [0,1]", gamma))
+	}
+	if lambda < 0 || lambda > 1 {
+		panic(fmt.Sprintf("rl: lambda %g out of [0,1]", lambda))
+	}
+	seg := r.steps[r.gaeFrom:]
+	nextValue := bootstrapValue
+	var nextAdv float64
+	for t := len(seg) - 1; t >= 0; t-- {
+		s := &seg[t]
+		notDone := 1.0
+		if s.Done {
+			notDone = 0
+		}
+		delta := s.Reward + gamma*nextValue*notDone - s.Value
+		s.Advantage = delta + gamma*lambda*notDone*nextAdv
+		s.Return = s.Advantage + s.Value
+		nextValue = s.Value
+		nextAdv = s.Advantage
+	}
+	r.gaeFrom = len(r.steps)
+}
+
+// NormalizeAdvantages rescales all advantages to zero mean and unit
+// standard deviation, the standard PPO variance-reduction trick. It is a
+// no-op for fewer than two transitions or zero variance.
+func (r *Rollout) NormalizeAdvantages() {
+	if len(r.steps) < 2 {
+		return
+	}
+	advs := make([]float64, len(r.steps))
+	for i := range r.steps {
+		advs[i] = r.steps[i].Advantage
+	}
+	mean := mathx.Mean(advs)
+	std := mathx.StdDev(advs)
+	if std == 0 {
+		return
+	}
+	for i := range r.steps {
+		r.steps[i].Advantage = (r.steps[i].Advantage - mean) / std
+	}
+}

@@ -1,0 +1,112 @@
+package rl
+
+import "fmt"
+
+// TrainerConfig parameterizes Algorithm 1 of the paper.
+type TrainerConfig struct {
+	// Episodes is E, the number of training episodes.
+	Episodes int
+	// RoundsPerEpisode is K, the number of game rounds per episode.
+	RoundsPerEpisode int
+	// UpdateEvery is |I|: an optimization phase runs whenever this many
+	// new transitions have been collected (and at episode end).
+	UpdateEvery int
+}
+
+// validate panics on invalid settings.
+func (c TrainerConfig) validate() {
+	if c.Episodes <= 0 || c.RoundsPerEpisode <= 0 || c.UpdateEvery <= 0 {
+		panic(fmt.Sprintf("rl: invalid TrainerConfig %+v", c))
+	}
+}
+
+// EpisodeStats reports one training episode.
+type EpisodeStats struct {
+	// Episode is the zero-based episode index.
+	Episode int
+	// Return is the undiscounted sum of rewards over the episode — the
+	// quantity plotted in Fig. 2(a).
+	Return float64
+	// MeanReward is Return / K.
+	MeanReward float64
+	// FinalUpdate carries the statistics of the last optimization phase
+	// of the episode.
+	FinalUpdate UpdateStats
+}
+
+// Trainer runs the episode loop of Algorithm 1: collect transitions from
+// the environment with the current policy, and every |I| rounds run a PPO
+// optimization phase on the buffered segment.
+type Trainer struct {
+	cfg   TrainerConfig
+	env   Env
+	agent *PPO
+	buf   *Rollout
+
+	// OnEpisode, when non-nil, is invoked after every episode with its
+	// statistics. Returning false stops training early.
+	OnEpisode func(EpisodeStats) bool
+}
+
+// NewTrainer wires an environment and a PPO learner together.
+func NewTrainer(env Env, agent *PPO, cfg TrainerConfig) *Trainer {
+	cfg.validate()
+	return &Trainer{
+		cfg:   cfg,
+		env:   env,
+		agent: agent,
+		buf:   NewRollout(cfg.RoundsPerEpisode),
+	}
+}
+
+// Run executes the training loop and returns per-episode statistics.
+func (t *Trainer) Run() []EpisodeStats {
+	out := make([]EpisodeStats, 0, t.cfg.Episodes)
+	for e := 0; e < t.cfg.Episodes; e++ {
+		stats := t.runEpisode(e)
+		out = append(out, stats)
+		if t.OnEpisode != nil && !t.OnEpisode(stats) {
+			break
+		}
+	}
+	return out
+}
+
+// runEpisode plays K rounds, optimizing every |I| rounds (Algorithm 1,
+// lines 4–14).
+func (t *Trainer) runEpisode(episode int) EpisodeStats {
+	obs := t.env.Reset()
+	t.buf.Reset()
+
+	var ret float64
+	var lastUpdate UpdateStats
+	sinceUpdate := 0
+	for k := 0; k < t.cfg.RoundsPerEpisode; k++ {
+		raw, envAct, logP, value := t.agent.SelectAction(obs)
+		next, reward, done := t.env.Step(envAct)
+		terminal := done || k == t.cfg.RoundsPerEpisode-1
+		t.buf.Add(obs, raw, logP, reward, value, terminal)
+		ret += reward
+		obs = next
+		sinceUpdate++
+
+		if sinceUpdate >= t.cfg.UpdateEvery || terminal {
+			bootstrap := 0.0
+			if !terminal {
+				bootstrap = t.agent.Value(obs)
+			}
+			t.buf.ComputeGAE(t.agent.cfg.Gamma, t.agent.cfg.Lambda, bootstrap)
+			lastUpdate = t.agent.Update(t.buf)
+			sinceUpdate = 0
+		}
+		if done {
+			break
+		}
+	}
+	return EpisodeStats{
+		Episode:     episode,
+		Return:      ret,
+		MeanReward:  ret / float64(t.cfg.RoundsPerEpisode),
+		FinalUpdate: lastUpdate,
+	}
+}

@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"vtmig/internal/aoi"
+	"vtmig/internal/aotm"
+	"vtmig/internal/channel"
+	"vtmig/internal/mathx"
+	"vtmig/internal/migration"
+	"vtmig/internal/mobility"
+	"vtmig/internal/rsu"
+	"vtmig/internal/stackelberg"
+	"vtmig/internal/trace"
+)
+
+// Simulator owns the state of one run. Construct with New, then call Run.
+type Simulator struct {
+	cfg      Config
+	highway  *mobility.Highway
+	vehicles []*mobility.Vehicle
+	profiles []vmuProfile
+	tracker  *mobility.Tracker
+	alloc    *channel.OFDMAAllocator
+	cluster  *rsu.Cluster
+	tracer   *trace.Tracer
+	rng      *rand.Rand
+
+	now         float64
+	inFlight    map[int]bool
+	pending     []pendingMigration
+	completions completionHeap
+	report      Report
+
+	// sensing holds one AoI process per vehicle; pausedUntil marks the
+	// stop-and-copy downtime window during which updates are lost.
+	sensing     []*aoi.Process
+	nextUpdate  []float64
+	pausedFrom  []float64
+	pausedUntil []float64
+}
+
+// New builds a simulator from the configuration.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hw, err := mobility.NewHighway(cfg.HighwayLengthM, cfg.RSUCount, cfg.RSURadiusM)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Simulator{
+		cfg:      cfg,
+		highway:  hw,
+		tracker:  mobility.NewTracker(hw),
+		alloc:    channel.NewOFDMAAllocator(cfg.BMaxMHz),
+		tracer:   trace.NewTracer(cfg.TraceWriter),
+		rng:      rng,
+		inFlight: make(map[int]bool, cfg.Vehicles),
+	}
+	servers := make([]*rsu.Server, cfg.RSUCount)
+	for i := range servers {
+		srv, err := rsu.NewServer(i, cfg.RSUCapacity)
+		if err != nil {
+			return nil, err
+		}
+		servers[i] = srv
+	}
+	cluster, err := rsu.NewCluster(servers, rsu.PlaceLeastLoaded)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = cluster
+
+	for i := 0; i < cfg.Vehicles; i++ {
+		s.vehicles = append(s.vehicles, &mobility.Vehicle{
+			ID:        i,
+			PositionM: rng.Float64() * cfg.HighwayLengthM,
+			SpeedMps:  cfg.SpeedMinMps + rng.Float64()*(cfg.SpeedMaxMps-cfg.SpeedMinMps),
+		})
+		memory := cfg.VTMemoryMinMB + rng.Float64()*(cfg.VTMemoryMaxMB-cfg.VTMemoryMinMB)
+		s.profiles = append(s.profiles, vmuProfile{
+			alpha: cfg.AlphaMin + rng.Float64()*(cfg.AlphaMax-cfg.AlphaMin),
+			vt: migration.VTSpec{
+				ConfigMB:      0.05 * memory,
+				MemoryMB:      0.85 * memory,
+				StateMB:       0.10 * memory,
+				DirtyRateMBps: cfg.DirtyRateMBps,
+			},
+		})
+		s.sensing = append(s.sensing, aoi.NewProcess(0))
+		s.nextUpdate = append(s.nextUpdate, cfg.SensingPeriodS)
+		s.pausedFrom = append(s.pausedFrom, 0)
+		s.pausedUntil = append(s.pausedUntil, 0)
+	}
+	s.report.PricerName = cfg.Pricer.Name()
+	return s, nil
+}
+
+// Run executes the simulation and returns the aggregated report.
+func (s *Simulator) Run() Report {
+	steps := int(s.cfg.DurationS / s.cfg.TimeStepS)
+	for step := 0; step < steps; step++ {
+		s.now += s.cfg.TimeStepS
+		s.drainCompletions()
+		s.moveVehicles()
+		s.deliverSensingUpdates()
+		s.collectHandovers()
+		s.runPricingRound()
+	}
+	// Flush migrations still in flight at the horizon.
+	for s.completions.Len() > 0 {
+		s.finish(heap.Pop(&s.completions).(completion))
+	}
+	s.finalizeReport()
+	return s.report
+}
+
+// drainCompletions completes every migration whose finish time has passed.
+func (s *Simulator) drainCompletions() {
+	for s.completions.Len() > 0 && s.completions[0].at <= s.now {
+		s.finish(heap.Pop(&s.completions).(completion))
+	}
+}
+
+// finish releases the bandwidth grant, moves the twin's edge placement,
+// and records the migration.
+func (s *Simulator) finish(c completion) {
+	if err := s.alloc.Release(c.record.VehicleID); err != nil {
+		// A release failure indicates corrupted accounting; the simulator
+		// cannot continue meaningfully.
+		panic(fmt.Sprintf("sim: releasing grant for vehicle %d: %v", c.record.VehicleID, err))
+	}
+	delete(s.inFlight, c.record.VehicleID)
+	if s.cluster.Locate(c.record.VehicleID) != c.record.ToRSU {
+		if err := s.cluster.MigrateTwin(c.record.VehicleID, c.record.ToRSU); err != nil {
+			// Destination edge server is full: the twin stays at the
+			// source and keeps being served remotely.
+			s.report.PlacementFailures++
+		}
+	}
+	s.emit(trace.Event{
+		TimeS: s.now, Kind: trace.KindMigrationComplete, Vehicle: c.record.VehicleID,
+		FromRSU: c.record.FromRSU, ToRSU: c.record.ToRSU, Bandwidth: c.record.BandwidthMHz, AoTM: c.record.AoTM,
+	})
+	s.report.Migrations = append(s.report.Migrations, c.record)
+}
+
+// moveVehicles advances the kinematics.
+func (s *Simulator) moveVehicles() {
+	for _, v := range s.vehicles {
+		v.Advance(s.cfg.TimeStepS, s.cfg.HighwayLengthM)
+	}
+}
+
+// collectHandovers queues a pending migration for every handover of a
+// vehicle that is not already migrating.
+func (s *Simulator) collectHandovers() {
+	for _, v := range s.vehicles {
+		if s.inFlight[v.ID] {
+			continue // twin already moving; re-evaluate after completion
+		}
+		ho, changed := s.tracker.Update(v)
+		if !changed {
+			continue
+		}
+		if ho.FromRSU < 0 {
+			// First attach: deploy the twin on the serving RSU's edge
+			// server, falling back to the least-loaded server when full.
+			req := s.twinRequirement(v.ID)
+			if err := s.cluster.PlaceOn(v.ID, ho.ToRSU, req); err != nil {
+				if _, err := s.cluster.Place(v.ID, req); err != nil {
+					s.report.PlacementFailures++
+				}
+			}
+			continue
+		}
+		s.report.Handovers++
+		s.emit(trace.Event{TimeS: s.now, Kind: trace.KindHandover, Vehicle: v.ID, FromRSU: ho.FromRSU, ToRSU: ho.ToRSU})
+		s.pending = append(s.pending, pendingMigration{
+			vehicleID: v.ID,
+			fromRSU:   ho.FromRSU,
+			toRSU:     ho.ToRSU,
+		})
+	}
+}
+
+// runPricingRound runs one Stackelberg round over all pending migrations.
+func (s *Simulator) runPricingRound() {
+	if len(s.pending) == 0 {
+		return
+	}
+	if s.cfg.PricingFailureRate > 0 && s.rng.Float64() < s.cfg.PricingFailureRate {
+		// Control-plane failure: everything retries next step.
+		s.report.FailedRounds++
+		s.report.Deferred += len(s.pending)
+		s.emit(trace.Event{TimeS: s.now, Kind: trace.KindPricingFailure, Vehicle: -1, Participants: len(s.pending)})
+		return
+	}
+
+	batch := s.pending
+	s.pending = s.pending[:0]
+
+	game, err := s.buildGame(batch)
+	if err != nil {
+		panic(fmt.Sprintf("sim: building round game: %v", err))
+	}
+	price := mathx.Clamp(s.cfg.Pricer.PriceFor(game), game.Cost, game.PMax)
+	s.report.PricingRounds++
+	s.emit(trace.Event{TimeS: s.now, Kind: trace.KindPricingRound, Vehicle: -1, Price: price, Participants: len(batch)})
+
+	// Followers best-respond; the remaining pool bounds this round.
+	demands := game.BestResponses(price)
+	scaled, _ := channel.NewOFDMAAllocator(maxf(s.alloc.Available(), 1e-12)).ScaleToFit(demands)
+
+	for i, pm := range batch {
+		bw := scaled[i]
+		if bw <= 0 {
+			s.report.OptedOut++
+			continue
+		}
+		if err := s.alloc.Allocate(pm.vehicleID, bw); err != nil {
+			// Pool exhausted by earlier grants in this batch: retry later.
+			s.pending = append(s.pending, pm)
+			s.report.Deferred++
+			s.emit(trace.Event{TimeS: s.now, Kind: trace.KindDeferred, Vehicle: pm.vehicleID})
+			continue
+		}
+		s.launchMigration(pm, game, i, price, bw)
+	}
+}
+
+// buildGame assembles the round's Stackelberg game. The channel distance
+// is the mean source–destination RSU distance of the batch.
+func (s *Simulator) buildGame(batch []pendingMigration) (*stackelberg.Game, error) {
+	ch := s.cfg.Channel
+	var dist float64
+	for _, pm := range batch {
+		dist += s.highway.RSUDistance(pm.fromRSU, pm.toRSU)
+	}
+	if d := dist / float64(len(batch)); d > 0 {
+		ch.DistanceM = d
+	}
+	vmus := make([]stackelberg.VMU, len(batch))
+	for i, pm := range batch {
+		prof := s.profiles[pm.vehicleID]
+		vmus[i] = stackelberg.VMU{
+			ID:       pm.vehicleID,
+			Alpha:    prof.alpha,
+			DataSize: aotm.FromMB(prof.vt.BaseSizeMB()),
+		}
+	}
+	// The round's capacity is what is left in the shared pool.
+	bmax := s.alloc.Available()
+	return stackelberg.NewGame(vmus, ch, s.cfg.Cost, s.cfg.PMax, bmax)
+}
+
+// launchMigration runs the pre-copy model and schedules completion.
+func (s *Simulator) launchMigration(pm pendingMigration, game *stackelberg.Game, idx int, price, bw float64) {
+	prof := s.profiles[pm.vehicleID]
+	// Rate: γ = b·e is in model data units (100 MB) per second.
+	rateMBps := game.Channel.Rate(bw) * aotm.DataUnit100MB
+	res, err := migration.Simulate(prof.vt, rateMBps, migration.DefaultConfig())
+	if err != nil {
+		panic(fmt.Sprintf("sim: migrating vehicle %d: %v", pm.vehicleID, err))
+	}
+	age := aotm.AoTMForBandwidth(aotm.FromMB(prof.vt.BaseSizeMB()), bw, game.Channel)
+	rec := MigrationRecord{
+		VehicleID:        pm.vehicleID,
+		StartS:           s.now,
+		FromRSU:          pm.fromRSU,
+		ToRSU:            pm.toRSU,
+		Price:            price,
+		BandwidthMHz:     bw,
+		AoTM:             age,
+		DataMovedMB:      res.TotalDataMB,
+		DowntimeS:        res.DowntimeS,
+		DurationS:        res.TotalTimeS,
+		VMUUtility:       game.VMUUtility(idx, bw, price),
+		MSPProfit:        (price - game.Cost) * bw,
+		PreCopyConverged: res.Converged,
+	}
+	s.inFlight[pm.vehicleID] = true
+	s.emit(trace.Event{
+		TimeS: s.now, Kind: trace.KindMigrationStart, Vehicle: pm.vehicleID,
+		FromRSU: pm.fromRSU, ToRSU: pm.toRSU, Price: price, Bandwidth: bw, AoTM: age,
+	})
+	// Sensing updates are lost while the twin is paused (stop-and-copy).
+	s.pausedFrom[pm.vehicleID] = s.now + res.TotalTimeS - res.DowntimeS
+	s.pausedUntil[pm.vehicleID] = s.now + res.TotalTimeS
+	heap.Push(&s.completions, completion{at: s.now + res.TotalTimeS, record: rec})
+	s.report.MSPRevenue += rec.MSPProfit
+}
+
+// twinRequirement derives a twin's edge-resource footprint from its
+// memory size: bigger twins need proportionally more of everything.
+func (s *Simulator) twinRequirement(vehicleID int) rsu.Resources {
+	memGB := s.profiles[vehicleID].vt.BaseSizeMB() / 1024
+	return rsu.Resources{
+		CPU:       1 + memGB,
+		GPU:       0.5,
+		MemoryGB:  2 * memGB,
+		StorageGB: 4 * memGB,
+	}
+}
+
+// deliverSensingUpdates advances each vehicle's physical-virtual sensing
+// stream up to the current time, dropping updates generated inside the
+// twin's migration-downtime window.
+func (s *Simulator) deliverSensingUpdates() {
+	for id := range s.vehicles {
+		p := s.sensing[id]
+		for s.nextUpdate[id] <= s.now {
+			gen := s.nextUpdate[id]
+			s.nextUpdate[id] += s.cfg.SensingPeriodS
+			if gen >= s.pausedFrom[id] && gen < s.pausedUntil[id] && s.pausedUntil[id] > 0 {
+				continue // twin paused: update lost
+			}
+			if err := p.Deliver(gen, gen+s.cfg.SensingDelayS); err != nil {
+				panic(fmt.Sprintf("sim: sensing delivery for vehicle %d: %v", id, err))
+			}
+		}
+	}
+}
+
+// finalizeReport computes the aggregate statistics.
+func (s *Simulator) finalizeReport() {
+	s.report.SimulatedS = s.now
+	if s.now > 0 {
+		var sumAoI float64
+		for _, p := range s.sensing {
+			sumAoI += p.AverageAge(s.now)
+		}
+		s.report.MeanSensingAoI = sumAoI / float64(len(s.sensing))
+	}
+	if len(s.report.Migrations) == 0 {
+		return
+	}
+	var ages, utils []float64
+	for _, m := range s.report.Migrations {
+		ages = append(ages, m.AoTM)
+		utils = append(utils, m.VMUUtility)
+	}
+	s.report.MeanAoTM = mathx.Mean(ages)
+	_, s.report.MaxAoTM = mathx.MinMax(ages)
+	s.report.MeanVMUUtility = mathx.Mean(utils)
+}
+
+// maxf returns the larger of two floats.
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// emit writes a trace event, disabling tracing on a broken sink.
+func (s *Simulator) emit(e trace.Event) {
+	if err := s.tracer.Emit(e); err != nil {
+		s.tracer = nil
+	}
+}

@@ -1,0 +1,283 @@
+// Package sim is the end-to-end vehicular-metaverse simulator: vehicles
+// drive along a highway of RSUs; every handover triggers a VT migration;
+// each migration round runs the Stackelberg incentive mechanism to price
+// bandwidth; granted bandwidth is held in an OFDMA pool while the pre-copy
+// migration is in flight; and the Age of Twin Migration of every completed
+// migration is recorded.
+//
+// The paper evaluates the mechanism in isolation; this simulator is the
+// "prototype system" its conclusion lists as future work, and doubles as
+// an integration harness for every substrate package.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"vtmig/internal/channel"
+	"vtmig/internal/migration"
+	"vtmig/internal/rsu"
+	"vtmig/internal/stackelberg"
+)
+
+// Pricer decides the MSP's unit bandwidth price for one migration round.
+type Pricer interface {
+	// Name identifies the pricer in reports.
+	Name() string
+	// PriceFor returns the price for the given round's game.
+	PriceFor(g *stackelberg.Game) float64
+}
+
+// oraclePricer plays the closed-form Stackelberg equilibrium each round.
+type oraclePricer struct{}
+
+// NewOraclePricer returns the complete-information equilibrium pricer.
+func NewOraclePricer() Pricer { return oraclePricer{} }
+
+func (oraclePricer) Name() string { return "stackelberg-oracle" }
+func (oraclePricer) PriceFor(g *stackelberg.Game) float64 {
+	return g.Solve().Price
+}
+
+// fixedPricer posts a constant price.
+type fixedPricer struct{ price float64 }
+
+// NewFixedPricer returns a constant-price pricer.
+func NewFixedPricer(price float64) Pricer { return fixedPricer{price: price} }
+
+func (f fixedPricer) Name() string                         { return fmt.Sprintf("fixed(%.3g)", f.price) }
+func (f fixedPricer) PriceFor(g *stackelberg.Game) float64 { return f.price }
+
+// randomPricer draws a uniform price in [C, pmax] each round.
+type randomPricer struct{ rng *rand.Rand }
+
+// NewRandomPricer returns the paper's random baseline as a simulator
+// pricer.
+func NewRandomPricer(seed int64) Pricer {
+	return &randomPricer{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *randomPricer) Name() string { return "random" }
+func (r *randomPricer) PriceFor(g *stackelberg.Game) float64 {
+	return g.Cost + r.rng.Float64()*(g.PMax-g.Cost)
+}
+
+// PricerFunc adapts a function (e.g. a trained DRL policy closure) into a
+// Pricer.
+type PricerFunc struct {
+	// Label names the pricer.
+	Label string
+	// Fn maps a round's game to a price.
+	Fn func(g *stackelberg.Game) float64
+}
+
+// Name implements Pricer.
+func (p PricerFunc) Name() string { return p.Label }
+
+// PriceFor implements Pricer.
+func (p PricerFunc) PriceFor(g *stackelberg.Game) float64 { return p.Fn(g) }
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// HighwayLengthM, RSUCount, and RSURadiusM build the road topology.
+	HighwayLengthM float64
+	RSUCount       int
+	RSURadiusM     float64
+	// Vehicles is the number of vehicles (= VMUs).
+	Vehicles int
+	// SpeedMinMps and SpeedMaxMps bound the per-vehicle constant speeds.
+	SpeedMinMps, SpeedMaxMps float64
+	// TimeStepS is the mobility update step in seconds.
+	TimeStepS float64
+	// DurationS is the simulated horizon in seconds.
+	DurationS float64
+
+	// Channel is the RSU-to-RSU link template; the per-round distance is
+	// overridden with the actual source/destination RSU distance.
+	Channel channel.Params
+	// Cost, PMax, and BMaxMHz configure the MSP (model units).
+	Cost, PMax, BMaxMHz float64
+
+	// AlphaMin and AlphaMax bound the per-VMU immersion coefficients
+	// (paper: [5, 20]).
+	AlphaMin, AlphaMax float64
+	// VTMemoryMinMB and VTMemoryMaxMB bound the twins' memory footprints
+	// (paper: total data 100–300 MB).
+	VTMemoryMinMB, VTMemoryMaxMB float64
+	// DirtyRateMBps is the twins' page-dirty rate during migration.
+	DirtyRateMBps float64
+
+	// Pricer is the MSP's pricing strategy for migration rounds.
+	Pricer Pricer
+	// PricingFailureRate injects control-plane failures: with this
+	// probability a round's pricing exchange is lost and the migrations
+	// retry at the next step.
+	PricingFailureRate float64
+
+	// RSUCapacity is each RSU edge server's resource pool for hosting
+	// twins.
+	RSUCapacity rsu.Resources
+	// TraceWriter, when non-nil, receives every simulation event as a
+	// JSON line (see internal/trace).
+	TraceWriter io.Writer
+	// SensingPeriodS and SensingDelayS model the VMUs' physical-virtual
+	// synchronization stream: one sensing update is generated every
+	// period and delivered after the delay — except while the twin is
+	// paused during stop-and-copy downtime, when updates are lost. The
+	// report's sensing AoI aggregates the resulting age processes.
+	SensingPeriodS, SensingDelayS float64
+
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultConfig returns a 6-vehicle highway scenario aligned with the
+// paper's parameter ranges.
+func DefaultConfig() Config {
+	return Config{
+		HighwayLengthM: 8000,
+		RSUCount:       8,
+		RSURadiusM:     500,
+		Vehicles:       6,
+		SpeedMinMps:    20,
+		SpeedMaxMps:    35,
+		TimeStepS:      1,
+		DurationS:      600,
+		Channel:        channel.DefaultParams(),
+		Cost:           5,
+		PMax:           50,
+		BMaxMHz:        0.5,
+		AlphaMin:       5,
+		AlphaMax:       20,
+		VTMemoryMinMB:  100,
+		VTMemoryMaxMB:  300,
+		DirtyRateMBps:  20,
+		Pricer:         NewOraclePricer(),
+		RSUCapacity:    rsu.Resources{CPU: 16, GPU: 8, MemoryGB: 64, StorageGB: 1000},
+		SensingPeriodS: 0.5,
+		SensingDelayS:  0.05,
+		Seed:           1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Vehicles < 1 {
+		return fmt.Errorf("sim: need at least one vehicle, got %d", c.Vehicles)
+	}
+	if c.SpeedMinMps <= 0 || c.SpeedMaxMps < c.SpeedMinMps {
+		return fmt.Errorf("sim: bad speed range [%g, %g]", c.SpeedMinMps, c.SpeedMaxMps)
+	}
+	if c.TimeStepS <= 0 || c.DurationS <= 0 {
+		return fmt.Errorf("sim: bad time step %g or duration %g", c.TimeStepS, c.DurationS)
+	}
+	if c.AlphaMin <= 0 || c.AlphaMax < c.AlphaMin {
+		return fmt.Errorf("sim: bad alpha range [%g, %g]", c.AlphaMin, c.AlphaMax)
+	}
+	if c.VTMemoryMinMB <= 0 || c.VTMemoryMaxMB < c.VTMemoryMinMB {
+		return fmt.Errorf("sim: bad VT memory range [%g, %g]", c.VTMemoryMinMB, c.VTMemoryMaxMB)
+	}
+	if c.PricingFailureRate < 0 || c.PricingFailureRate >= 1 {
+		return fmt.Errorf("sim: pricing failure rate %g out of [0, 1)", c.PricingFailureRate)
+	}
+	if c.Pricer == nil {
+		return fmt.Errorf("sim: nil pricer")
+	}
+	if c.Cost <= 0 || c.PMax <= c.Cost {
+		return fmt.Errorf("sim: bad price range [%g, %g]", c.Cost, c.PMax)
+	}
+	if err := c.RSUCapacity.Validate(); err != nil {
+		return err
+	}
+	if c.SensingPeriodS <= 0 || c.SensingDelayS < 0 {
+		return fmt.Errorf("sim: bad sensing period %g or delay %g", c.SensingPeriodS, c.SensingDelayS)
+	}
+	return nil
+}
+
+// MigrationRecord describes one completed VT migration.
+type MigrationRecord struct {
+	VehicleID        int
+	StartS           float64
+	FromRSU, ToRSU   int
+	Price            float64
+	BandwidthMHz     float64
+	AoTM             float64
+	DataMovedMB      float64
+	DowntimeS        float64
+	DurationS        float64
+	VMUUtility       float64
+	MSPProfit        float64
+	PreCopyConverged bool
+}
+
+// Report aggregates a simulation run.
+type Report struct {
+	// Migrations are all completed migrations in completion order.
+	Migrations []MigrationRecord
+	// Handovers counts detected serving-RSU changes (excluding first
+	// attaches).
+	Handovers int
+	// PricingRounds counts executed incentive rounds.
+	PricingRounds int
+	// FailedRounds counts rounds lost to injected failures.
+	FailedRounds int
+	// Deferred counts migrations postponed by failures or exhausted
+	// bandwidth.
+	Deferred int
+	// OptedOut counts migrations whose VMU declined to buy bandwidth
+	// (zero best response at the posted price).
+	OptedOut int
+	// MSPRevenue is Σ (p − C)·b over all grants.
+	MSPRevenue float64
+	// MeanAoTM and MaxAoTM summarize migration freshness.
+	MeanAoTM, MaxAoTM float64
+	// MeanVMUUtility averages follower utilities over migrations.
+	MeanVMUUtility float64
+	// PlacementFailures counts migrations whose destination edge server
+	// had no headroom (the twin stays at the source, served remotely).
+	PlacementFailures int
+	// MeanSensingAoI is the time-average Age of Information of the
+	// vehicles' sensing streams (physical-virtual synchronization),
+	// averaged over vehicles. Migration downtime loses updates and shows
+	// up here.
+	MeanSensingAoI float64
+	// SimulatedS is the simulated horizon.
+	SimulatedS float64
+	// PricerName records the MSP strategy.
+	PricerName string
+}
+
+// completion is a scheduled migration-finished event.
+type completion struct {
+	at     float64
+	record MigrationRecord
+}
+
+// completionHeap is a min-heap on completion time.
+type completionHeap []completion
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// vmuProfile is a vehicle's static game profile.
+type vmuProfile struct {
+	alpha float64
+	vt    migration.VTSpec
+}
+
+// pendingMigration is a handover waiting for a pricing round.
+type pendingMigration struct {
+	vehicleID      int
+	fromRSU, toRSU int
+}

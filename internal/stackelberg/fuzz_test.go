@@ -1,0 +1,48 @@
+package stackelberg
+
+import (
+	"math"
+	"testing"
+
+	"vtmig/internal/channel"
+)
+
+// FuzzSolve ensures the equilibrium solver stays total over a wide
+// parameter space: any valid game must solve to a feasible, in-range,
+// non-negative-profit outcome.
+func FuzzSolve(f *testing.F) {
+	f.Add(5.0, 2.0, 5.0, 1.0, 5.0, 0.5)
+	f.Add(20.0, 3.0, 15.0, 0.1, 9.0, 0.01)
+	f.Add(5.0, 1.0, 5.0, 1.0, 49.0, 0.0)
+	f.Fuzz(func(t *testing.T, a1, d1, a2, d2, cost, bmax float64) {
+		clampIn := func(v, lo, hi float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return lo
+			}
+			return lo + math.Mod(math.Abs(v), hi-lo)
+		}
+		vmus := []VMU{
+			{ID: 0, Alpha: clampIn(a1, 1, 30), DataSize: clampIn(d1, 0.1, 5)},
+			{ID: 1, Alpha: clampIn(a2, 1, 30), DataSize: clampIn(d2, 0.1, 5)},
+		}
+		g, err := NewGame(vmus, channel.DefaultParams(), clampIn(cost, 1, 20), 50, clampIn(bmax, 0, 2))
+		if err != nil {
+			t.Fatalf("constructed game invalid: %v", err)
+		}
+		eq := g.Solve()
+		if eq.Price < g.Cost-1e-9 || eq.Price > g.PMax+1e-9 {
+			t.Fatalf("price %v outside [C=%v, pmax=%v]", eq.Price, g.Cost, g.PMax)
+		}
+		if eq.MSPUtility < -1e-9 {
+			t.Fatalf("negative MSP utility %v", eq.MSPUtility)
+		}
+		if g.BMax > 0 && eq.TotalBandwidth > g.BMax+1e-6 {
+			t.Fatalf("Σb %v exceeds Bmax %v", eq.TotalBandwidth, g.BMax)
+		}
+		for n, b := range eq.Demands {
+			if b < 0 || math.IsNaN(b) {
+				t.Fatalf("demand %d = %v", n, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package stackelberg
+
+import (
+	"math"
+
+	"vtmig/internal/mathx"
+)
+
+// Equilibrium is a solved Stackelberg outcome.
+type Equilibrium struct {
+	// Price is the MSP's optimal unit bandwidth price p*.
+	Price float64
+	// Demands are the followers' bandwidth purchases b*_n in MHz.
+	Demands []float64
+	// MSPUtility is U_s(p*, b*).
+	MSPUtility float64
+	// VMUUtilities are U_n(b*_n, p*).
+	VMUUtilities []float64
+	// TotalBandwidth is Σ b*_n.
+	TotalBandwidth float64
+	// CapacityBound reports whether the Bmax constraint binds at the
+	// optimum (the regime behind the price increase in Fig. 3(c)).
+	CapacityBound bool
+}
+
+// UnconstrainedOptimalPrice evaluates the closed form of Theorem 2,
+// p* = sqrt(C·e·Σα_n / ΣD_n), which is exact when every follower's best
+// response is interior (b*_n > 0) and the Bmax constraint is slack.
+func (g *Game) UnconstrainedOptimalPrice() float64 {
+	var sumAlpha, sumD float64
+	for _, v := range g.VMUs {
+		sumAlpha += v.Alpha
+		sumD += v.DataSize
+	}
+	return math.Sqrt(g.Cost * g.SpectralEfficiency() * sumAlpha / sumD)
+}
+
+// solverTol is the bracket tolerance for the price searches. Prices live
+// in [C, pmax] ⊂ [5, 50], so 1e-9 is far below any meaningful digit.
+const solverTol = 1e-9
+
+// solverIters bounds the golden-section/bisection iteration counts.
+const solverIters = 200
+
+// Solve computes the Stackelberg equilibrium of the full constrained game
+// (Problem 1 + Problem 2): the leader maximizes U_s(p) over [C, pmax]
+// subject to Σ b*_n(p) ≤ Bmax, followers play best responses.
+//
+// Strategy: U_s(p) is strictly concave where demands are interior
+// (Theorem 2) and total demand is strictly decreasing in p, so
+//  1. find the unconstrained maximizer by golden-section search
+//     (robust to the max(0,·) kinks of opt-out followers);
+//  2. if total demand at that price exceeds Bmax, move the price up to
+//     the unique point where Σ b*_n(p) = Bmax (bisection) — U_s is
+//     decreasing past the unconstrained optimum, so the binding price is
+//     optimal;
+//  3. if even pmax cannot damp demand below Bmax, charge pmax and admit
+//     demands proportionally scaled to capacity.
+func (g *Game) Solve() Equilibrium {
+	lo, hi := g.Cost, g.PMax
+	price, _ := mathx.GoldenMax(g.MSPUtilityAtPrice, lo, hi, solverTol, solverIters)
+	demands := g.BestResponses(price)
+	capacityBound := false
+
+	if g.BMax > 0 && mathx.Sum(demands) > g.BMax {
+		capacityBound = true
+		excess := func(p float64) float64 { return g.TotalDemand(p) - g.BMax }
+		if excess(g.PMax) <= 0 {
+			// The binding price lies in (price, pmax]: demand is
+			// continuous and strictly decreasing there.
+			if p, ok := mathx.Bisect(excess, price, g.PMax, solverTol, solverIters); ok {
+				price = p
+			} else {
+				price = g.PMax
+			}
+			demands = g.BestResponses(price)
+			// Wash out residual bisection error so Σb ≤ Bmax exactly.
+			if sum := mathx.Sum(demands); sum > g.BMax {
+				scale := g.BMax / sum
+				for i := range demands {
+					demands[i] *= scale
+				}
+			}
+		} else {
+			// Demand exceeds capacity even at pmax: admission control.
+			price = g.PMax
+			demands = g.BestResponses(price)
+			scale := g.BMax / mathx.Sum(demands)
+			for i := range demands {
+				demands[i] *= scale
+			}
+		}
+	}
+
+	return g.equilibriumAt(price, demands, capacityBound)
+}
+
+// Evaluate builds the full equilibrium report for an arbitrary price with
+// followers playing best responses (subject to proportional admission when
+// Bmax binds). This is how learned or baseline prices are scored.
+func (g *Game) Evaluate(price float64) Equilibrium {
+	price = mathx.Clamp(price, g.Cost, g.PMax)
+	demands := g.BestResponses(price)
+	bound := false
+	if g.BMax > 0 {
+		if sum := mathx.Sum(demands); sum > g.BMax {
+			bound = true
+			scale := g.BMax / sum
+			for i := range demands {
+				demands[i] *= scale
+			}
+		}
+	}
+	return g.equilibriumAt(price, demands, bound)
+}
+
+// equilibriumAt assembles the report struct.
+func (g *Game) equilibriumAt(price float64, demands []float64, bound bool) Equilibrium {
+	utilities := make([]float64, g.N())
+	for n := range g.VMUs {
+		utilities[n] = g.VMUUtility(n, demands[n], price)
+	}
+	return Equilibrium{
+		Price:          price,
+		Demands:        demands,
+		MSPUtility:     g.MSPUtility(price, demands),
+		VMUUtilities:   utilities,
+		TotalBandwidth: mathx.Sum(demands),
+		CapacityBound:  bound,
+	}
+}
+
+// SolveFollowersIBR solves the followers' subgame at a fixed price by
+// iterated best response over a bandwidth grid, the generic competitive-
+// game solver used to cross-check the closed form (and reusable for
+// coupled variants such as the multi-MSP extension). It returns the demand
+// vector after convergence.
+//
+// Because the followers' utilities are decoupled in the base game, IBR
+// converges in one sweep; the iteration structure matters only for coupled
+// extensions.
+func (g *Game) SolveFollowersIBR(price float64, sweeps int, tol float64) []float64 {
+	demands := make([]float64, g.N())
+	upper := make([]float64, g.N())
+	for n, v := range g.VMUs {
+		// An upper bracket: utility is negative beyond α/p·e ≫ b*.
+		upper[n] = v.Alpha/price + 1
+	}
+	for s := 0; s < sweeps; s++ {
+		maxShift := 0.0
+		for n := range g.VMUs {
+			obj := func(b float64) float64 { return g.VMUUtility(n, b, price) }
+			b, _ := mathx.GoldenMax(obj, 0, upper[n], 1e-12, solverIters)
+			if obj(0) >= obj(b) {
+				b = 0 // opting out dominates
+			}
+			if shift := math.Abs(b - demands[n]); shift > maxShift {
+				maxShift = shift
+			}
+			demands[n] = b
+		}
+		if maxShift < tol {
+			break
+		}
+	}
+	return demands
+}

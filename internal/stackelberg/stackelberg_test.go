@@ -1,0 +1,465 @@
+package stackelberg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vtmig/internal/aotm"
+	"vtmig/internal/channel"
+	"vtmig/internal/mathx"
+)
+
+// uniformGame builds the Fig. 3(c)/(d) scenario: n VMUs, D=100 MB, α=5,
+// C=5, Bmax=0.5 MHz.
+func uniformGame(t *testing.T, n int) *Game {
+	t.Helper()
+	vmus := make([]VMU, n)
+	for i := range vmus {
+		vmus[i] = VMU{ID: i, Alpha: 5, DataSize: 1}
+	}
+	g, err := NewGame(vmus, channel.DefaultParams(), 5, 50, 0.5)
+	if err != nil {
+		t.Fatalf("NewGame: %v", err)
+	}
+	return g
+}
+
+func TestDefaultGameValidates(t *testing.T) {
+	if err := DefaultGame().Validate(); err != nil {
+		t.Fatalf("DefaultGame invalid: %v", err)
+	}
+}
+
+func TestGameValidation(t *testing.T) {
+	ch := channel.DefaultParams()
+	tests := []struct {
+		name string
+		vmus []VMU
+		cost float64
+		pmax float64
+	}{
+		{"no VMUs", nil, 5, 50},
+		{"bad alpha", []VMU{{ID: 0, Alpha: 0, DataSize: 1}}, 5, 50},
+		{"bad data", []VMU{{ID: 0, Alpha: 5, DataSize: 0}}, 5, 50},
+		{"dup ids", []VMU{{ID: 1, Alpha: 5, DataSize: 1}, {ID: 1, Alpha: 5, DataSize: 1}}, 5, 50},
+		{"zero cost", []VMU{{ID: 0, Alpha: 5, DataSize: 1}}, 0, 50},
+		{"pmax below cost", []VMU{{ID: 0, Alpha: 5, DataSize: 1}}, 5, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewGame(tt.vmus, ch, tt.cost, tt.pmax, 0.5); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestBestResponseClosedForm(t *testing.T) {
+	g := DefaultGame()
+	e := g.SpectralEfficiency()
+	price := 25.0
+	for n, v := range g.VMUs {
+		want := v.Alpha/price - v.DataSize/e
+		if got := g.BestResponse(n, price); !mathx.AlmostEqual(got, want, 1e-12) {
+			t.Errorf("BestResponse(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestBestResponseFloorsAtZero(t *testing.T) {
+	g := DefaultGame()
+	// At a price above α·e/D the interior optimum is negative; the VMU
+	// opts out.
+	if got := g.BestResponse(0, 1e6); got != 0 {
+		t.Errorf("BestResponse at huge price = %v, want 0", got)
+	}
+}
+
+func TestBestResponseMaximizesUtility(t *testing.T) {
+	// The closed form must beat a dense grid of alternatives (Theorem 1).
+	g := DefaultGame()
+	for _, price := range []float64{10, 25, 40} {
+		for n := range g.VMUs {
+			b := g.BestResponse(n, price)
+			best := g.VMUUtility(n, b, price)
+			for _, alt := range mathx.Linspace(0.0001, 1, 500) {
+				if u := g.VMUUtility(n, alt, price); u > best+1e-9 {
+					t.Fatalf("VMU %d at p=%v: b=%v beaten by alt=%v (%v > %v)", n, price, b, alt, u, best)
+				}
+			}
+		}
+	}
+}
+
+func TestMarginalUtilityZeroAtBestResponse(t *testing.T) {
+	g := DefaultGame()
+	price := 20.0
+	for n := range g.VMUs {
+		b := g.BestResponse(n, price)
+		if d := g.VMUMarginalUtility(n, b, price); !mathx.AlmostEqual(d, 0, 1e-9) {
+			t.Errorf("marginal utility at best response = %v, want 0", d)
+		}
+	}
+}
+
+// TestVMUUtilityStrictlyConcave is the computational content of Theorem 1:
+// the second difference of U_n(b) is negative everywhere.
+func TestVMUUtilityStrictlyConcave(t *testing.T) {
+	g := DefaultGame()
+	const h = 1e-4
+	for _, price := range []float64{6, 25, 49} {
+		for n := range g.VMUs {
+			for _, b := range mathx.Linspace(0.01, 1, 50) {
+				second := g.VMUUtility(n, b+h, price) - 2*g.VMUUtility(n, b, price) + g.VMUUtility(n, b-h, price)
+				if second >= 0 {
+					t.Fatalf("U_%d not concave at b=%v, p=%v: second difference %v", n, b, price, second)
+				}
+			}
+		}
+	}
+}
+
+// TestMSPUtilityStrictlyConcave is the computational content of Theorem 2
+// on the interior region (all followers active).
+func TestMSPUtilityStrictlyConcave(t *testing.T) {
+	g := DefaultGame()
+	const h = 1e-3
+	for _, p := range mathx.Linspace(6, 49, 60) {
+		second := g.MSPUtilityAtPrice(p+h) - 2*g.MSPUtilityAtPrice(p) + g.MSPUtilityAtPrice(p-h)
+		if second >= 0 {
+			t.Fatalf("U_s not concave at p=%v: second difference %v", p, second)
+		}
+	}
+}
+
+func TestUnconstrainedOptimalPriceClosedForm(t *testing.T) {
+	g := DefaultGame()
+	e := g.SpectralEfficiency()
+	want := math.Sqrt(5 * e * 10 / 3) // C=5, Σα=10, ΣD=3
+	if got := g.UnconstrainedOptimalPrice(); !mathx.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("p* = %v, want %v", got, want)
+	}
+	// The paper reports ≈25 for this scenario.
+	if got := g.UnconstrainedOptimalPrice(); math.Abs(got-25.3) > 0.2 {
+		t.Errorf("p* = %v, want ≈25.3 (paper: 25)", got)
+	}
+}
+
+// TestSolveMatchesPaperAnchors pins the solver to every numeric anchor
+// reported in Section V of the paper.
+func TestSolveMatchesPaperAnchors(t *testing.T) {
+	t.Run("cost sweep prices (Fig 3a)", func(t *testing.T) {
+		// C=5 ⇒ p*≈25.3 (paper: 25); C=9 ⇒ p*≈34.0 (paper: 34).
+		for _, tc := range []struct{ cost, wantPrice, tol float64 }{
+			{5, 25.34, 0.05},
+			{9, 34.00, 0.05},
+		} {
+			g := DefaultGame()
+			g.Cost = tc.cost
+			eq := g.Solve()
+			if math.Abs(eq.Price-tc.wantPrice) > tc.tol {
+				t.Errorf("C=%v: price %v, want %v±%v", tc.cost, eq.Price, tc.wantPrice, tc.tol)
+			}
+			if eq.CapacityBound {
+				t.Errorf("C=%v: capacity should not bind with 2 VMUs", tc.cost)
+			}
+		}
+	})
+
+	t.Run("bandwidth at C=8 (Fig 3b)", func(t *testing.T) {
+		g := DefaultGame()
+		g.Cost = 8
+		eq := g.Solve()
+		// Paper reports 23.4 in display units of 10 kHz (×100 of MHz).
+		if got := eq.TotalBandwidth * 100; math.Abs(got-23.4) > 0.1 {
+			t.Errorf("total bandwidth = %v (×10kHz), want 23.4", got)
+		}
+	})
+
+	t.Run("MSP utility vs N (Fig 3c)", func(t *testing.T) {
+		for _, tc := range []struct {
+			n         int
+			wantUs    float64
+			wantBound bool
+		}{
+			{2, 7.03, false},  // paper: 7.03
+			{6, 20.35, false}, // paper: 20.35; capacity binds here
+		} {
+			g := uniformGame(t, tc.n)
+			eq := g.Solve()
+			if math.Abs(eq.MSPUtility-tc.wantUs) > 0.05 {
+				t.Errorf("N=%d: U_s = %v, want %v", tc.n, eq.MSPUtility, tc.wantUs)
+			}
+		}
+	})
+
+	t.Run("capacity binds for large N (Fig 3c price rise)", func(t *testing.T) {
+		small := uniformGame(t, 2).Solve()
+		large := uniformGame(t, 6).Solve()
+		if small.CapacityBound {
+			t.Error("capacity must be slack at N=2")
+		}
+		if !large.CapacityBound {
+			t.Error("capacity must bind at N=6")
+		}
+		if large.Price <= small.Price {
+			t.Errorf("price must rise when capacity binds: N=2 %v, N=6 %v", small.Price, large.Price)
+		}
+		if got := large.TotalBandwidth; !mathx.AlmostEqual(got, 0.5, 1e-6) {
+			t.Errorf("bound total bandwidth = %v, want Bmax=0.5", got)
+		}
+	})
+
+	t.Run("price flat while capacity slack (Fig 3c)", func(t *testing.T) {
+		p2 := uniformGame(t, 2).Solve().Price
+		p3 := uniformGame(t, 3).Solve().Price
+		if math.Abs(p2-p3) > 0.01 {
+			t.Errorf("price should stay ≈constant while slack: N=2 %v, N=3 %v", p2, p3)
+		}
+	})
+
+	t.Run("average VMU utility falls with N (Fig 3d)", func(t *testing.T) {
+		u2 := mathx.Mean(uniformGame(t, 2).Solve().VMUUtilities)
+		u6 := mathx.Mean(uniformGame(t, 6).Solve().VMUUtilities)
+		if u6 >= u2 {
+			t.Errorf("average VMU utility must fall: N=2 %v, N=6 %v", u2, u6)
+		}
+	})
+}
+
+func TestSolveAgreesWithClosedFormWhenUnconstrained(t *testing.T) {
+	g := DefaultGame()
+	g.BMax = 0 // unconstrained
+	eq := g.Solve()
+	if want := g.UnconstrainedOptimalPrice(); !mathx.AlmostEqual(eq.Price, want, 1e-5) {
+		t.Errorf("Solve price %v, closed form %v", eq.Price, want)
+	}
+	for n := range g.VMUs {
+		if want := g.BestResponse(n, eq.Price); !mathx.AlmostEqual(eq.Demands[n], want, 1e-9) {
+			t.Errorf("demand %d = %v, want %v", n, eq.Demands[n], want)
+		}
+	}
+}
+
+func TestSolveRespectsCapacityExactly(t *testing.T) {
+	for n := 4; n <= 8; n++ {
+		g := uniformGame(t, n)
+		eq := g.Solve()
+		if eq.TotalBandwidth > g.BMax+1e-9 {
+			t.Errorf("N=%d: Σb = %v exceeds Bmax %v", n, eq.TotalBandwidth, g.BMax)
+		}
+	}
+}
+
+func TestSolveAdmissionControlAtPMax(t *testing.T) {
+	// Tiny Bmax: even pmax cannot damp demand; the solver must charge
+	// pmax and scale admissions.
+	g := uniformGame(t, 6)
+	g.BMax = 0.01
+	eq := g.Solve()
+	if !mathx.AlmostEqual(eq.Price, g.PMax, 1e-9) {
+		t.Errorf("price = %v, want pmax %v", eq.Price, g.PMax)
+	}
+	if !mathx.AlmostEqual(eq.TotalBandwidth, 0.01, 1e-9) {
+		t.Errorf("Σb = %v, want Bmax 0.01", eq.TotalBandwidth)
+	}
+	if !eq.CapacityBound {
+		t.Error("CapacityBound must be set")
+	}
+}
+
+func TestEvaluateClampsPrice(t *testing.T) {
+	g := DefaultGame()
+	eq := g.Evaluate(1000)
+	if eq.Price != g.PMax {
+		t.Errorf("Evaluate clamped price = %v, want %v", eq.Price, g.PMax)
+	}
+	eq = g.Evaluate(0.1)
+	if eq.Price != g.Cost {
+		t.Errorf("Evaluate clamped price = %v, want %v", eq.Price, g.Cost)
+	}
+}
+
+func TestEvaluateAtOptimumMatchesSolve(t *testing.T) {
+	g := DefaultGame()
+	eq := g.Solve()
+	ev := g.Evaluate(eq.Price)
+	if !mathx.AlmostEqual(ev.MSPUtility, eq.MSPUtility, 1e-9) {
+		t.Errorf("Evaluate(%v) U_s = %v, Solve U_s = %v", eq.Price, ev.MSPUtility, eq.MSPUtility)
+	}
+}
+
+func TestIBRMatchesClosedForm(t *testing.T) {
+	g := DefaultGame()
+	for _, price := range []float64{10, 25, 40} {
+		ibr := g.SolveFollowersIBR(price, 10, 1e-10)
+		for n := range g.VMUs {
+			want := g.BestResponse(n, price)
+			if !mathx.AlmostEqual(ibr[n], want, 1e-5) {
+				t.Errorf("p=%v VMU %d: IBR %v, closed form %v", price, n, ibr[n], want)
+			}
+		}
+	}
+}
+
+func TestIBRHandlesOptOut(t *testing.T) {
+	g := DefaultGame()
+	// Price just below pmax where D=200MB VMU has a tiny/zero response.
+	ibr := g.SolveFollowersIBR(49.9, 10, 1e-10)
+	for n := range g.VMUs {
+		want := g.BestResponse(n, 49.9)
+		if !mathx.AlmostEqual(ibr[n], want, 1e-4) {
+			t.Errorf("VMU %d: IBR %v, closed form %v", n, ibr[n], want)
+		}
+	}
+}
+
+func TestVerifyEquilibriumAccepts(t *testing.T) {
+	g := DefaultGame()
+	eq := g.Solve()
+	res := g.VerifyEquilibrium(eq, 200, 1e-6)
+	if !res.OK {
+		t.Fatalf("equilibrium rejected: %v", res.Violations)
+	}
+}
+
+func TestVerifyEquilibriumAcceptsCapacityBound(t *testing.T) {
+	g := uniformGame(t, 6)
+	eq := g.Solve()
+	res := g.VerifyEquilibrium(eq, 200, 1e-6)
+	if !res.OK {
+		t.Fatalf("capacity-bound equilibrium rejected: %v", res.Violations)
+	}
+}
+
+func TestVerifyEquilibriumRejectsBadPrice(t *testing.T) {
+	g := DefaultGame()
+	bad := g.Evaluate(10) // far from optimal
+	res := g.VerifyEquilibrium(bad, 100, 1e-6)
+	if res.OK {
+		t.Fatal("suboptimal price passed verification")
+	}
+	if res.MaxLeaderGain <= 0 {
+		t.Error("expected a positive leader gain")
+	}
+}
+
+func TestVerifyEquilibriumRejectsBadDemand(t *testing.T) {
+	g := DefaultGame()
+	eq := g.Solve()
+	eq.Demands[0] *= 0.2 // follower 0 deviates from best response
+	eq.VMUUtilities[0] = g.VMUUtility(0, eq.Demands[0], eq.Price)
+	res := g.VerifyEquilibrium(eq, 300, 1e-6)
+	if res.OK {
+		t.Fatal("non-best-response demand passed verification")
+	}
+	if res.MaxFollowerGain <= 0 {
+		t.Error("expected a positive follower gain")
+	}
+}
+
+func TestAoTMsAtEquilibrium(t *testing.T) {
+	g := DefaultGame()
+	eq := g.Solve()
+	ages := g.AoTMs(eq.Demands)
+	e := g.SpectralEfficiency()
+	for n, v := range g.VMUs {
+		want := v.DataSize / (eq.Demands[n] * e)
+		if !mathx.AlmostEqual(ages[n], want, 1e-12) {
+			t.Errorf("AoTM %d = %v, want %v", n, ages[n], want)
+		}
+	}
+	// VMU 0 migrates 200 MB, VMU 1 migrates 100 MB at the same α: the
+	// bigger twin must be staler.
+	if ages[0] <= ages[1] {
+		t.Errorf("expected AoTM_0 > AoTM_1, got %v vs %v", ages[0], ages[1])
+	}
+}
+
+// Property: the Stackelberg equilibrium price weakly increases in the unit
+// cost C (the economics behind Fig. 3(a)).
+func TestPriceMonotoneInCostProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		c1 := 5 + float64(seed%40)/10 // [5, 9)
+		c2 := c1 + 0.5
+		g1 := DefaultGame()
+		g1.Cost = c1
+		g2 := DefaultGame()
+		g2.Cost = c2
+		return g2.Solve().Price >= g1.Solve().Price-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total demand is non-increasing in price.
+func TestDemandMonotoneInPriceProperty(t *testing.T) {
+	g := DefaultGame()
+	f := func(seed uint8) bool {
+		p := 5 + float64(seed%45)
+		return g.TotalDemand(p+1) <= g.TotalDemand(p)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: at the solved equilibrium, MSP utility is non-negative (the
+// MSP never sells below cost).
+func TestMSPUtilityNonNegativeProperty(t *testing.T) {
+	f := func(a1, a2, d1, d2 uint8) bool {
+		vmus := []VMU{
+			{ID: 0, Alpha: 5 + float64(a1%16), DataSize: 1 + float64(d1%3)},
+			{ID: 1, Alpha: 5 + float64(a2%16), DataSize: 1 + float64(d2%3)},
+		}
+		g, err := NewGame(vmus, channel.DefaultParams(), 5, 50, 0.5)
+		if err != nil {
+			return false
+		}
+		eq := g.Solve()
+		return eq.MSPUtility >= -1e-9 && eq.Price >= g.Cost && eq.Price <= g.PMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromMBHelperInGameSetup(t *testing.T) {
+	g := DefaultGame()
+	if g.VMUs[0].DataSize != aotm.FromMB(200) {
+		t.Errorf("default D1 = %v, want 2 (200 MB)", g.VMUs[0].DataSize)
+	}
+}
+
+func TestVerifyEquilibriumGridValidation(t *testing.T) {
+	g := DefaultGame()
+	eq := g.Solve()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gridN=1 did not panic")
+		}
+	}()
+	g.VerifyEquilibrium(eq, 1, 1e-6)
+}
+
+func TestBestResponsePriceValidation(t *testing.T) {
+	g := DefaultGame()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero price did not panic")
+		}
+	}()
+	g.BestResponse(0, 0)
+}
+
+func TestMSPUtilityDemandLengthPanics(t *testing.T) {
+	g := DefaultGame()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short demand vector did not panic")
+		}
+	}()
+	g.MSPUtility(10, []float64{0.1})
+}

@@ -1,0 +1,84 @@
+package stackelberg
+
+import (
+	"fmt"
+
+	"vtmig/internal/mathx"
+)
+
+// VerifyResult reports an equilibrium check per Definition 1.
+type VerifyResult struct {
+	// OK is true when no profitable unilateral deviation was found.
+	OK bool
+	// Violations describes each profitable deviation discovered.
+	Violations []string
+	// MaxLeaderGain is the largest utility improvement the MSP could
+	// achieve by deviating (0 when none).
+	MaxLeaderGain float64
+	// MaxFollowerGain is the largest utility improvement any VMU could
+	// achieve by deviating (0 when none).
+	MaxFollowerGain float64
+}
+
+// VerifyEquilibrium checks Definition 1 on a grid: the MSP must not gain
+// by changing the price (with followers re-optimizing), and no VMU must
+// gain by changing its own bandwidth at the equilibrium price. gridN sets
+// the deviation-grid resolution; tol is the utility slack treated as
+// numerical noise.
+//
+// When the capacity constraint binds, leader deviations are evaluated
+// against the same feasibility rule used by Solve (prices that would
+// oversubscribe Bmax are admission-scaled), and follower deviations are
+// restricted to the follower's feasible interval given the others' fixed
+// purchases.
+func (g *Game) VerifyEquilibrium(eq Equilibrium, gridN int, tol float64) VerifyResult {
+	if gridN < 2 {
+		panic(fmt.Sprintf("stackelberg: gridN must be >= 2, got %d", gridN))
+	}
+	res := VerifyResult{OK: true}
+
+	// Leader deviations over the price range.
+	for _, p := range mathx.Linspace(g.Cost, g.PMax, gridN) {
+		alt := g.Evaluate(p)
+		if gain := alt.MSPUtility - eq.MSPUtility; gain > tol {
+			res.OK = false
+			if gain > res.MaxLeaderGain {
+				res.MaxLeaderGain = gain
+			}
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("MSP gains %.6g by pricing %.6g instead of %.6g", gain, p, eq.Price))
+		}
+	}
+
+	// Follower deviations at the equilibrium price.
+	for n := range g.VMUs {
+		current := eq.VMUUtilities[n]
+		hi := g.VMUs[n].Alpha/eq.Price + 1
+		if g.BMax > 0 {
+			othersTotal := eq.TotalBandwidth - eq.Demands[n]
+			if headroom := g.BMax - othersTotal; headroom < hi {
+				hi = headroom
+			}
+		}
+		if hi <= 0 {
+			continue
+		}
+		for _, b := range mathx.Linspace(0, hi, gridN) {
+			var u float64
+			if b == 0 {
+				u = 0
+			} else {
+				u = g.VMUUtility(n, b, eq.Price)
+			}
+			if gain := u - current; gain > tol {
+				res.OK = false
+				if gain > res.MaxFollowerGain {
+					res.MaxFollowerGain = gain
+				}
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("VMU %d gains %.6g by buying %.6g instead of %.6g", n, gain, b, eq.Demands[n]))
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the trace reader never panics on arbitrary input and
+// that everything it accepts round-trips through the tracer.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"t":1,"kind":"handover","vehicle":3}`)
+	f.Add("")
+	f.Add("\n\n")
+	f.Add(`{"t":-5,"kind":"pricing_round","price":1e308}`)
+	f.Add(`{"t":1,"kind":"x"}{"t":2}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		tr := NewTracer(&buf)
+		for _, e := range events {
+			if err := tr.Emit(e); err != nil {
+				t.Fatalf("re-emitting accepted event: %v", err)
+			}
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-reading emitted trace: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip lost events: %d -> %d", len(events), len(again))
+		}
+	})
+}

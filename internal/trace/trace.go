@@ -1,0 +1,129 @@
+// Package trace provides structured event tracing for the vehicular
+// simulator: events are emitted as JSON Lines so a run can be inspected
+// with standard tooling, replayed, or summarized programmatically.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind enumerates the event types the simulator emits.
+type Kind string
+
+// Event kinds.
+const (
+	KindHandover          Kind = "handover"
+	KindPricingRound      Kind = "pricing_round"
+	KindPricingFailure    Kind = "pricing_failure"
+	KindMigrationStart    Kind = "migration_start"
+	KindMigrationComplete Kind = "migration_complete"
+	KindDeferred          Kind = "deferred"
+)
+
+// Event is one trace record. Unused fields stay at their zero values and
+// are omitted from the JSON.
+type Event struct {
+	// TimeS is the simulation time in seconds.
+	TimeS float64 `json:"t"`
+	// Kind tags the record.
+	Kind Kind `json:"kind"`
+	// Vehicle is the vehicle/VMU id (-1 when not applicable).
+	Vehicle int `json:"vehicle,omitempty"`
+	// FromRSU and ToRSU describe a handover or migration route.
+	FromRSU int `json:"from_rsu,omitempty"`
+	ToRSU   int `json:"to_rsu,omitempty"`
+	// Price is the posted unit bandwidth price of a pricing round.
+	Price float64 `json:"price,omitempty"`
+	// Bandwidth is a grant in MHz.
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// AoTM is the migration's age in seconds.
+	AoTM float64 `json:"aotm,omitempty"`
+	// Participants counts the VMUs in a pricing round.
+	Participants int `json:"participants,omitempty"`
+}
+
+// Tracer serializes events to a writer as JSON Lines. A nil *Tracer is
+// valid and discards everything, so call sites need no nil checks.
+type Tracer struct {
+	enc *json.Encoder
+}
+
+// NewTracer wraps a writer. Passing nil returns a discarding tracer.
+func NewTracer(w io.Writer) *Tracer {
+	if w == nil {
+		return nil
+	}
+	return &Tracer{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event. Emit on a nil tracer is a no-op. Encoding errors
+// are reported so callers can stop tracing a broken sink.
+func (t *Tracer) Emit(e Event) error {
+	if t == nil {
+		return nil
+	}
+	if err := t.enc.Encode(e); err != nil {
+		return fmt.Errorf("trace: encoding event: %w", err)
+	}
+	return nil
+}
+
+// Read decodes all events from a JSONL stream.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading stream: %w", err)
+	}
+	return out, nil
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	// Counts maps event kind to occurrences.
+	Counts map[Kind]int
+	// FirstS and LastS bound the traced time range.
+	FirstS, LastS float64
+	// MeanRoundPrice averages the posted prices over pricing rounds.
+	MeanRoundPrice float64
+}
+
+// Summarize computes aggregate statistics over events.
+func Summarize(events []Event) Summary {
+	s := Summary{Counts: make(map[Kind]int)}
+	var priceSum float64
+	var rounds int
+	for i, e := range events {
+		s.Counts[e.Kind]++
+		if i == 0 || e.TimeS < s.FirstS {
+			s.FirstS = e.TimeS
+		}
+		if e.TimeS > s.LastS {
+			s.LastS = e.TimeS
+		}
+		if e.Kind == KindPricingRound {
+			priceSum += e.Price
+			rounds++
+		}
+	}
+	if rounds > 0 {
+		s.MeanRoundPrice = priceSum / float64(rounds)
+	}
+	return s
+}

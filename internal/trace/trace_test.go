@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEmitReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	events := []Event{
+		{TimeS: 1, Kind: KindHandover, Vehicle: 3, FromRSU: 0, ToRSU: 1},
+		{TimeS: 2, Kind: KindPricingRound, Vehicle: -1, Price: 25.3, Participants: 2},
+		{TimeS: 3, Kind: KindMigrationComplete, Vehicle: 3, AoTM: 0.21, Bandwidth: 0.3},
+	}
+	for _, e := range events {
+		if err := tr.Emit(e); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestNilTracerDiscards(t *testing.T) {
+	tr := NewTracer(nil)
+	if tr != nil {
+		t.Fatal("NewTracer(nil) must return nil")
+	}
+	if err := tr.Emit(Event{Kind: KindHandover}); err != nil {
+		t.Errorf("nil tracer Emit = %v, want nil", err)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("sink broken") }
+
+func TestEmitReportsSinkErrors(t *testing.T) {
+	tr := NewTracer(failingWriter{})
+	if err := tr.Emit(Event{Kind: KindHandover}); err == nil {
+		t.Fatal("broken sink did not error")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := "{\"t\":1,\"kind\":\"handover\"}\n\n{\"t\":2,\"kind\":\"deferred\"}\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d events, want 2", len(got))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{TimeS: 5, Kind: KindHandover},
+		{TimeS: 6, Kind: KindPricingRound, Price: 20},
+		{TimeS: 8, Kind: KindPricingRound, Price: 30},
+		{TimeS: 9, Kind: KindMigrationComplete},
+	}
+	s := Summarize(events)
+	if s.Counts[KindPricingRound] != 2 || s.Counts[KindHandover] != 1 {
+		t.Errorf("counts = %v", s.Counts)
+	}
+	if s.FirstS != 5 || s.LastS != 9 {
+		t.Errorf("range = [%v, %v], want [5, 9]", s.FirstS, s.LastS)
+	}
+	if s.MeanRoundPrice != 25 {
+		t.Errorf("mean price = %v, want 25", s.MeanRoundPrice)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if len(s.Counts) != 0 || s.MeanRoundPrice != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}

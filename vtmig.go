@@ -1,0 +1,113 @@
+package vtmig
+
+import (
+	"vtmig/internal/aotm"
+	"vtmig/internal/baselines"
+	"vtmig/internal/channel"
+	"vtmig/internal/experiments"
+	"vtmig/internal/pomdp"
+	"vtmig/internal/rl"
+	"vtmig/internal/sim"
+	"vtmig/internal/stackelberg"
+)
+
+// Core game types.
+type (
+	// VMU is one follower of the Stackelberg game (a vehicular metaverse
+	// user whose twin must migrate).
+	VMU = stackelberg.VMU
+	// Game is the AoTM-based Stackelberg pricing game.
+	Game = stackelberg.Game
+	// Equilibrium is a solved game outcome.
+	Equilibrium = stackelberg.Equilibrium
+	// ChannelParams is the RSU-to-RSU wireless link model.
+	ChannelParams = channel.Params
+)
+
+// Learning types.
+type (
+	// DRLConfig bundles the training hyper-parameters of Algorithm 1.
+	DRLConfig = experiments.DRLConfig
+	// TrainResult is a trained MSP agent with its learning history.
+	TrainResult = experiments.TrainResult
+	// PPO is the proximal-policy-optimization learner.
+	PPO = rl.PPO
+	// GameEnv is the pricing game as a POMDP.
+	GameEnv = pomdp.GameEnv
+)
+
+// Simulation types.
+type (
+	// SimConfig parameterizes the end-to-end vehicular simulator.
+	SimConfig = sim.Config
+	// SimReport aggregates one simulation run.
+	SimReport = sim.Report
+)
+
+// NewGame constructs a validated Stackelberg game. Data sizes are in
+// units of 100 MB (use FromMB), bandwidth in MHz.
+func NewGame(vmus []VMU, ch ChannelParams, cost, pmax, bmax float64) (*Game, error) {
+	return stackelberg.NewGame(vmus, ch, cost, pmax, bmax)
+}
+
+// DefaultGame returns the paper's two-VMU benchmark (α=5, D={200,100} MB,
+// C=5, pmax=50, Bmax=0.5 MHz).
+func DefaultGame() *Game { return stackelberg.DefaultGame() }
+
+// DefaultChannel returns the paper's RSU channel parameters (40 dBm,
+// −20 dB unit gain, 500 m, ε=2, −150 dBm noise).
+func DefaultChannel() ChannelParams { return channel.DefaultParams() }
+
+// FromMB converts megabytes into the model's 100 MB data unit.
+func FromMB(mb float64) float64 { return aotm.FromMB(mb) }
+
+// AoTM computes the Age of Twin Migration A = D/γ (Eq. 1).
+func AoTM(dataSize, rate float64) float64 { return aotm.AoTM(dataSize, rate) }
+
+// Immersion computes the VMU immersion G = α·ln(1 + 1/A).
+func Immersion(alpha, age float64) float64 { return aotm.Immersion(alpha, age) }
+
+// DefaultDRLConfig returns the training configuration aligned with the
+// paper's Section V (L=4, K=100, |I|=20, M=10, two 64-unit hidden layers).
+func DefaultDRLConfig() DRLConfig { return experiments.DefaultDRLConfig() }
+
+// TrainAgent trains the MSP's PPO pricing agent on a game under
+// incomplete information (Algorithm 1) and evaluates the learned policy.
+func TrainAgent(game *Game, cfg DRLConfig) (*TrainResult, error) {
+	return experiments.TrainAgent(game, cfg)
+}
+
+// RunBaseline plays one K-round pricing episode with the named baseline
+// ("random", "greedy", "oracle", "qlearning", or "identification") and
+// returns its mean MSP utility.
+func RunBaseline(game *Game, name string, rounds int, seed int64) (float64, error) {
+	var p baselines.Policy
+	switch name {
+	case "random":
+		p = baselines.NewRandom(game.Cost, game.PMax, seed)
+	case "greedy":
+		p = baselines.NewGreedy(game.Cost, game.PMax, 0.1, seed)
+	case "oracle":
+		p = baselines.NewOracle(game)
+	case "qlearning":
+		p = baselines.NewQLearning(game.Cost, game.PMax, 46, 1.0, 1.0, 0.99, seed)
+	case "identification":
+		p = baselines.NewIdentification(game.Cost, game.PMax, game.Cost)
+	default:
+		return 0, errUnknownBaseline(name)
+	}
+	return baselines.RunEpisode(game, p, rounds).MeanUtility, nil
+}
+
+// DefaultSimConfig returns a 6-vehicle highway scenario aligned with the
+// paper's parameter ranges.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// RunSimulation executes the end-to-end vehicular-metaverse simulation.
+func RunSimulation(cfg SimConfig) (SimReport, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return SimReport{}, err
+	}
+	return s.Run(), nil
+}

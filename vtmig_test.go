@@ -1,0 +1,124 @@
+package vtmig_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"vtmig"
+)
+
+func TestFacadeDefaultGame(t *testing.T) {
+	g := vtmig.DefaultGame()
+	if g.N() != 2 {
+		t.Fatalf("N = %d, want 2", g.N())
+	}
+	eq := g.Solve()
+	if math.Abs(eq.Price-25.34) > 0.05 {
+		t.Errorf("equilibrium price = %v, want ≈25.34 (paper: 25)", eq.Price)
+	}
+}
+
+func TestFacadeNewGame(t *testing.T) {
+	g, err := vtmig.NewGame(
+		[]vtmig.VMU{{ID: 0, Alpha: 8, DataSize: vtmig.FromMB(150)}},
+		vtmig.DefaultChannel(), 5, 50, 0.5,
+	)
+	if err != nil {
+		t.Fatalf("NewGame: %v", err)
+	}
+	if got := g.VMUs[0].DataSize; got != 1.5 {
+		t.Errorf("DataSize = %v, want 1.5 (150 MB)", got)
+	}
+}
+
+func TestFacadeAoTMAndImmersion(t *testing.T) {
+	a := vtmig.AoTM(2, 4)
+	if a != 0.5 {
+		t.Errorf("AoTM = %v, want 0.5", a)
+	}
+	g := vtmig.Immersion(5, a)
+	if want := 5 * math.Log(3); math.Abs(g-want) > 1e-12 {
+		t.Errorf("Immersion = %v, want %v", g, want)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	g := vtmig.DefaultGame()
+	oracle, err := vtmig.RunBaseline(g, "oracle", 10, 1)
+	if err != nil {
+		t.Fatalf("RunBaseline(oracle): %v", err)
+	}
+	random, err := vtmig.RunBaseline(g, "random", 100, 1)
+	if err != nil {
+		t.Fatalf("RunBaseline(random): %v", err)
+	}
+	if oracle <= random {
+		t.Errorf("oracle %v must beat random %v", oracle, random)
+	}
+	if _, err := vtmig.RunBaseline(g, "nonsense", 10, 1); err == nil {
+		t.Error("unknown baseline must error")
+	} else {
+		var ub *vtmig.UnknownBaselineError
+		if !errors.As(err, &ub) || ub.Name != "nonsense" {
+			t.Errorf("error = %v, want UnknownBaselineError{nonsense}", err)
+		}
+	}
+}
+
+func TestFacadeTrainAgentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	cfg := vtmig.DefaultDRLConfig()
+	cfg.Episodes = 20
+	cfg.Rounds = 50
+	res, err := vtmig.TrainAgent(vtmig.DefaultGame(), cfg)
+	if err != nil {
+		t.Fatalf("TrainAgent: %v", err)
+	}
+	if res.EvalOutcome.MSPUtility <= 0 {
+		t.Errorf("trained utility = %v, want > 0", res.EvalOutcome.MSPUtility)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	cfg := vtmig.DefaultSimConfig()
+	cfg.DurationS = 300
+	rep, err := vtmig.RunSimulation(cfg)
+	if err != nil {
+		t.Fatalf("RunSimulation: %v", err)
+	}
+	if len(rep.Migrations) == 0 {
+		t.Error("no migrations completed")
+	}
+	bad := vtmig.DefaultSimConfig()
+	bad.Vehicles = 0
+	if _, err := vtmig.RunSimulation(bad); err == nil {
+		t.Error("invalid config must error")
+	}
+}
+
+func TestFacadeExtraBaselines(t *testing.T) {
+	g := vtmig.DefaultGame()
+	ident, err := vtmig.RunBaseline(g, "identification", 50, 1)
+	if err != nil {
+		t.Fatalf("RunBaseline(identification): %v", err)
+	}
+	ql, err := vtmig.RunBaseline(g, "qlearning", 500, 1)
+	if err != nil {
+		t.Fatalf("RunBaseline(qlearning): %v", err)
+	}
+	random, err := vtmig.RunBaseline(g, "random", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identification converges after two probes, so its mean over 50
+	// rounds must beat random pricing.
+	if ident <= random {
+		t.Errorf("identification mean %v must beat random %v", ident, random)
+	}
+	if ql <= 0 {
+		t.Errorf("qlearning mean %v must be positive", ql)
+	}
+}
