@@ -1,0 +1,41 @@
+# Development targets for the vtmig reproduction. `make ci` is the gate
+# run before merging: vet, build, race-enabled tests (which exercise the
+# experiment worker pool under the race detector), and a short benchmark
+# smoke pass over the PPO hot path.
+
+GO ?= go
+
+.PHONY: all vet build test race bench-smoke bench golden ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; the worker-pool and
+# parallel-sweep tests make data races in the experiment fan-out fail
+# loudly here.
+race:
+	$(GO) test -race ./...
+
+# bench-smoke exercises the PPO hot-path benchmarks just enough to catch
+# gross regressions and allocation reintroductions.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'PPOUpdate$$|PPOSelectAction|MLPForward|MatMul' -benchmem -benchtime 100x .
+
+# bench is the full benchmark suite used to fill BENCH_pr*.json.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 2s .
+
+# golden regenerates the fixed-seed golden files after an intentional
+# numeric change.
+golden:
+	$(GO) test ./internal/experiments -run Golden -update
+
+ci: vet build race bench-smoke

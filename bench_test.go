@@ -13,6 +13,7 @@ import (
 
 	"vtmig"
 	"vtmig/internal/experiments"
+	"vtmig/internal/mat"
 	"vtmig/internal/nn"
 	"vtmig/internal/pomdp"
 	"vtmig/internal/rl"
@@ -244,6 +245,91 @@ func BenchmarkMLPForward(b *testing.B) {
 		if out := m.Forward(x); len(out) != 1 {
 			b.Fatal("bad forward")
 		}
+	}
+}
+
+// BenchmarkMLPForwardBatch measures the batched-inference entry point on a
+// PPO-minibatch-sized input (20 rows through the 64×64 tanh network).
+func BenchmarkMLPForwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := nn.NewMLP("bench", []int{12, 64, 64, 1}, nn.ActTanh, rng)
+	x := mat.New(20, 12)
+	x.Randomize(rng, 1)
+	m.ForwardBatch(x) // grow scratch outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := m.ForwardBatch(x); out.Rows != 20 {
+			b.Fatal("bad batch forward")
+		}
+	}
+}
+
+// BenchmarkMLPBackwardBatch measures a full batched forward+backward pass,
+// the per-minibatch cost of one PPO gradient accumulation.
+func BenchmarkMLPBackwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := nn.NewMLP("bench", []int{12, 64, 64, 1}, nn.ActTanh, rng)
+	x := mat.New(20, 12)
+	x.Randomize(rng, 1)
+	dy := mat.New(20, 1)
+	dy.Fill(1)
+	m.ForwardBatch(x)
+	m.BackwardBatch(dy)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardBatch(x)
+		m.BackwardBatch(dy)
+	}
+}
+
+// --- microbenchmarks of the mat kernel layer (PPO-minibatch shapes) ---
+
+// benchKernelMats builds the operand shapes of the paper network's widest
+// layer under a minibatch of 20: X 20×64, W 64×64, dY 20×64.
+func benchKernelMats() (x, w, dy *mat.Matrix) {
+	rng := rand.New(rand.NewSource(2))
+	x = mat.New(20, 64)
+	x.Randomize(rng, 1)
+	w = mat.New(64, 64)
+	w.Randomize(rng, 1)
+	dy = mat.New(20, 64)
+	dy.Randomize(rng, 1)
+	return x, w, dy
+}
+
+// BenchmarkMatMulABTTo measures the batched forward kernel Y = X·Wᵀ.
+func BenchmarkMatMulABTTo(b *testing.B) {
+	x, w, _ := benchKernelMats()
+	dst := mat.New(20, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MulABTTo(dst, x, w)
+	}
+}
+
+// BenchmarkMatMulTo measures the batched input-gradient kernel dX = dY·W.
+func BenchmarkMatMulTo(b *testing.B) {
+	_, w, dy := benchKernelMats()
+	dst := mat.New(20, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MulTo(dst, dy, w)
+	}
+}
+
+// BenchmarkMatMulATBAddTo measures the batched weight-gradient kernel
+// dW += dYᵀ·X.
+func BenchmarkMatMulATBAddTo(b *testing.B) {
+	x, _, dy := benchKernelMats()
+	dst := mat.New(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MulATBAddTo(dst, dy, x)
 	}
 }
 

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -24,13 +26,24 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// The first interrupt cancels the experiment context — trainings stop
+	// at the next episode boundary instead of being killed mid-figure —
+	// and stop() restores default handling so a second interrupt kills
+	// the process outright. The solver and multi-MSP ablations are
+	// training-free and fast enough not to need cancellation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "vtmig-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("vtmig-experiments", flag.ContinueOnError)
 	var (
 		fig      = fs.String("fig", "", "figure to regenerate: 2a, 2b, 3a, 3b, 3c, 3d, or all")
@@ -63,7 +76,7 @@ func run(args []string) error {
 		wants := func(name string) bool { return want == "all" || want == name }
 
 		if wants("2a") || wants("2b") {
-			res, err := experiments.RunFig2(stackelberg.DefaultGame(), cfg)
+			res, err := experiments.RunFig2Ctx(ctx, stackelberg.DefaultGame(), cfg)
 			if err != nil {
 				return err
 			}
@@ -78,7 +91,7 @@ func run(args []string) error {
 				res.Return.Tail(10), cfg.Rounds, res.Train.EvalPrice, res.Train.OracleOutcome.Price)
 		}
 		if wants("3a") || wants("3b") {
-			res, err := experiments.RunCostSweep([]float64{5, 6, 7, 8, 9}, cfg)
+			res, err := experiments.RunCostSweepCtx(ctx, []float64{5, 6, 7, 8, 9}, cfg)
 			if err != nil {
 				return err
 			}
@@ -90,7 +103,7 @@ func run(args []string) error {
 			}
 		}
 		if wants("3c") || wants("3d") {
-			res, err := experiments.RunVMUSweep([]int{1, 2, 3, 4, 5, 6}, cfg)
+			res, err := experiments.RunVMUSweepCtx(ctx, []int{1, 2, 3, 4, 5, 6}, cfg)
 			if err != nil {
 				return err
 			}
@@ -109,13 +122,13 @@ func run(args []string) error {
 	switch *ablation {
 	case "":
 	case "history":
-		t, err := experiments.RunHistoryAblation([]int{1, 2, 4, 8}, cfg)
+		t, err := experiments.RunHistoryAblationCtx(ctx, []int{1, 2, 4, 8}, cfg)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	case "reward":
-		t, err := experiments.RunRewardAblation(cfg)
+		t, err := experiments.RunRewardAblationCtx(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -129,14 +142,14 @@ func run(args []string) error {
 		}
 		emit(t)
 	case "seeds":
-		study, err := experiments.RunSeedStudy(stackelberg.DefaultGame(), cfg, 8)
+		study, err := experiments.RunSeedStudyCtx(ctx, stackelberg.DefaultGame(), cfg, 8)
 		if err != nil {
 			return err
 		}
 		emit(study.Table())
 		fmt.Println("metric rows: 0 = price, 1 = MSP utility, 2 = regret (%)")
 	case "baselines":
-		t, err := experiments.RunBaselineComparison(stackelberg.DefaultGame(), cfg, 10)
+		t, err := experiments.RunBaselineComparisonCtx(ctx, stackelberg.DefaultGame(), cfg, 10)
 		if err != nil {
 			return err
 		}

@@ -1,38 +1,39 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunNothingToDo(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Fatal("no -fig/-ablation accepted")
 	}
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run([]string{"-fig", "7z", "-episodes", "2"}); err == nil {
+	if err := run(context.Background(), []string{"-fig", "7z", "-episodes", "2"}); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
 
 func TestRunUnknownAblation(t *testing.T) {
-	if err := run([]string{"-ablation", "nonsense"}); err == nil {
+	if err := run(context.Background(), []string{"-ablation", "nonsense"}); err == nil {
 		t.Fatal("unknown ablation accepted")
 	}
 }
 
 func TestRunSolverAblation(t *testing.T) {
-	if err := run([]string{"-ablation", "solver"}); err != nil {
+	if err := run(context.Background(), []string{"-ablation", "solver"}); err != nil {
 		t.Fatalf("run solver: %v", err)
 	}
 }
 
 func TestRunFig2aTinyWithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-fig", "2a", "-episodes", "3", "-csv", dir}); err != nil {
+	if err := run(context.Background(), []string{"-fig", "2a", "-episodes", "3", "-csv", dir}); err != nil {
 		t.Fatalf("run fig 2a: %v", err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -46,7 +47,7 @@ func TestRunFig2aTinyWithCSV(t *testing.T) {
 }
 
 func TestRunFig3cTiny(t *testing.T) {
-	if err := run([]string{"-fig", "3c", "-episodes", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-fig", "3c", "-episodes", "2"}); err != nil {
 		t.Fatalf("run fig 3c: %v", err)
 	}
 }
@@ -65,7 +66,7 @@ func TestSanitize(t *testing.T) {
 }
 
 func TestRunMultiMSPAblationCLI(t *testing.T) {
-	if err := run([]string{"-ablation", "multimsp"}); err != nil {
+	if err := run(context.Background(), []string{"-ablation", "multimsp"}); err != nil {
 		t.Fatalf("run multimsp: %v", err)
 	}
 }

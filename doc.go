@@ -15,7 +15,8 @@
 //   - the POMDP formulation of the game under incomplete information
 //     (internal/pomdp) and a full PPO/GAE deep-reinforcement-learning
 //     stack, including the neural-network substrate with manual
-//     backpropagation (internal/nn, internal/rl);
+//     backpropagation (internal/nn, internal/rl), built on an
+//     allocation-free batched linear-algebra kernel layer (internal/mat);
 //   - the comparison schemes (random, greedy, fixed, oracle) of the
 //     evaluation (internal/baselines);
 //   - pre-copy live migration, highway mobility, and an end-to-end
@@ -29,4 +30,37 @@
 // This root package re-exports the most commonly used entry points so
 // that typical applications only import "vtmig". The runnable programs
 // live under cmd/ and examples/.
+//
+// # Performance architecture
+//
+// The training hot path is allocation-free in steady state. internal/mat
+// provides destination-passing GEMM kernels (MulTo, MulABTTo,
+// MulATBAddTo) whose accumulation order is fixed per destination element,
+// internal/nn adds batched forward/backward passes that reuse per-layer
+// scratch across minibatches, and the PPO learner pushes every minibatch
+// through the network as one batched pass. Experiment fan-outs (restarts,
+// seed studies, sweep points, ablation cells) run through a shared
+// bounded, context-cancellable worker pool in internal/experiments.
+//
+// # Determinism contract
+//
+// The same seed yields the same figures, bit for bit: the batched kernels
+// accumulate in exactly the order of the sample-at-a-time loops they
+// replaced, and parallel experiment tasks are independently seeded with
+// results assembled in input order. The golden-file tests under
+// internal/experiments/testdata pin the exact fixed-seed outputs of every
+// figure pipeline; regenerate them after an intentional numeric change
+// with
+//
+//	go test ./internal/experiments -run Golden -update
+//
+// # Benchmarks
+//
+// The per-figure benchmarks and the kernel/PPO microbenchmarks live in
+// bench_test.go at the repository root:
+//
+//	go test -run '^$' -bench . -benchmem
+//
+// BENCH_seed.json records the frozen seed baseline and BENCH_pr*.json the
+// measured state after each performance PR.
 package vtmig

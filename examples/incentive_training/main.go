@@ -11,6 +11,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"vtmig"
 )
@@ -20,6 +22,15 @@ func main() {
 
 	cfg := vtmig.DefaultDRLConfig()
 	cfg.Episodes = 200
+	// VTMIG_EPISODES overrides the episode budget — the smoke tests run
+	// this example with a handful of episodes to keep CI fast.
+	if s := os.Getenv("VTMIG_EPISODES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			log.Fatalf("invalid VTMIG_EPISODES=%q", s)
+		}
+		cfg.Episodes = n
+	}
 
 	fmt.Printf("Training PPO pricing agent for %d episodes × %d rounds...\n",
 		cfg.Episodes, cfg.Rounds)

@@ -1,0 +1,57 @@
+// Package examples holds a table-driven smoke test that builds and runs
+// every example program with a reduced iteration budget, asserting each
+// produces non-empty, finite output. The examples double as end-to-end
+// checks of the public vtmig facade.
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smokeRuns lists every example program with the environment that keeps
+// its runtime test-sized.
+var smokeRuns = []struct {
+	name string
+	env  []string
+}{
+	{name: "equilibrium_analysis"},
+	{name: "highway_migration"},
+	{name: "incentive_training", env: []string{"VTMIG_EPISODES=3"}},
+	{name: "quickstart"},
+	{name: "sensing_freshness"},
+}
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example subprocess runs skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	for _, tc := range smokeRuns {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+tc.name)
+			cmd.Dir = ".."
+			cmd.Env = append(os.Environ(), tc.env...)
+			start := time.Now()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run failed after %v: %v\noutput:\n%s", time.Since(start), err, out)
+			}
+			text := string(out)
+			if strings.TrimSpace(text) == "" {
+				t.Fatal("example produced no output")
+			}
+			for _, bad := range []string{"NaN", "nan", "+Inf", "-Inf", "panic:"} {
+				if strings.Contains(text, bad) {
+					t.Errorf("output contains %q:\n%s", bad, text)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module vtmig
+
+go 1.24

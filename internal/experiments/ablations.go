@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vtmig/internal/pomdp"
@@ -9,8 +10,14 @@ import (
 
 // RunHistoryAblation varies the observation history length L (the paper
 // fixes L=4) and reports the learned policy's regret against the
-// closed-form equilibrium.
+// closed-form equilibrium. Ablation cells train concurrently through the
+// shared worker pool, one row per length in input order.
 func RunHistoryAblation(lengths []int, cfg DRLConfig) (*Table, error) {
+	return RunHistoryAblationCtx(context.Background(), lengths, cfg)
+}
+
+// RunHistoryAblationCtx is RunHistoryAblation with cancellation.
+func RunHistoryAblationCtx(ctx context.Context, lengths []int, cfg DRLConfig) (*Table, error) {
 	t := &Table{
 		Title:   "ablation: observation history length L",
 		Columns: []string{"L", "drl_price", "eq_price", "drl_Us", "eq_Us", "regret_pct"},
@@ -20,12 +27,23 @@ func RunHistoryAblation(lengths []int, cfg DRLConfig) (*Table, error) {
 		if l <= 0 {
 			return nil, fmt.Errorf("experiments: invalid history length %d", l)
 		}
+	}
+	results := make([]*TrainResult, len(lengths))
+	err := defaultPool.Run(ctx, len(lengths), func(ctx context.Context, i int) error {
 		c := cfg
-		c.HistoryLen = l
-		res, err := TrainAgent(game, c)
+		c.HistoryLen = lengths[i]
+		res, err := TrainAgentCtx(ctx, game, c)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: history ablation at L=%d: %w", l, err)
+			return fmt.Errorf("experiments: history ablation at L=%d: %w", lengths[i], err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, l := range lengths {
+		res := results[i]
 		t.AddRow(float64(l),
 			res.EvalOutcome.Price, res.OracleOutcome.Price,
 			res.EvalOutcome.MSPUtility, res.OracleOutcome.MSPUtility,
@@ -36,20 +54,35 @@ func RunHistoryAblation(lengths []int, cfg DRLConfig) (*Table, error) {
 }
 
 // RunRewardAblation compares the paper's binary reward (Eq. 12) with the
-// dense shaped reward on the benchmark game.
+// dense shaped reward on the benchmark game. The two cells train
+// concurrently through the shared worker pool.
 func RunRewardAblation(cfg DRLConfig) (*Table, error) {
+	return RunRewardAblationCtx(context.Background(), cfg)
+}
+
+// RunRewardAblationCtx is RunRewardAblation with cancellation.
+func RunRewardAblationCtx(ctx context.Context, cfg DRLConfig) (*Table, error) {
 	t := &Table{
 		Title:   "ablation: binary (Eq. 12) vs shaped reward",
 		Columns: []string{"reward_kind", "drl_price", "eq_price", "drl_Us", "eq_Us", "regret_pct"},
 	}
 	game := stackelberg.DefaultGame()
-	for i, kind := range []pomdp.RewardKind{pomdp.RewardBinary, pomdp.RewardShaped} {
+	kinds := []pomdp.RewardKind{pomdp.RewardBinary, pomdp.RewardShaped}
+	results := make([]*TrainResult, len(kinds))
+	err := defaultPool.Run(ctx, len(kinds), func(ctx context.Context, i int) error {
 		c := cfg
-		c.Reward = kind
-		res, err := TrainAgent(game, c)
+		c.Reward = kinds[i]
+		res, err := TrainAgentCtx(ctx, game, c)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: reward ablation (%v): %w", kind, err)
+			return fmt.Errorf("experiments: reward ablation (%v): %w", kinds[i], err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
 		// Column 0 encodes the kind: 0 = binary, 1 = shaped.
 		t.AddRow(float64(i),
 			res.EvalOutcome.Price, res.OracleOutcome.Price,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vtmig/internal/baselines"
@@ -13,6 +14,12 @@ import (
 // (random, greedy) plus the reproduction's extra baselines (tabular
 // Q-learning, two-probe model identification) and the DRL agent.
 func RunBaselineComparison(game *stackelberg.Game, cfg DRLConfig, seeds int) (*Table, error) {
+	return RunBaselineComparisonCtx(context.Background(), game, cfg, seeds)
+}
+
+// RunBaselineComparisonCtx is RunBaselineComparison with cancellation of
+// the embedded DRL training.
+func RunBaselineComparisonCtx(ctx context.Context, game *stackelberg.Game, cfg DRLConfig, seeds int) (*Table, error) {
 	if seeds < 1 {
 		return nil, fmt.Errorf("experiments: seeds must be >= 1, got %d", seeds)
 	}
@@ -42,7 +49,7 @@ func RunBaselineComparison(game *stackelberg.Game, cfg DRLConfig, seeds int) (*T
 
 	for i, name := range BaselineSchemes {
 		if name == "drl" {
-			res, err := TrainAgent(game, cfg)
+			res, err := TrainAgentCtx(ctx, game, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: baseline comparison DRL: %w", err)
 			}

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"vtmig/internal/pomdp"
 	"vtmig/internal/rl"
@@ -76,28 +76,30 @@ type TrainResult struct {
 // parallel (each with its own environment and network) and returns the
 // one with the highest evaluated MSP utility.
 func TrainAgent(game *stackelberg.Game, cfg DRLConfig) (*TrainResult, error) {
+	return TrainAgentCtx(context.Background(), game, cfg)
+}
+
+// TrainAgentCtx is TrainAgent with cancellation: restarts fan out through
+// the shared worker pool and stop at the next episode boundary when ctx
+// is cancelled.
+func TrainAgentCtx(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (*TrainResult, error) {
 	restarts := cfg.Restarts
 	if restarts < 1 {
 		restarts = 1
 	}
 	results := make([]*TrainResult, restarts)
-	errs := make([]error, restarts)
-	var wg sync.WaitGroup
-	for r := 0; r < restarts; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			c := cfg
-			c.Seed = cfg.Seed + int64(r)
-			results[r], errs[r] = trainOnce(game, c)
-		}(r)
+	err := defaultPool.Run(ctx, restarts, func(ctx context.Context, r int) error {
+		c := cfg
+		c.Seed = cfg.Seed + int64(r)
+		var err error
+		results[r], err = trainOnce(ctx, game, c)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	var best *TrainResult
 	for r := 0; r < restarts; r++ {
-		if errs[r] != nil {
-			return nil, errs[r]
-		}
 		if best == nil || results[r].EvalOutcome.MSPUtility > best.EvalOutcome.MSPUtility {
 			best = results[r]
 		}
@@ -105,8 +107,9 @@ func TrainAgent(game *stackelberg.Game, cfg DRLConfig) (*TrainResult, error) {
 	return best, nil
 }
 
-// trainOnce runs a single training with one seed.
-func trainOnce(game *stackelberg.Game, cfg DRLConfig) (*TrainResult, error) {
+// trainOnce runs a single training with one seed, stopping at the next
+// episode boundary when ctx is cancelled.
+func trainOnce(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (*TrainResult, error) {
 	env, err := pomdp.NewGameEnv(pomdp.Config{
 		Game:       game,
 		HistoryLen: cfg.HistoryLen,
@@ -126,7 +129,11 @@ func trainOnce(game *stackelberg.Game, cfg DRLConfig) (*TrainResult, error) {
 		RoundsPerEpisode: cfg.Rounds,
 		UpdateEvery:      cfg.UpdateEvery,
 	})
+	trainer.OnEpisode = func(rl.EpisodeStats) bool { return ctx.Err() == nil }
 	episodes := trainer.Run()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	price := EvaluateAgent(env, agent, 20)
 	return &TrainResult{

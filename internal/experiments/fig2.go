@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vtmig/internal/pomdp"
@@ -40,6 +41,13 @@ func (r *Fig2Result) Tables() []*Table {
 // RunFig2 trains the MSP agent on the paper's two-VMU scenario (α₁=α₂=5,
 // D₁=200 MB, D₂=100 MB, C=5) and records both convergence curves.
 func RunFig2(game *stackelberg.Game, cfg DRLConfig) (*Fig2Result, error) {
+	return RunFig2Ctx(context.Background(), game, cfg)
+}
+
+// RunFig2Ctx is RunFig2 with cancellation: training stops at the next
+// episode boundary when ctx is cancelled and the cancellation error is
+// returned.
+func RunFig2Ctx(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (*Fig2Result, error) {
 	// A separate evaluation environment keeps deterministic evaluations
 	// from disturbing the training episode stream.
 	evalEnv, err := pomdp.NewGameEnv(pomdp.Config{
@@ -82,9 +90,12 @@ func RunFig2(game *stackelberg.Game, cfg DRLConfig) (*Fig2Result, error) {
 		res.Return.Append(float64(s.Episode), s.Return)
 		price := EvaluateAgent(evalEnv, agent, cfg.HistoryLen+2)
 		res.Utility.Append(float64(s.Episode), game.Evaluate(price).MSPUtility)
-		return true
+		return ctx.Err() == nil
 	}
 	episodes := trainer.Run()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	price := EvaluateAgent(evalEnv, agent, 20)
 	res.Train = &TrainResult{

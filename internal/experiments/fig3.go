@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vtmig/internal/aotm"
@@ -33,6 +34,14 @@ type CostSweepResult struct {
 // RunCostSweep trains one DRL agent per cost value and compares it against
 // the closed-form equilibrium and the baseline schemes (Fig. 3(a)/(b)).
 func RunCostSweep(costs []float64, cfg DRLConfig) (*CostSweepResult, error) {
+	return RunCostSweepCtx(context.Background(), costs, cfg)
+}
+
+// RunCostSweepCtx is RunCostSweep with cancellation. Sweep points train
+// concurrently through the shared worker pool; each point is seeded
+// independently, so the rows — appended in sweep order after all points
+// finish — are identical to a sequential run.
+func RunCostSweepCtx(ctx context.Context, costs []float64, cfg DRLConfig) (*CostSweepResult, error) {
 	fig3a := &Table{
 		Title: "fig3a: MSP utility & price vs transmission cost",
 		Columns: []string{
@@ -47,18 +56,29 @@ func RunCostSweep(costs []float64, cfg DRLConfig) (*CostSweepResult, error) {
 			"drl_vmu_utility", "eq_vmu_utility",
 		},
 	}
-	for _, c := range costs {
+	type point struct {
+		res            *TrainResult
+		greedy, random float64
+	}
+	points := make([]point, len(costs))
+	err := defaultPool.Run(ctx, len(costs), func(ctx context.Context, i int) error {
 		game := stackelberg.DefaultGame()
-		game.Cost = c
-		res, err := TrainAgent(game, cfg)
+		game.Cost = costs[i]
+		res, err := TrainAgentCtx(ctx, game, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: cost sweep at C=%g: %w", c, err)
+			return fmt.Errorf("experiments: cost sweep at C=%g: %w", costs[i], err)
 		}
-		eq := res.OracleOutcome
-		drl := res.EvalOutcome
 		greedyUs, randomUs := baselineUtilities(game, cfg.Rounds)
-
-		fig3a.AddRow(c, drl.Price, eq.Price, drl.MSPUtility, eq.MSPUtility, greedyUs, randomUs)
+		points[i] = point{res: res, greedy: greedyUs, random: randomUs}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range costs {
+		eq := points[i].res.OracleOutcome
+		drl := points[i].res.EvalOutcome
+		fig3a.AddRow(c, drl.Price, eq.Price, drl.MSPUtility, eq.MSPUtility, points[i].greedy, points[i].random)
 		fig3b.AddRow(c,
 			drl.TotalBandwidth*BandwidthDisplayScale,
 			eq.TotalBandwidth*BandwidthDisplayScale,
@@ -81,6 +101,13 @@ type VMUSweepResult struct {
 // RunVMUSweep trains one DRL agent per population size and reports MSP and
 // average-VMU outcomes (Fig. 3(c)/(d)).
 func RunVMUSweep(ns []int, cfg DRLConfig) (*VMUSweepResult, error) {
+	return RunVMUSweepCtx(context.Background(), ns, cfg)
+}
+
+// RunVMUSweepCtx is RunVMUSweep with cancellation; sweep points train
+// concurrently through the shared worker pool with rows emitted in sweep
+// order.
+func RunVMUSweepCtx(ctx context.Context, ns []int, cfg DRLConfig) (*VMUSweepResult, error) {
 	fig3c := &Table{
 		Title:   "fig3c: MSP utility & price vs number of VMUs",
 		Columns: []string{"n", "drl_price", "eq_price", "drl_Us", "eq_Us"},
@@ -92,17 +119,25 @@ func RunVMUSweep(ns []int, cfg DRLConfig) (*VMUSweepResult, error) {
 			"drl_avg_vmu_utility", "eq_avg_vmu_utility",
 		},
 	}
-	for _, n := range ns {
-		game, err := UniformGame(n)
+	results := make([]*TrainResult, len(ns))
+	err := defaultPool.Run(ctx, len(ns), func(ctx context.Context, i int) error {
+		game, err := UniformGame(ns[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := TrainAgent(game, cfg)
+		res, err := TrainAgentCtx(ctx, game, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: VMU sweep at N=%d: %w", n, err)
+			return fmt.Errorf("experiments: VMU sweep at N=%d: %w", ns[i], err)
 		}
-		eq := res.OracleOutcome
-		drl := res.EvalOutcome
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		eq := results[i].OracleOutcome
+		drl := results[i].EvalOutcome
 		fig3c.AddRow(float64(n), drl.Price, eq.Price, drl.MSPUtility, eq.MSPUtility)
 		fig3d.AddRow(float64(n),
 			drl.TotalBandwidth/float64(n)*BandwidthDisplayScale,

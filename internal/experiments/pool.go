@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerPool is the bounded parallel executor shared by the experiment
+// harness: restarts, seed studies, sweep points, and ablation cells all
+// fan out through it instead of spawning ad-hoc goroutines.
+//
+// Each Run call bounds its own concurrency at the pool width (default
+// GOMAXPROCS), so nested fan-outs — a sweep whose points each train
+// several restarts — cannot deadlock: inner Runs spawn their own bounded
+// workers rather than competing for a global token they might already
+// hold. Tasks are indexed, results land in caller-owned slots, and
+// completion order never affects output order, so parallel experiments
+// stay deterministic.
+type WorkerPool struct {
+	workers int
+}
+
+// NewWorkerPool returns a pool running at most workers tasks concurrently
+// per Run call. workers <= 0 selects GOMAXPROCS.
+func NewWorkerPool(workers int) *WorkerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &WorkerPool{workers: workers}
+}
+
+// defaultPool is the shared executor used by the package-level experiment
+// entry points.
+var defaultPool = NewWorkerPool(0)
+
+// Run executes task(ctx, i) for every i in [0, n), at most pool-width at
+// a time. After all started tasks finish it returns the lowest-indexed
+// genuine task failure, falling back to the first cancellation error when
+// no task failed outright. A task failure or ctx cancellation stops
+// remaining unstarted tasks; tasks should themselves observe ctx to stop
+// early. A panicking task is converted into an error rather than killing
+// the process with an unwound worker goroutine.
+func (p *WorkerPool) Run(ctx context.Context, n int, task func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = p.runOne(ctx, i, task)
+				if errs[i] != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Prefer the lowest-indexed genuine task failure over the
+	// context-cancellation errors recorded for tasks skipped after it, so
+	// callers see the root cause rather than a propagated cancellation.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	return first
+}
+
+// runOne invokes one task, converting a panic into an error.
+func (p *WorkerPool) runOne(ctx context.Context, i int, task func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: task %d panicked: %v", i, r)
+		}
+	}()
+	return task(ctx, i)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkerPoolRunsAllTasks(t *testing.T) {
+	p := NewWorkerPool(3)
+	var done [17]atomic.Bool
+	if err := p.Run(context.Background(), len(done), func(_ context.Context, i int) error {
+		done[i].Store(true)
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range done {
+		if !done[i].Load() {
+			t.Errorf("task %d never ran", i)
+		}
+	}
+}
+
+func TestWorkerPoolBoundsConcurrency(t *testing.T) {
+	const width = 2
+	p := NewWorkerPool(width)
+	var inFlight, peak atomic.Int64
+	err := p.Run(context.Background(), 10, func(_ context.Context, i int) error {
+		n := inFlight.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := peak.Load(); got > width {
+		t.Errorf("peak concurrency %d exceeds pool width %d", got, width)
+	}
+}
+
+func TestWorkerPoolReturnsLowestIndexedError(t *testing.T) {
+	// Width 1 makes the schedule deterministic: task 0 fails first, the
+	// rest are skipped as cancelled, and the root cause must surface.
+	p := NewWorkerPool(1)
+	errA := errors.New("a")
+	err := p.Run(context.Background(), 8, func(_ context.Context, i int) error {
+		return fmt.Errorf("task %d: %w", i, errA)
+	})
+	if !errors.Is(err, errA) || !strings.Contains(err.Error(), "task 0") {
+		t.Errorf("err = %v, want task 0 failure", err)
+	}
+}
+
+func TestWorkerPoolCancellationStopsUnstartedTasks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewWorkerPool(1)
+	var ran atomic.Int64
+	var once sync.Once
+	err := p.Run(ctx, 100, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		once.Do(cancel)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 100 {
+		t.Errorf("all %d tasks ran despite cancellation", n)
+	}
+}
+
+func TestWorkerPoolRecoversPanics(t *testing.T) {
+	p := NewWorkerPool(2)
+	err := p.Run(context.Background(), 4, func(_ context.Context, i int) error {
+		if i == 2 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic converted to error", err)
+	}
+}
+
+func TestWorkerPoolNestedRunsDoNotDeadlock(t *testing.T) {
+	p := NewWorkerPool(2)
+	err := p.Run(context.Background(), 4, func(ctx context.Context, i int) error {
+		return p.Run(ctx, 4, func(context.Context, int) error { return nil })
+	})
+	if err != nil {
+		t.Fatalf("nested Run: %v", err)
+	}
+}
+
+func TestWorkerPoolZeroTasks(t *testing.T) {
+	if err := NewWorkerPool(0).Run(context.Background(), 0, nil); err != nil {
+		t.Fatalf("Run(0 tasks): %v", err)
+	}
+}

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sync"
 
 	"vtmig/internal/mathx"
 	"vtmig/internal/stackelberg"
@@ -21,6 +21,12 @@ type SeedStudy struct {
 // evaluated price and MSP utility of each — the statistical robustness
 // check behind the single-seed curves of Fig. 2.
 func RunSeedStudy(game *stackelberg.Game, cfg DRLConfig, seeds int) (*SeedStudy, error) {
+	return RunSeedStudyCtx(context.Background(), game, cfg, seeds)
+}
+
+// RunSeedStudyCtx is RunSeedStudy with cancellation; the per-seed
+// trainings fan out through the shared worker pool.
+func RunSeedStudyCtx(ctx context.Context, game *stackelberg.Game, cfg DRLConfig, seeds int) (*SeedStudy, error) {
 	if seeds < 2 {
 		return nil, fmt.Errorf("experiments: seed study needs >= 2 seeds, got %d", seeds)
 	}
@@ -29,29 +35,20 @@ func RunSeedStudy(game *stackelberg.Game, cfg DRLConfig, seeds int) (*SeedStudy,
 		Utilities:     make([]float64, seeds),
 		OracleUtility: game.Solve().MSPUtility,
 	}
-	errs := make([]error, seeds)
-	var wg sync.WaitGroup
-	for s := 0; s < seeds; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			c := cfg
-			c.Restarts = 1 // the study wants raw per-seed outcomes
-			c.Seed = cfg.Seed + int64(s)
-			res, err := trainOnce(game, c)
-			if err != nil {
-				errs[s] = err
-				return
-			}
-			study.Prices[s] = res.EvalPrice
-			study.Utilities[s] = res.EvalOutcome.MSPUtility
-		}(s)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := defaultPool.Run(ctx, seeds, func(ctx context.Context, s int) error {
+		c := cfg
+		c.Restarts = 1 // the study wants raw per-seed outcomes
+		c.Seed = cfg.Seed + int64(s)
+		res, err := trainOnce(ctx, game, c)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		study.Prices[s] = res.EvalPrice
+		study.Utilities[s] = res.EvalOutcome.MSPUtility
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return study, nil
 }

@@ -1,0 +1,251 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randMat returns a rows×cols matrix with standard-normal entries.
+func randMat(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	m.Randomize(rng, 1)
+	return m
+}
+
+// naiveMul is the textbook triple loop with k-ascending dot products, the
+// reference accumulation order the kernels must reproduce bit for bit.
+func naiveMul(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func TestMulToMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, sz := range [][3]int{{1, 1, 1}, {3, 5, 4}, {20, 21, 64}, {65, 130, 67}} {
+		a := randMat(rng, sz[0], sz[1])
+		b := randMat(rng, sz[1], sz[2])
+		got := MulTo(New(sz[0], sz[2]), a, b)
+		want := naiveMul(a, b)
+		if !got.Equal(want) {
+			t.Errorf("MulTo %v: result differs from naive reference", sz)
+		}
+	}
+}
+
+func TestMulAddToAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 7, 9)
+	b := randMat(rng, 9, 5)
+	dst := randMat(rng, 7, 5)
+	want := dst.Clone()
+	// Reference: replicate the kernel's exact accumulation order —
+	// element-wise dst += one k-term at a time, k ascending.
+	for i := 0; i < 7; i++ {
+		for k := 0; k < 9; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < 5; j++ {
+				want.Set(i, j, want.At(i, j)+aik*b.At(k, j))
+			}
+		}
+	}
+	if got := MulAddTo(dst, a, b); !got.Equal(want) {
+		t.Error("MulAddTo differs from in-order accumulation reference")
+	}
+}
+
+// TestMulABTToMatchesMulVec checks bit-exact agreement with the
+// sample-at-a-time path it replaces: each row of A pushed through
+// Matrix.MulVec against W.
+func TestMulABTToMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, sz := range [][3]int{{1, 3, 2}, {4, 4, 4}, {5, 17, 9}, {20, 20, 64}, {23, 13, 66}} {
+		batch, in, out := sz[0], sz[1], sz[2]
+		x := randMat(rng, batch, in)
+		w := randMat(rng, out, in)
+		got := MulABTTo(New(batch, out), x, w)
+		dst := make([]float64, out)
+		for b := 0; b < batch; b++ {
+			w.MulVec(x.Row(b), dst)
+			for j, v := range dst {
+				if got.At(b, j) != v {
+					t.Fatalf("size %v: element (%d,%d) = %v, MulVec gives %v", sz, b, j, got.At(b, j), v)
+				}
+			}
+		}
+	}
+}
+
+// TestMulABTBiasToMatchesForward checks the fused bias add against the
+// sequential "dot then add bias" order.
+func TestMulABTBiasToMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	batch, in, out := 6, 11, 7
+	x := randMat(rng, batch, in)
+	w := randMat(rng, out, in)
+	bias := make([]float64, out)
+	for i := range bias {
+		bias[i] = rng.NormFloat64()
+	}
+	got := MulABTBiasTo(New(batch, out), x, w, bias)
+	dst := make([]float64, out)
+	for b := 0; b < batch; b++ {
+		w.MulVec(x.Row(b), dst)
+		for j := range dst {
+			want := dst[j] + bias[j]
+			if got.At(b, j) != want {
+				t.Fatalf("element (%d,%d) = %v, want %v", b, j, got.At(b, j), want)
+			}
+		}
+	}
+}
+
+// TestMulATBAddToMatchesOuterUpdates checks bit-exact agreement with the
+// gradient-accumulation path it replaces: one AddOuterScaled rank-1 update
+// per batch row, applied in row order.
+func TestMulATBAddToMatchesOuterUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	batch, out, in := 9, 6, 13
+	dy := randMat(rng, batch, out)
+	x := randMat(rng, batch, in)
+	got := randMat(rng, out, in)
+	want := got.Clone()
+	for b := 0; b < batch; b++ {
+		want.AddOuterScaled(dy.Row(b), x.Row(b), 1)
+	}
+	if MulATBAddTo(got, dy, x); !got.Equal(want) {
+		t.Error("MulATBAddTo differs from sequential AddOuterScaled updates")
+	}
+}
+
+// TestMulToMatchesMulVecT checks that dX = dY·W agrees bit for bit with
+// per-row MulVecT, the backward input-gradient path it replaces.
+func TestMulToMatchesMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	batch, out, in := 8, 10, 12
+	dy := randMat(rng, batch, out)
+	w := randMat(rng, out, in)
+	got := MulTo(New(batch, in), dy, w)
+	dst := make([]float64, in)
+	for b := 0; b < batch; b++ {
+		w.MulVecT(dy.Row(b), dst)
+		for j, v := range dst {
+			if got.At(b, j) != v {
+				t.Fatalf("element (%d,%d) = %v, MulVecT gives %v", b, j, got.At(b, j), v)
+			}
+		}
+	}
+}
+
+func TestAddToScaleToAddColSumTo(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{10, 20, 30, 40})
+	sum := AddTo(New(2, 2), a, b)
+	if sum.At(1, 1) != 44 {
+		t.Errorf("AddTo = %v, want 44", sum.At(1, 1))
+	}
+	sc := ScaleTo(New(2, 2), 2, a)
+	if sc.At(0, 1) != 4 {
+		t.Errorf("ScaleTo = %v, want 4", sc.At(0, 1))
+	}
+	cs := []float64{1, 1}
+	AddColSumTo(cs, a)
+	if cs[0] != 5 || cs[1] != 7 {
+		t.Errorf("AddColSumTo = %v, want [5 7]", cs)
+	}
+}
+
+func TestKernelShapePanics(t *testing.T) {
+	a := New(2, 3)
+	b := New(4, 5)
+	for name, fn := range map[string]func(){
+		"MulTo":       func() { MulTo(New(2, 5), a, b) },
+		"MulABTTo":    func() { MulABTTo(New(2, 4), a, b) },
+		"MulATBAddTo": func() { MulATBAddTo(New(3, 5), a, b) },
+		"AddTo":       func() { AddTo(New(2, 3), a, b) },
+		"Resize":      func() { New(1, 1).Resize(0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: shape mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestResizeReusesStorage(t *testing.T) {
+	m := New(4, 8)
+	data := &m.Data[0]
+	m.Resize(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("Resize gave %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != data {
+		t.Error("Resize to smaller shape reallocated")
+	}
+	m.Resize(10, 10)
+	if len(m.Data) != 100 {
+		t.Fatalf("Resize grow gave len %d", len(m.Data))
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	var p Pool
+	m := p.GetMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("GetMatrix shape %dx%d", m.Rows, m.Cols)
+	}
+	p.PutMatrix(m)
+	m2 := p.GetMatrix(2, 2)
+	if m2.Rows != 2 || m2.Cols != 2 {
+		t.Fatalf("GetMatrix shape %dx%d", m2.Rows, m2.Cols)
+	}
+	v := p.GetVec(7)
+	if len(v) != 7 {
+		t.Fatalf("GetVec len %d", len(v))
+	}
+	p.PutVec(v)
+	if v2 := p.GetVec(3); len(v2) != 3 {
+		t.Fatalf("GetVec len %d", len(v2))
+	}
+}
+
+// TestKernelsAllocationFree locks in the zero-allocation contract of the
+// destination-passing kernels.
+func TestKernelsAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 20, 24)
+	w := randMat(rng, 64, 24)
+	b := randMat(rng, 24, 16)
+	dstABT := New(20, 64)
+	dstMul := New(20, 16)
+	dstATB := New(20, 16)
+	bias := make([]float64, 64)
+	cs := make([]float64, 24)
+	dy := randMat(rng, 24, 20)
+	for name, fn := range map[string]func(){
+		"MulTo":        func() { MulTo(dstMul, a, b) },
+		"MulABTTo":     func() { MulABTTo(dstABT, a, w) },
+		"MulABTBiasTo": func() { MulABTBiasTo(dstABT, a, w, bias) },
+		"MulATBAddTo":  func() { MulATBAddTo(dstATB, dy, b) },
+		"AddColSumTo":  func() { AddColSumTo(cs, a) },
+	} {
+		if n := testing.AllocsPerRun(10, fn); n != 0 {
+			t.Errorf("%s allocates %v times per call, want 0", name, n)
+		}
+	}
+}

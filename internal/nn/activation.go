@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math"
+
+	"vtmig/internal/mat"
 )
 
 // Activation identifies an element-wise nonlinearity.
@@ -44,12 +46,17 @@ type activationLayer struct {
 	lastIn  []float64
 	lastOut []float64
 	gradBuf []float64
+
+	// batched caches, grown to the largest batch seen and reused
+	inMat   mat.Matrix
+	outMat  mat.Matrix
+	gradMat mat.Matrix
 }
 
-var _ Module = (*activationLayer)(nil)
+var _ BatchModule = (*activationLayer)(nil)
 
 // NewActivation returns an activation module of the given kind and width.
-func NewActivation(kind Activation, dim int) Module {
+func NewActivation(kind Activation, dim int) BatchModule {
 	switch kind {
 	case ActIdentity, ActTanh, ActReLU, ActSigmoid, ActSoftplus:
 	default:
@@ -79,6 +86,31 @@ func (a *activationLayer) Backward(grad []float64) []float64 {
 		a.gradBuf[i] = g * activateDeriv(a.kind, a.lastIn[i], a.lastOut[i])
 	}
 	return a.gradBuf
+}
+
+// ForwardBatch applies the nonlinearity to every element of x. The
+// returned matrix is owned by the layer.
+func (a *activationLayer) ForwardBatch(x *mat.Matrix) *mat.Matrix {
+	checkLen(a.kind.String(), "batch input width", x.Cols, a.dim)
+	a.inMat.Resize(x.Rows, x.Cols)
+	copy(a.inMat.Data, x.Data)
+	a.outMat.Resize(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		a.outMat.Data[i] = activate(a.kind, v)
+	}
+	return &a.outMat
+}
+
+// BackwardBatch multiplies grad element-wise by the activation derivative
+// at the cached batched input. The returned matrix is owned by the layer.
+func (a *activationLayer) BackwardBatch(grad *mat.Matrix) *mat.Matrix {
+	checkLen(a.kind.String(), "batch grad width", grad.Cols, a.dim)
+	checkLen(a.kind.String(), "batch grad rows", grad.Rows, a.inMat.Rows)
+	a.gradMat.Resize(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		a.gradMat.Data[i] = g * activateDeriv(a.kind, a.inMat.Data[i], a.outMat.Data[i])
+	}
+	return &a.gradMat
 }
 
 func (a *activationLayer) Params() []*Param { return nil }

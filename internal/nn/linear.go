@@ -12,13 +12,23 @@ type Linear struct {
 	w       *Param // out×in, row-major
 	b       *Param // out
 
-	// caches for backward
+	// wView and gwView are persistent matrix views over the parameter
+	// storage; building them once keeps the hot path allocation-free.
+	wView, gwView mat.Matrix
+
+	// caches for sample-at-a-time backward
 	lastX   []float64
 	outBuf  []float64
 	gradBuf []float64
+
+	// caches for batched forward/backward, grown to the largest batch seen
+	// and reused across minibatches
+	xCache  mat.Matrix // batch×in copy of the last batched input
+	outMat  mat.Matrix // batch×out
+	gradMat mat.Matrix // batch×in
 }
 
-var _ Module = (*Linear)(nil)
+var _ BatchModule = (*Linear)(nil)
 
 // NewLinear returns a Linear layer with Xavier-uniform weights and zero
 // biases. The name prefixes the parameter names ("<name>.W", "<name>.b").
@@ -32,7 +42,9 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 		outBuf:  make([]float64, out),
 		gradBuf: make([]float64, in),
 	}
-	mat.FromSlice(out, in, l.w.Value).XavierInit(rng, in, out)
+	l.wView = *mat.FromSlice(out, in, l.w.Value)
+	l.gwView = *mat.FromSlice(out, in, l.w.Grad)
+	l.wView.XavierInit(rng, in, out)
 	return l
 }
 
@@ -40,7 +52,10 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 func (l *Linear) Forward(x []float64) []float64 {
 	checkLen("Linear", "input", len(x), l.in)
 	copy(l.lastX, x)
-	w := mat.FromSlice(l.out, l.in, l.w.Value)
+	// A stack copy of the view keeps the shape fields in registers across
+	// the kernel call; going through the long-lived &l.wView pointer
+	// measurably pessimizes MulVec.
+	w := l.wView
 	w.MulVec(x, l.outBuf)
 	mat.AddInto(l.outBuf, l.outBuf, l.b.Value)
 	return l.outBuf
@@ -49,12 +64,38 @@ func (l *Linear) Forward(x []float64) []float64 {
 // Backward accumulates dW += grad ⊗ x and db += grad, and returns Wᵀ·grad.
 func (l *Linear) Backward(grad []float64) []float64 {
 	checkLen("Linear", "output grad", len(grad), l.out)
-	gw := mat.FromSlice(l.out, l.in, l.w.Grad)
+	gw := l.gwView
 	gw.AddOuterScaled(grad, l.lastX, 1)
 	mat.AddInto(l.b.Grad, l.b.Grad, grad)
-	w := mat.FromSlice(l.out, l.in, l.w.Value)
+	w := l.wView
 	w.MulVecT(grad, l.gradBuf)
 	return l.gradBuf
+}
+
+// ForwardBatch computes Y = X·Wᵀ + b for a batch of rows. The returned
+// matrix is owned by the layer and overwritten by the next batched call;
+// its element (i, j) is bit-identical to Forward(X.Row(i))[j].
+func (l *Linear) ForwardBatch(x *mat.Matrix) *mat.Matrix {
+	checkLen("Linear", "batch input width", x.Cols, l.in)
+	l.xCache.Resize(x.Rows, x.Cols)
+	copy(l.xCache.Data, x.Data)
+	l.outMat.Resize(x.Rows, l.out)
+	mat.MulABTBiasTo(&l.outMat, x, &l.wView, l.b.Value)
+	return &l.outMat
+}
+
+// BackwardBatch accumulates dW += dYᵀ·X and db += column sums of dY, and
+// returns dX = dY·W. Gradient contributions are accumulated row-ascending,
+// bit-identical to calling Backward once per batch row in order. The
+// returned matrix is owned by the layer.
+func (l *Linear) BackwardBatch(grad *mat.Matrix) *mat.Matrix {
+	checkLen("Linear", "batch grad width", grad.Cols, l.out)
+	checkLen("Linear", "batch grad rows", grad.Rows, l.xCache.Rows)
+	mat.MulATBAddTo(&l.gwView, grad, &l.xCache)
+	mat.AddColSumTo(l.b.Grad, grad)
+	l.gradMat.Resize(grad.Rows, l.in)
+	mat.MulTo(&l.gradMat, grad, &l.wView)
+	return &l.gradMat
 }
 
 // Params returns the weight and bias parameters.

@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+
+	"vtmig/internal/mat"
 )
 
 // MLP is a multi-layer perceptron: a stack of Linear layers with an
@@ -10,12 +12,12 @@ import (
 // linear (no activation), the usual choice for regression heads and policy
 // means.
 type MLP struct {
-	modules []Module
+	modules []BatchModule
 	params  []*Param
 	in, out int
 }
 
-var _ Module = (*MLP)(nil)
+var _ BatchModule = (*MLP)(nil)
 
 // NewMLP builds an MLP with the given layer sizes. sizes[0] is the input
 // width, sizes[len-1] the output width; every in-between entry is a hidden
@@ -54,6 +56,30 @@ func (m *MLP) Backward(grad []float64) []float64 {
 	g := grad
 	for i := len(m.modules) - 1; i >= 0; i-- {
 		g = m.modules[i].Backward(g)
+	}
+	return g
+}
+
+// ForwardBatch is the batched-inference entry point: it pushes every row
+// of x through the network in one pass per layer, reusing each layer's
+// scratch across minibatches. Row i of the result is bit-identical to
+// Forward(x.Row(i)). The returned matrix is owned by the network.
+func (m *MLP) ForwardBatch(x *mat.Matrix) *mat.Matrix {
+	h := x
+	for _, mod := range m.modules {
+		h = mod.ForwardBatch(h)
+	}
+	return h
+}
+
+// BackwardBatch propagates a batch of output gradients back through every
+// layer, accumulating parameter gradients row-ascending (bit-identical to
+// per-sample Backward calls in row order), and returns the input
+// gradients. The returned matrix is owned by the network.
+func (m *MLP) BackwardBatch(grad *mat.Matrix) *mat.Matrix {
+	g := grad
+	for i := len(m.modules) - 1; i >= 0; i-- {
+		g = m.modules[i].BackwardBatch(g)
 	}
 	return g
 }

@@ -9,7 +9,11 @@
 // and let gradients accumulate, then apply an optimizer step.
 package nn
 
-import "fmt"
+import (
+	"fmt"
+
+	"vtmig/internal/mat"
+)
 
 // Param is one learnable tensor: a flat value slice and its accumulated
 // gradient. Optimizers mutate Value in place; Backward accumulates into
@@ -36,6 +40,26 @@ func ZeroGrads(params []*Param) {
 			p.Grad[i] = 0
 		}
 	}
+}
+
+// BatchModule is a Module that can additionally process a whole minibatch
+// of rows in one call, backed by the mat kernel layer. Batched calls keep
+// separate caches from the sample-at-a-time path, so interleaving Forward
+// and ForwardBatch on the same module is safe, and their outputs are
+// bit-identical row for row. Every module in this package is a
+// BatchModule; the split interface only exists so that sample-at-a-time
+// code does not need to know about batching.
+type BatchModule interface {
+	Module
+	// ForwardBatch computes the module output for every row of x and
+	// caches what BackwardBatch needs. The returned matrix is owned by the
+	// module and overwritten by the next batched call.
+	ForwardBatch(x *mat.Matrix) *mat.Matrix
+	// BackwardBatch takes dLoss/dOutput rows, accumulates parameter
+	// gradients in row-ascending order (bit-identical to per-sample
+	// Backward calls), and returns dLoss/dInput rows. It must follow a
+	// matching ForwardBatch.
+	BackwardBatch(grad *mat.Matrix) *mat.Matrix
 }
 
 // Module is a differentiable computation with learnable parameters.

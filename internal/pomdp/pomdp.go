@@ -113,7 +113,10 @@ type GameEnv struct {
 	rng  *rand.Rand
 
 	// history holds the last L rounds, oldest first; each entry is a
-	// normalized (price, demands...) record of width 1+N.
+	// normalized (price, demands...) record of width 1+N. The L row
+	// buffers are allocated once and recycled: sliding the window rotates
+	// pointers and rewrites the freed row in place, so Step and Reset do
+	// not allocate.
 	history [][]float64
 	round   int
 	bestUs  float64
@@ -140,6 +143,11 @@ func NewGameEnv(cfg Config) (*GameEnv, error) {
 		bestUs:   math.Inf(-1),
 	}
 	env.obs = make([]float64, env.ObsDim())
+	env.history = make([][]float64, cfg.HistoryLen)
+	rows := make([]float64, cfg.HistoryLen*(1+env.game.N()))
+	for i := range env.history {
+		env.history[i] = rows[i*(1+env.game.N()) : (i+1)*(1+env.game.N())]
+	}
 	return env, nil
 }
 
@@ -168,11 +176,10 @@ func (e *GameEnv) Reset() []float64 {
 	if e.cfg.ResetBestPerEpisode {
 		e.bestUs = math.Inf(-1)
 	}
-	e.history = e.history[:0]
 	for i := 0; i < e.cfg.HistoryLen; i++ {
 		price := e.game.Cost + e.rng.Float64()*(e.game.PMax-e.game.Cost)
 		eq := e.game.Evaluate(price)
-		e.history = append(e.history, e.record(eq))
+		e.recordInto(e.history[i], eq)
 	}
 	return e.buildObs()
 }
@@ -212,9 +219,11 @@ func (e *GameEnv) Step(action []float64) ([]float64, float64, bool) {
 		e.bestUs = eq.MSPUtility
 	}
 
-	// Slide the history window.
+	// Slide the history window: rotate the oldest row buffer to the end
+	// and rewrite it in place.
+	oldest := e.history[0]
 	copy(e.history, e.history[1:])
-	e.history[len(e.history)-1] = e.record(eq)
+	e.history[len(e.history)-1] = e.recordInto(oldest, eq)
 
 	e.round++
 	done := e.round >= e.cfg.Rounds
@@ -228,11 +237,10 @@ func (e *GameEnv) LastOutcome() stackelberg.Equilibrium { return e.last }
 // BestUtility returns the best MSP utility seen this episode.
 func (e *GameEnv) BestUtility() float64 { return e.bestUs }
 
-// record normalizes one round's outcome into an observation row: the
-// price mapped to [0,1] over [C, pmax] and each demand divided by a
-// bandwidth reference scale.
-func (e *GameEnv) record(eq stackelberg.Equilibrium) []float64 {
-	row := make([]float64, 1+e.game.N())
+// recordInto normalizes one round's outcome into the given observation
+// row (width 1+N): the price mapped to [0,1] over [C, pmax] and each
+// demand divided by a bandwidth reference scale. It returns row.
+func (e *GameEnv) recordInto(row []float64, eq stackelberg.Equilibrium) []float64 {
 	row[0] = (eq.Price - e.game.Cost) / (e.game.PMax - e.game.Cost)
 	ref := e.demandScale()
 	for n, b := range eq.Demands {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"vtmig/internal/mat"
 	"vtmig/internal/nn"
 )
 
@@ -15,18 +16,26 @@ import (
 type ActorCritic struct {
 	obsDim, actDim int
 
-	trunk   []nn.Module // Linear+Tanh pairs
+	trunk   []nn.BatchModule // Linear+Tanh pairs
 	meanHd  *nn.Linear
 	valueHd *nn.Linear
 	logStd  *nn.Param
 
 	params []*nn.Param
 
-	// scratch buffers reused across calls
+	// scratch buffers reused across sample-at-a-time calls
 	meanOut      []float64
 	meanGradBuf  []float64
 	valueGradBuf []float64
 	trunkGradBuf []float64
+	dValBuf      [1]float64
+
+	// scratch reused across batched calls, grown to the largest batch seen
+	meanOutB   mat.Matrix // batch×actDim, tanh-squashed means
+	valuesB    []float64  // batch state values
+	meanGradB  mat.Matrix // batch×actDim
+	valueDyB   mat.Matrix // batch×1
+	trunkGradB mat.Matrix // batch×trunkOut
 }
 
 // NewActorCritic builds the network. hidden lists the hidden-layer widths
@@ -101,7 +110,8 @@ func (ac *ActorCritic) Backward(dMean, dLogStd []float64, dValue float64) {
 		ac.meanGradBuf[i] = g * (1 - ac.meanOut[i]*ac.meanOut[i])
 	}
 	gm := ac.meanHd.Backward(ac.meanGradBuf)
-	gv := ac.valueHd.Backward([]float64{dValue})
+	ac.dValBuf[0] = dValue
+	gv := ac.valueHd.Backward(ac.dValBuf[:])
 	for i := range ac.trunkGradBuf {
 		ac.trunkGradBuf[i] = gm[i] + gv[i]
 	}
@@ -111,6 +121,69 @@ func (ac *ActorCritic) Backward(dMean, dLogStd []float64, dValue float64) {
 	}
 	for i, d := range dLogStd {
 		ac.logStd.Grad[i] += d
+	}
+}
+
+// ForwardBatch evaluates the policy and value heads for every observation
+// row in one batched pass — the entry point for minibatch updates and for
+// batched policy evaluation across rollout steps. Row b of the returned
+// mean matrix and element b of the returned value slice are bit-identical
+// to Forward(obs.Row(b)). The returned mean matrix and value slice alias
+// internal buffers overwritten by the next batched call; logStd aliases
+// the parameter.
+func (ac *ActorCritic) ForwardBatch(obs *mat.Matrix) (mean *mat.Matrix, logStd []float64, values []float64) {
+	if obs.Cols != ac.obsDim {
+		panic(fmt.Sprintf("rl: batch observation width %d, want %d", obs.Cols, ac.obsDim))
+	}
+	h := obs
+	for _, m := range ac.trunk {
+		h = m.ForwardBatch(h)
+	}
+	raw := ac.meanHd.ForwardBatch(h)
+	ac.meanOutB.Resize(raw.Rows, raw.Cols)
+	for i, v := range raw.Data {
+		ac.meanOutB.Data[i] = math.Tanh(v)
+	}
+	vals := ac.valueHd.ForwardBatch(h)
+	if cap(ac.valuesB) < vals.Rows {
+		ac.valuesB = make([]float64, vals.Rows)
+	}
+	ac.valuesB = ac.valuesB[:vals.Rows]
+	copy(ac.valuesB, vals.Data)
+	return &ac.meanOutB, ac.logStd.Value, ac.valuesB
+}
+
+// BackwardBatch accumulates gradients for a whole minibatch given
+// per-row dLoss/dMean, dLoss/dLogStd, and dLoss/dValue from the
+// immediately preceding ForwardBatch. Gradients accumulate row-ascending,
+// bit-identical to calling Forward/Backward once per row in order.
+func (ac *ActorCritic) BackwardBatch(dMean, dLogStd *mat.Matrix, dValue []float64) {
+	batch := ac.meanOutB.Rows
+	if dMean.Rows != batch || dLogStd.Rows != batch || len(dValue) != batch {
+		panic(fmt.Sprintf("rl: batch gradient sizes %d/%d/%d, want %d",
+			dMean.Rows, dLogStd.Rows, len(dValue), batch))
+	}
+	ac.meanGradB.Resize(batch, ac.actDim)
+	for i, g := range dMean.Data {
+		sq := ac.meanOutB.Data[i]
+		ac.meanGradB.Data[i] = g * (1 - sq*sq)
+	}
+	gm := ac.meanHd.BackwardBatch(&ac.meanGradB)
+	ac.valueDyB.Resize(batch, 1)
+	copy(ac.valueDyB.Data, dValue)
+	gv := ac.valueHd.BackwardBatch(&ac.valueDyB)
+	ac.trunkGradB.Resize(batch, gm.Cols)
+	mat.AddTo(&ac.trunkGradB, gm, gv)
+	g := &ac.trunkGradB
+	for i := len(ac.trunk) - 1; i >= 0; i-- {
+		g = ac.trunk[i].BackwardBatch(g)
+	}
+	for j := 0; j < ac.actDim; j++ {
+		acc := ac.logStd.Grad[j]
+		for b := 0; b < batch; b++ {
+			acc += dLogStd.At(b, j)
+		}
+		ac.logStd.Grad[j] = acc
 	}
 }
 

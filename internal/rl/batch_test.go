@@ -1,0 +1,39 @@
+package rl
+
+import (
+	"testing"
+
+	"vtmig/internal/mat"
+)
+
+// TestValuesMatchesValue checks that the batched critic evaluation is
+// bit-identical to calling Value once per rollout-step observation, and
+// that it does not allocate once warm.
+func TestValuesMatchesValue(t *testing.T) {
+	agent, buf, _ := newAllocAgent(t)
+	steps := buf.Steps()
+	obs := mat.New(len(steps), 12)
+	for i, tr := range steps {
+		copy(obs.Row(i), tr.Obs)
+	}
+	got := make([]float64, len(steps))
+	agent.Values(obs, got)
+	for i, tr := range steps {
+		if want := agent.Value(tr.Obs); got[i] != want {
+			t.Fatalf("step %d: Values gives %v, Value gives %v", i, got[i], want)
+		}
+	}
+	if n := testing.AllocsPerRun(20, func() { agent.Values(obs, got) }); n != 0 {
+		t.Errorf("Values allocates %v times per call, want 0", n)
+	}
+}
+
+func TestValuesLengthMismatchPanics(t *testing.T) {
+	agent, _, _ := newAllocAgent(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst did not panic")
+		}
+	}()
+	agent.Values(mat.New(3, 12), make([]float64, 2))
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"vtmig/internal/mat"
 	"vtmig/internal/mathx"
 	"vtmig/internal/nn"
 )
@@ -107,10 +108,16 @@ type PPO struct {
 
 	actLo, actHi []float64
 
-	// scratch
-	dMean   []float64
-	dLogStd []float64
-	sample  []float64
+	// scratch reused across calls; the steady-state training loop is
+	// allocation-free.
+	sample   []float64
+	rawBuf   []float64
+	envBuf   []float64
+	idx      []int
+	obsB     mat.Matrix // minibatch×obsDim gather buffer
+	dMeanB   mat.Matrix // minibatch×actDim
+	dLogStdB mat.Matrix
+	dValueB  []float64
 }
 
 // NewPPO builds a PPO learner for an environment with the given
@@ -127,15 +134,15 @@ func NewPPO(obsDim, actDim int, actLo, actHi []float64, cfg PPOConfig) *PPO {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	return &PPO{
-		cfg:     cfg,
-		net:     NewActorCritic(obsDim, actDim, cfg.Hidden, cfg.Activation, cfg.InitLogStd, rng),
-		opt:     nn.NewAdam(cfg.LR),
-		rng:     rng,
-		actLo:   append([]float64(nil), actLo...),
-		actHi:   append([]float64(nil), actHi...),
-		dMean:   make([]float64, actDim),
-		dLogStd: make([]float64, actDim),
-		sample:  make([]float64, actDim),
+		cfg:    cfg,
+		net:    NewActorCritic(obsDim, actDim, cfg.Hidden, cfg.Activation, cfg.InitLogStd, rng),
+		opt:    nn.NewAdam(cfg.LR),
+		rng:    rng,
+		actLo:  append([]float64(nil), actLo...),
+		actHi:  append([]float64(nil), actHi...),
+		sample: make([]float64, actDim),
+		rawBuf: make([]float64, actDim),
+		envBuf: make([]float64, actDim),
 	}
 }
 
@@ -146,34 +153,56 @@ func (p *PPO) Config() PPOConfig { return p.cfg }
 func (p *PPO) Params() []*nn.Param { return p.net.Params() }
 
 // Denormalize maps a raw normalized action (clamped to [-1, 1]) onto the
-// environment's action interval.
+// environment's action interval. The result is freshly allocated; the hot
+// path uses denormalizeInto instead.
 func (p *PPO) Denormalize(raw []float64) []float64 {
-	out := make([]float64, len(raw))
+	return p.denormalizeInto(make([]float64, len(raw)), raw)
+}
+
+// denormalizeInto writes the denormalized form of raw into dst and
+// returns dst.
+func (p *PPO) denormalizeInto(dst, raw []float64) []float64 {
 	for i := range raw {
 		z := mathx.Clamp(raw[i], -1, 1)
-		out[i] = p.actLo[i] + (z+1)/2*(p.actHi[i]-p.actLo[i])
+		dst[i] = p.actLo[i] + (z+1)/2*(p.actHi[i]-p.actLo[i])
 	}
-	return out
+	return dst
 }
 
 // SelectAction samples an action from the current policy at obs. It
 // returns the raw normalized Gaussian sample (stored in the rollout; its
 // log-prob is logProb), the environment action (the denormalized,
 // bounds-respecting form), and the value estimate V(obs). The returned
-// slices are freshly allocated.
+// slices alias learner-owned scratch overwritten by the next SelectAction
+// or MeanAction call; callers that retain them must copy (Rollout.Add
+// already does).
 func (p *PPO) SelectAction(obs []float64) (raw, env []float64, logProb, value float64) {
 	mean, logStd, v := p.net.Forward(obs)
 	gaussianSample(p.rng, mean, logStd, p.sample)
-	raw = append([]float64(nil), p.sample...)
-	logProb = gaussianLogProb(raw, mean, logStd)
-	return raw, p.Denormalize(raw), logProb, v
+	copy(p.rawBuf, p.sample)
+	logProb = gaussianLogProb(p.rawBuf, mean, logStd)
+	return p.rawBuf, p.denormalizeInto(p.envBuf, p.rawBuf), logProb, v
 }
 
 // MeanAction returns the deterministic (mean) action mapped to the
-// environment bounds — the policy used for evaluation after training.
+// environment bounds — the policy used for evaluation after training. The
+// returned slice aliases learner-owned scratch overwritten by the next
+// SelectAction or MeanAction call.
 func (p *PPO) MeanAction(obs []float64) []float64 {
 	mean, _, _ := p.net.Forward(obs)
-	return p.Denormalize(mean)
+	return p.denormalizeInto(p.envBuf, mean)
+}
+
+// Values evaluates the critic V(s) for every observation row in one
+// batched pass and stores the results in dst (length obs.Rows), returning
+// dst — the batched counterpart of calling Value per rollout step.
+func (p *PPO) Values(obs *mat.Matrix, dst []float64) []float64 {
+	if len(dst) != obs.Rows {
+		panic(fmt.Sprintf("rl: Values dst length %d, want %d", len(dst), obs.Rows))
+	}
+	_, _, vals := p.net.ForwardBatch(obs)
+	copy(dst, vals)
+	return dst
 }
 
 // Value returns the critic's estimate V(obs).
@@ -212,7 +241,10 @@ func (p *PPO) Update(buf *Rollout) UpdateStats {
 	}
 
 	var stats UpdateStats
-	idx := make([]int, n)
+	if cap(p.idx) < n {
+		p.idx = make([]int, n)
+	}
+	idx := p.idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -247,15 +279,34 @@ func (p *PPO) Update(buf *Rollout) UpdateStats {
 }
 
 // updateMiniBatch accumulates gradients of the PPO loss over one minibatch
-// and applies a single Adam step.
+// and applies a single Adam step. The whole minibatch runs through the
+// network as one batched forward/backward pass — the policy is evaluated
+// for every selected rollout step at once — with gradient accumulation
+// ordered so the result is bit-identical to the sample-at-a-time loop it
+// replaced.
 func (p *PPO) updateMiniBatch(steps []Transition, batch []int, stats *UpdateStats) {
 	params := p.net.Params()
 	nn.ZeroGrads(params)
 	scale := 1 / float64(len(batch))
 
-	for _, i := range batch {
+	b := len(batch)
+	obsDim, actDim := p.net.ObsDim(), p.net.ActDim()
+	p.obsB.Resize(b, obsDim)
+	p.dMeanB.Resize(b, actDim)
+	p.dLogStdB.Resize(b, actDim)
+	if cap(p.dValueB) < b {
+		p.dValueB = make([]float64, b)
+	}
+	p.dValueB = p.dValueB[:b]
+	for bi, i := range batch {
+		copy(p.obsB.Row(bi), steps[i].Obs)
+	}
+
+	means, logStd, values := p.net.ForwardBatch(&p.obsB)
+
+	for bi, i := range batch {
 		tr := &steps[i]
-		mean, logStd, value := p.net.Forward(tr.Obs)
+		mean := means.Row(bi)
 
 		newLogP := gaussianLogProb(tr.Action, mean, logStd)
 		ratio := math.Exp(newLogP - tr.LogProb)
@@ -276,25 +327,26 @@ func (p *PPO) updateMiniBatch(steps []Transition, batch []int, stats *UpdateStat
 		if useUnclipped {
 			dObjDLogP = ratio * adv // d(r·A)/dlogp = r·A... chain below
 		}
-		gaussianLogProbGrads(tr.Action, mean, logStd, p.dMean, p.dLogStd)
+		dMean, dLogStd := p.dMeanB.Row(bi), p.dLogStdB.Row(bi)
+		gaussianLogProbGrads(tr.Action, mean, logStd, dMean, dLogStd)
 		// We minimize loss = -objective, so flip signs. The entropy bonus
 		// adds +β·H; dH/dlogσ = 1 per dimension.
-		for d := range p.dMean {
-			p.dMean[d] *= -dObjDLogP * scale
-			p.dLogStd[d] = -dObjDLogP*p.dLogStd[d]*scale - p.cfg.EntropyCoef*scale
+		for d := range dMean {
+			dMean[d] *= -dObjDLogP * scale
+			dLogStd[d] = -dObjDLogP*dLogStd[d]*scale - p.cfg.EntropyCoef*scale
 		}
 
 		// Value loss (Eq. 16): (V - V^targ)². d/dV = 2(V - V^targ).
-		vErr := value - tr.Return
-		dValue := p.cfg.ValueCoef * 2 * vErr * scale
-
-		p.net.Backward(p.dMean, p.dLogStd, dValue)
+		vErr := values[bi] - tr.Return
+		p.dValueB[bi] = p.cfg.ValueCoef * 2 * vErr * scale
 
 		stats.PolicyLoss += -math.Min(surr1, surr2)
 		stats.ValueLoss += vErr * vErr
 		stats.Entropy += gaussianEntropy(logStd)
 		stats.Samples++
 	}
+
+	p.net.BackwardBatch(&p.dMeanB, &p.dLogStdB, p.dValueB)
 
 	nn.ClipGradNorm(params, p.cfg.MaxGradNorm)
 	p.opt.Step(params)

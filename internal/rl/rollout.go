@@ -3,7 +3,6 @@ package rl
 import (
 	"fmt"
 
-	"vtmig/internal/mat"
 	"vtmig/internal/mathx"
 )
 
@@ -22,12 +21,20 @@ type Transition struct {
 }
 
 // Rollout is the replay buffer BF of Algorithm 1. It collects transitions
-// within an episode and computes advantages before updates.
+// within an episode and computes advantages before updates. Observation
+// and action copies live in per-buffer arenas that are recycled on Reset,
+// so the steady-state collect–update loop does not allocate.
 type Rollout struct {
 	steps []Transition
 	// gaeFrom marks the first index not yet covered by a ComputeGAE call,
 	// supporting the paper's mid-episode updates every |I| rounds.
 	gaeFrom int
+
+	// obsArena and actArena back the Obs/Action copies of the stored
+	// transitions; Reset rewinds them without freeing.
+	obsArena, actArena []float64
+	// advScratch is reused by NormalizeAdvantages.
+	advScratch []float64
 }
 
 // NewRollout returns an empty buffer with the given capacity hint.
@@ -35,11 +42,21 @@ func NewRollout(capacity int) *Rollout {
 	return &Rollout{steps: make([]Transition, 0, capacity)}
 }
 
-// Add appends a transition. Obs and Action are copied.
+// arenaAppend copies xs onto the arena and returns the stored copy. The
+// full slice expression caps the result so later arena growth cannot
+// alias it.
+func arenaAppend(arena *[]float64, xs []float64) []float64 {
+	n := len(*arena)
+	*arena = append(*arena, xs...)
+	return (*arena)[n:len(*arena):len(*arena)]
+}
+
+// Add appends a transition. Obs and Action are copied into buffer-owned
+// storage.
 func (r *Rollout) Add(obs, action []float64, logProb, reward, value float64, done bool) {
 	r.steps = append(r.steps, Transition{
-		Obs:     mat.CloneSlice(obs),
-		Action:  mat.CloneSlice(action),
+		Obs:     arenaAppend(&r.obsArena, obs),
+		Action:  arenaAppend(&r.actArena, action),
 		LogProb: logProb,
 		Reward:  reward,
 		Value:   value,
@@ -50,13 +67,17 @@ func (r *Rollout) Add(obs, action []float64, logProb, reward, value float64, don
 // Len returns the number of stored transitions.
 func (r *Rollout) Len() int { return len(r.steps) }
 
-// Steps returns the stored transitions. The slice is owned by the buffer.
+// Steps returns the stored transitions. The slice and the Obs/Action
+// storage it references are owned by the buffer and invalidated by Reset.
 func (r *Rollout) Steps() []Transition { return r.steps }
 
-// Reset discards all transitions (start of a new episode in Algorithm 1).
+// Reset discards all transitions (start of a new episode in Algorithm 1)
+// and rewinds the arenas for reuse.
 func (r *Rollout) Reset() {
 	r.steps = r.steps[:0]
 	r.gaeFrom = 0
+	r.obsArena = r.obsArena[:0]
+	r.actArena = r.actArena[:0]
 }
 
 // ComputeGAE fills Advantage and Return for all transitions added since
@@ -99,7 +120,10 @@ func (r *Rollout) NormalizeAdvantages() {
 	if len(r.steps) < 2 {
 		return
 	}
-	advs := make([]float64, len(r.steps))
+	if cap(r.advScratch) < len(r.steps) {
+		r.advScratch = make([]float64, len(r.steps))
+	}
+	advs := r.advScratch[:len(r.steps)]
 	for i := range r.steps {
 		advs[i] = r.steps[i].Advantage
 	}
