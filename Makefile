@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench golden ci
+.PHONY: all vet build test race race-sharded bench-smoke bench golden ci
 
 all: ci
 
@@ -24,6 +24,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-sharded re-runs the sharded-update determinism and allocation
+# tests under the race detector with a high iteration count. The tests
+# themselves pin shard-count × GOMAXPROCS combinations (including values
+# above the host's core count), so a race or a reduction-order bug in the
+# sharded gradient path fails here even on a single-core CI box.
+race-sharded:
+	$(GO) test -race -count=2 -run 'Sharded|AutoShards|ShardDeferred|ShardClone' ./internal/rl ./internal/pomdp ./internal/nn
+
 # bench-smoke exercises the PPO hot-path benchmarks just enough to catch
 # gross regressions and allocation reintroductions.
 bench-smoke:
@@ -38,4 +46,4 @@ bench:
 golden:
 	$(GO) test ./internal/experiments -run Golden -update
 
-ci: vet build race bench-smoke
+ci: vet build race race-sharded bench-smoke

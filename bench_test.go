@@ -8,6 +8,7 @@
 package vtmig_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -230,6 +231,85 @@ func BenchmarkPPOUpdate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		agent.Update(buf)
+	}
+}
+
+// BenchmarkPPOUpdateSharded measures one optimization phase with sharded
+// gradient accumulation over a 400-step buffer and 100-row minibatches —
+// the workload where per-shard GEMMs are large enough to amortize the
+// fan-out. shards=1 is the serial reference; every shard count produces
+// bit-identical weights (see the determinism contract), so the comparison
+// is purely about throughput.
+func BenchmarkPPOUpdateSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			env := newBenchEnv(b)
+			cfg := rl.DefaultPPOConfig()
+			cfg.MiniBatch = 100
+			cfg.Shards = shards
+			lo, hi := env.ActionBounds()
+			agent := rl.NewPPO(env.ObsDim(), env.ActDim(), lo, hi, cfg)
+			buf := rl.NewRollout(400)
+			obs := env.Reset()
+			for k := 0; k < 400; k++ {
+				raw, envAct, logP, value := agent.SelectAction(obs)
+				next, reward, done := env.Step(envAct)
+				buf.Add(obs, raw, logP, reward, value, done)
+				obs = next
+				if done {
+					obs = env.Reset()
+				}
+			}
+			buf.ComputeGAE(0.95, 0.95, 0)
+			agent.Update(buf) // warm-up: grows worker and minibatch scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agent.Update(buf)
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluate measures one equilibrium report for a posted price —
+// the per-round cost inside every POMDP Step. The scratch variant is the
+// hot path (0 allocs/op in steady state); the alloc variant is the
+// legacy convenience entry point.
+func BenchmarkEvaluate(b *testing.B) {
+	g := stackelberg.DefaultGame()
+	b.Run("scratch", func(b *testing.B) {
+		var s stackelberg.EvalScratch
+		g.EvaluateInto(&s, 25.3) // warm-up grows the scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if eq := g.EvaluateInto(&s, 25.3); eq.MSPUtility <= 0 {
+				b.Fatal("bad evaluation")
+			}
+		}
+	})
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if eq := g.Evaluate(25.3); eq.MSPUtility <= 0 {
+				b.Fatal("bad evaluation")
+			}
+		}
+	})
+}
+
+// BenchmarkSolveScratch measures the scratch-backed constrained
+// equilibrium solver (0 allocs/op in steady state).
+func BenchmarkSolveScratch(b *testing.B) {
+	g := stackelberg.DefaultGame()
+	var s stackelberg.EvalScratch
+	g.SolveInto(&s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eq := g.SolveInto(&s); eq.Price <= 0 {
+			b.Fatal("bad solve")
+		}
 	}
 }
 

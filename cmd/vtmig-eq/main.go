@@ -63,7 +63,10 @@ func run(args []string) error {
 		return err
 	}
 
-	eq := game.Solve()
+	// The scratch-backed solve is the allocation-free entry point; the
+	// report aliases scratch, which stays live for the whole printout.
+	var scratch stackelberg.EvalScratch
+	eq := game.SolveInto(&scratch)
 	fmt.Printf("Spectral efficiency e = log2(1+SNR) = %.4f bit/s/Hz\n", game.SpectralEfficiency())
 	fmt.Printf("Unconstrained closed-form price  p* = %.4f\n", game.UnconstrainedOptimalPrice())
 	fmt.Printf("Equilibrium price                p* = %.4f (capacity bound: %v)\n", eq.Price, eq.CapacityBound)

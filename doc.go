@@ -38,19 +38,39 @@
 // MulATBAddTo) whose accumulation order is fixed per destination element,
 // internal/nn adds batched forward/backward passes that reuse per-layer
 // scratch across minibatches, and the PPO learner pushes every minibatch
-// through the network as one batched pass. Experiment fan-outs (restarts,
-// seed studies, sweep points, ablation cells) run through a shared
-// bounded, context-cancellable worker pool in internal/experiments.
+// through the network as one batched pass. PPO minibatches additionally
+// shard across workers (PPOConfig.Shards): each shard runs the per-row
+// forward/backward work on a clone of the network sharing the parameters,
+// and the cross-row gradient sums reduce serially in fixed shard order.
+// The Stackelberg evaluation is destination-passing as well
+// (Game.EvaluateInto / Game.SolveInto over an EvalScratch), which keeps
+// the per-round follower response inside the POMDP's Step free of report
+// allocations. Experiment fan-outs (restarts, seed studies, sweep points,
+// ablation cells) run through a shared bounded, context-cancellable
+// worker pool in internal/experiments.
 //
 // # Determinism contract
 //
-// The same seed yields the same figures, bit for bit: the batched kernels
-// accumulate in exactly the order of the sample-at-a-time loops they
-// replaced, and parallel experiment tasks are independently seeded with
-// results assembled in input order. The golden-file tests under
-// internal/experiments/testdata pin the exact fixed-seed outputs of every
-// figure pipeline; regenerate them after an intentional numeric change
-// with
+// The same seed yields the same figures, bit for bit. Three rules enforce
+// it:
+//
+//  1. Batched kernels accumulate in exactly the order of the
+//     sample-at-a-time loops they replaced (k-ascending, one accumulator
+//     per destination element; row-ascending gradient accumulation).
+//  2. Parallel experiment tasks are independently seeded with results
+//     assembled in input order.
+//  3. Sharded gradient accumulation reduces per-worker buffers in fixed
+//     shard order: shards are contiguous row ranges, workers perform only
+//     per-row computation, and every cross-row sum runs in the serial
+//     reduction with the same row-ascending kernels as the serial pass —
+//     so any shard count yields bit-identical weights regardless of
+//     GOMAXPROCS.
+//
+// The golden-file tests under internal/experiments/testdata pin the exact
+// fixed-seed outputs of every figure pipeline, and the determinism tests
+// in internal/rl, internal/pomdp, and internal/stackelberg pin the rules
+// at unit level. Regenerate the golden files after an intentional numeric
+// change with
 //
 //	go test ./internal/experiments -run Golden -update
 //

@@ -18,14 +18,16 @@ func main() {
 }
 
 // costSweep reproduces the economics of Fig. 3(a)/(b): higher transmission
-// cost pushes the price up and demand down.
+// cost pushes the price up and demand down. One EvalScratch serves the
+// whole sweep — each row is printed before the next solve overwrites it.
 func costSweep() {
 	fmt.Println("Cost sweep (2 VMUs, D = 200/100 MB, α = 5):")
 	fmt.Println("cost  price   MSP_utility  total_bw(x10kHz)  VMU_utility_sum")
+	var scratch vtmig.EvalScratch
 	for _, c := range []float64{5, 6, 7, 8, 9} {
 		game := vtmig.DefaultGame()
 		game.Cost = c
-		eq := game.Solve()
+		eq := game.SolveInto(&scratch)
 		var vmuSum float64
 		for _, u := range eq.VMUUtilities {
 			vmuSum += u
@@ -41,6 +43,7 @@ func costSweep() {
 func populationSweep() {
 	fmt.Println("Population sweep (D = 100 MB, α = 5, C = 5, Bmax = 0.5 MHz):")
 	fmt.Println("n  price   bound  MSP_utility  avg_bw(x10kHz)  avg_VMU_utility")
+	var scratch vtmig.EvalScratch
 	for n := 1; n <= 6; n++ {
 		vmus := make([]vtmig.VMU, n)
 		for i := range vmus {
@@ -50,7 +53,7 @@ func populationSweep() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		eq := game.Solve()
+		eq := game.SolveInto(&scratch)
 		var avgU float64
 		for _, u := range eq.VMUUtilities {
 			avgU += u / float64(n)

@@ -20,7 +20,9 @@ type Policy interface {
 	// Price returns the price to post in the given round (zero-based).
 	Price(round int) float64
 	// Observe feeds back the realized outcome of the round so adaptive
-	// policies can learn.
+	// policies can learn. The outcome's slice fields may alias
+	// runner-owned scratch valid only for the duration of the call;
+	// policies that retain them must copy.
 	Observe(outcome stackelberg.Equilibrium)
 	// Reset clears any per-episode state.
 	Reset()

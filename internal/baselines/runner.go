@@ -34,18 +34,23 @@ func RunEpisode(g *stackelberg.Game, p Policy, rounds int) EpisodeResult {
 	p.Reset()
 	res := EpisodeResult{Policy: p.Name(), Rounds: rounds}
 	utilities := make([]float64, 0, rounds)
+	// One scratch serves the whole episode; the retained reports
+	// (Best/FinalOutcome) are cloned out of it because the next round's
+	// evaluation overwrites the aliased slices.
+	var scratch stackelberg.EvalScratch
 	for k := 0; k < rounds; k++ {
 		price := p.Price(k)
-		out := g.Evaluate(price)
+		out := g.EvaluateInto(&scratch, price)
 		p.Observe(out)
 		utilities = append(utilities, out.MSPUtility)
 		if k == 0 || out.MSPUtility > res.BestUtility {
 			res.BestUtility = out.MSPUtility
 			res.BestPrice = out.Price
-			res.BestOutcome = out
+			res.BestOutcome = out.Clone()
 		}
 		res.FinalOutcome = out
 	}
+	res.FinalOutcome = res.FinalOutcome.Clone()
 	res.MeanUtility = mathx.Mean(utilities)
 	return res
 }

@@ -86,10 +86,13 @@ func RunFig2Ctx(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (*Fi
 		RoundsPerEpisode: cfg.Rounds,
 		UpdateEvery:      cfg.UpdateEvery,
 	})
+	// One scratch serves every per-episode utility probe; only the scalar
+	// MSPUtility is read from the aliased report.
+	var evalScratch stackelberg.EvalScratch
 	trainer.OnEpisode = func(s rl.EpisodeStats) bool {
 		res.Return.Append(float64(s.Episode), s.Return)
 		price := EvaluateAgent(evalEnv, agent, cfg.HistoryLen+2)
-		res.Utility.Append(float64(s.Episode), game.Evaluate(price).MSPUtility)
+		res.Utility.Append(float64(s.Episode), game.EvaluateInto(&evalScratch, price).MSPUtility)
 		return ctx.Err() == nil
 	}
 	episodes := trainer.Run()

@@ -6,10 +6,12 @@ import "sync"
 // callers that need transient matrices or vectors whose peak shape is not
 // known up front can Get/Put instead of allocating per call. The
 // steady-state hot loops in this repository (the PPO update, layer
-// caches) deliberately do NOT use it — they keep scratch in struct
-// fields, which stays allocation-free even when GC pressure empties a
-// sync.Pool — so Pool currently has no in-repo callers outside its
-// tests; it is provided for future transient-scratch call sites.
+// caches, the sharded-update worker clones, the Stackelberg EvalScratch)
+// deliberately do NOT use it — they keep scratch in struct fields, which
+// stays allocation-free even when GC pressure empties a sync.Pool, a
+// property the AllocsPerRun regression tests depend on — so Pool
+// currently has no in-repo callers outside its tests; it is provided for
+// future transient-scratch call sites.
 //
 // The zero value is ready to use and safe for concurrent callers.
 type Pool struct {

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vtmig/internal/mat"
+)
+
+// TestLinearShardDeferredMatchesBatch checks the layer-level contract the
+// sharded PPO update builds on: splitting a batch into contiguous row
+// shards, running ForwardBatch + BackwardBatchDeferred on per-shard
+// clones, and folding with AccumulateDeferred in shard order must
+// reproduce the single full-batch ForwardBatch/BackwardBatch bit for bit
+// — gradients and input gradients alike.
+func TestLinearShardDeferredMatchesBatch(t *testing.T) {
+	const (
+		in, out = 13, 7
+		rows    = 21
+	)
+	rng := rand.New(rand.NewSource(5))
+	ref := NewLinear("ref", in, out, rng)
+	x := mat.New(rows, in)
+	x.Randomize(rng, 1)
+	dy := mat.New(rows, out)
+	dy.Randomize(rng, 1)
+
+	// Reference: one full-batch pass.
+	refY := ref.ForwardBatch(x).Clone()
+	refDX := ref.BackwardBatch(dy).Clone()
+	refGW := append([]float64(nil), ref.w.Grad...)
+	refGB := append([]float64(nil), ref.b.Grad...)
+
+	for _, shards := range []int{1, 2, 3, 5} {
+		// Fresh gradient state on the shared parameters.
+		for i := range ref.w.Grad {
+			ref.w.Grad[i] = 0
+		}
+		for i := range ref.b.Grad {
+			ref.b.Grad[i] = 0
+		}
+		clones := make([]ShardModule, shards)
+		for s := range clones {
+			clones[s] = ref.ShardClone()
+		}
+		// Per-row work, shard by shard (order is irrelevant here; the
+		// reduction order below is what matters).
+		dxs := make([]*mat.Matrix, shards)
+		for s := 0; s < shards; s++ {
+			lo, hi := s*rows/shards, (s+1)*rows/shards
+			xs := mat.FromSlice(hi-lo, in, x.Data[lo*in:hi*in])
+			dys := mat.FromSlice(hi-lo, out, dy.Data[lo*out:hi*out])
+			y := clones[s].ForwardBatch(xs)
+			for r := 0; r < hi-lo; r++ {
+				for j := 0; j < out; j++ {
+					if math.Float64bits(y.At(r, j)) != math.Float64bits(refY.At(lo+r, j)) {
+						t.Fatalf("shards=%d: forward row %d col %d differs", shards, lo+r, j)
+					}
+				}
+			}
+			dxs[s] = clones[s].BackwardBatchDeferred(dys)
+		}
+		// Deferred backward must not have touched the shared gradients.
+		for i, g := range ref.w.Grad {
+			if g != 0 {
+				t.Fatalf("shards=%d: deferred backward wrote w.Grad[%d]=%v", shards, i, g)
+			}
+		}
+		// Serial reduction in shard order.
+		for s := 0; s < shards; s++ {
+			clones[s].AccumulateDeferred()
+		}
+		for i := range refGW {
+			if math.Float64bits(ref.w.Grad[i]) != math.Float64bits(refGW[i]) {
+				t.Fatalf("shards=%d: w.Grad[%d] = %v, want %v", shards, i, ref.w.Grad[i], refGW[i])
+			}
+		}
+		for i := range refGB {
+			if math.Float64bits(ref.b.Grad[i]) != math.Float64bits(refGB[i]) {
+				t.Fatalf("shards=%d: b.Grad[%d] = %v, want %v", shards, i, ref.b.Grad[i], refGB[i])
+			}
+		}
+		for s := 0; s < shards; s++ {
+			lo, hi := s*rows/shards, (s+1)*rows/shards
+			for r := 0; r < hi-lo; r++ {
+				for j := 0; j < in; j++ {
+					if math.Float64bits(dxs[s].At(r, j)) != math.Float64bits(refDX.At(lo+r, j)) {
+						t.Fatalf("shards=%d: dX row %d col %d differs", shards, lo+r, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestActivationShardClone checks that activation clones are independent:
+// batched passes on a clone must not disturb the original's caches.
+func TestActivationShardClone(t *testing.T) {
+	orig := NewActivation(ActTanh, 4).(ShardModule)
+	clone := orig.ShardClone()
+
+	x1 := mat.New(2, 4)
+	x1.Fill(0.5)
+	y1 := orig.ForwardBatch(x1).Clone()
+
+	x2 := mat.New(3, 4)
+	x2.Fill(-1.25)
+	clone.ForwardBatch(x2)
+
+	dy := mat.New(2, 4)
+	dy.Fill(1)
+	// orig's backward must still use its own cached input, not the
+	// clone's.
+	dx := orig.BackwardBatch(dy)
+	want := 1 - y1.At(0, 0)*y1.At(0, 0)
+	if math.Float64bits(dx.At(0, 0)) != math.Float64bits(want) {
+		t.Fatalf("clone corrupted original caches: dx = %v, want %v", dx.At(0, 0), want)
+	}
+	// AccumulateDeferred on a parameter-free layer is a no-op.
+	clone.AccumulateDeferred()
+}

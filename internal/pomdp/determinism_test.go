@@ -1,0 +1,102 @@
+package pomdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vtmig/internal/channel"
+	"vtmig/internal/rl"
+	"vtmig/internal/stackelberg"
+)
+
+// randomGame draws a valid randomized Stackelberg game: 1–5 followers
+// with random immersion coefficients and data sizes, random cost, and a
+// randomly slack or binding capacity.
+func randomGame(t *testing.T, rng *rand.Rand) *stackelberg.Game {
+	t.Helper()
+	n := 1 + rng.Intn(5)
+	vmus := make([]stackelberg.VMU, n)
+	for i := range vmus {
+		vmus[i] = stackelberg.VMU{
+			ID:       i,
+			Alpha:    5 + rng.Float64()*15,
+			DataSize: 0.5 + rng.Float64()*2.5,
+		}
+	}
+	bmax := 0.0
+	if rng.Intn(2) == 0 {
+		bmax = 0.2 + rng.Float64()*0.8
+	}
+	g, err := stackelberg.NewGame(vmus, channel.DefaultParams(), 4+rng.Float64()*4, 50, bmax)
+	if err != nil {
+		t.Fatalf("randomized game invalid: %v", err)
+	}
+	return g
+}
+
+// trainBriefly runs a short end-to-end training (environment, trainer,
+// PPO with the given shard count) and returns the agent and per-episode
+// returns.
+func trainBriefly(t *testing.T, game *stackelberg.Game, seed int64, shards int) (*rl.PPO, []float64) {
+	t.Helper()
+	env, err := NewGameEnv(Config{
+		Game:       game,
+		HistoryLen: 3,
+		Rounds:     40,
+		Reward:     RewardBinary,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rl.DefaultPPOConfig()
+	cfg.Seed = seed
+	cfg.Shards = shards
+	cfg.MiniBatch = 10
+	lo, hi := env.ActionBounds()
+	agent := rl.NewPPO(env.ObsDim(), env.ActDim(), lo, hi, cfg)
+	trainer := rl.NewTrainer(env, agent, rl.TrainerConfig{
+		Episodes:         2,
+		RoundsPerEpisode: 40,
+		UpdateEvery:      10,
+	})
+	stats := trainer.Run()
+	returns := make([]float64, len(stats))
+	for i, s := range stats {
+		returns[i] = s.Return
+	}
+	return agent, returns
+}
+
+// TestShardedTrainingBitIdenticalOnRandomGames extends the unit-level
+// shard determinism tests to the real POMDP: on randomized games, a full
+// (short) training run with sharded PPO updates must reproduce the serial
+// run's weights and episode returns bit for bit.
+func TestShardedTrainingBitIdenticalOnRandomGames(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		game := randomGame(t, rng)
+		seed := int64(1000 + trial)
+		shards := []int{2, 4, 7}[trial%3]
+
+		serial, serialRet := trainBriefly(t, game, seed, 1)
+		sharded, shardedRet := trainBriefly(t, game, seed, shards)
+
+		for i := range serialRet {
+			if math.Float64bits(serialRet[i]) != math.Float64bits(shardedRet[i]) {
+				t.Fatalf("trial %d (N=%d, shards=%d): episode %d return %v vs %v",
+					trial, game.N(), shards, i, serialRet[i], shardedRet[i])
+			}
+		}
+		sp, pp := serial.Params(), sharded.Params()
+		for i := range sp {
+			for j := range sp[i].Value {
+				if math.Float64bits(sp[i].Value[j]) != math.Float64bits(pp[i].Value[j]) {
+					t.Fatalf("trial %d (N=%d, shards=%d): param %q element %d: %v vs %v",
+						trial, game.N(), shards, sp[i].Name, j, sp[i].Value[j], pp[i].Value[j])
+				}
+			}
+		}
+	}
+}

@@ -124,6 +124,10 @@ type GameEnv struct {
 	// shaping and regret reporting.
 	oracleUs float64
 
+	// scratch backs the per-round equilibrium evaluation; reusing it keeps
+	// Step and Reset allocation-free in steady state.
+	scratch stackelberg.EvalScratch
+
 	last stackelberg.Equilibrium
 	obs  []float64
 }
@@ -178,7 +182,7 @@ func (e *GameEnv) Reset() []float64 {
 	}
 	for i := 0; i < e.cfg.HistoryLen; i++ {
 		price := e.game.Cost + e.rng.Float64()*(e.game.PMax-e.game.Cost)
-		eq := e.game.Evaluate(price)
+		eq := e.game.EvaluateInto(&e.scratch, price)
 		e.recordInto(e.history[i], eq)
 	}
 	return e.buildObs()
@@ -193,7 +197,7 @@ func (e *GameEnv) Step(action []float64) ([]float64, float64, bool) {
 	if e.round >= e.cfg.Rounds {
 		panic("pomdp: Step called on finished episode; call Reset")
 	}
-	eq := e.game.Evaluate(action[0])
+	eq := e.game.EvaluateInto(&e.scratch, action[0])
 	e.last = eq
 
 	var reward float64
@@ -231,7 +235,9 @@ func (e *GameEnv) Step(action []float64) ([]float64, float64, bool) {
 }
 
 // LastOutcome returns the full equilibrium report of the most recent round
-// (for metric collection).
+// (for metric collection). Its slice fields alias environment-owned
+// scratch overwritten by the next Step or Reset; callers that retain the
+// report across rounds must Clone it.
 func (e *GameEnv) LastOutcome() stackelberg.Equilibrium { return e.last }
 
 // BestUtility returns the best MSP utility seen this episode.

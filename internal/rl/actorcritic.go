@@ -145,10 +145,7 @@ func (ac *ActorCritic) ForwardBatch(obs *mat.Matrix) (mean *mat.Matrix, logStd [
 		ac.meanOutB.Data[i] = math.Tanh(v)
 	}
 	vals := ac.valueHd.ForwardBatch(h)
-	if cap(ac.valuesB) < vals.Rows {
-		ac.valuesB = make([]float64, vals.Rows)
-	}
-	ac.valuesB = ac.valuesB[:vals.Rows]
+	ac.valuesB = growSlice(ac.valuesB, vals.Rows)
 	copy(ac.valuesB, vals.Data)
 	return &ac.meanOutB, ac.logStd.Value, ac.valuesB
 }
@@ -178,9 +175,17 @@ func (ac *ActorCritic) BackwardBatch(dMean, dLogStd *mat.Matrix, dValue []float6
 	for i := len(ac.trunk) - 1; i >= 0; i-- {
 		g = ac.trunk[i].BackwardBatch(g)
 	}
+	ac.accumulateLogStdGrads(dLogStd)
+}
+
+// accumulateLogStdGrads folds a batch of per-row dLoss/dLogStd rows into
+// the log-std gradient, rows ascending with one running accumulator per
+// dimension — the shared reduction of the serial and sharded update
+// paths.
+func (ac *ActorCritic) accumulateLogStdGrads(dLogStd *mat.Matrix) {
 	for j := 0; j < ac.actDim; j++ {
 		acc := ac.logStd.Grad[j]
-		for b := 0; b < batch; b++ {
+		for b := 0; b < dLogStd.Rows; b++ {
 			acc += dLogStd.At(b, j)
 		}
 		ac.logStd.Grad[j] = acc

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"vtmig/internal/mat"
 	"vtmig/internal/mathx"
@@ -51,6 +52,17 @@ type PPOConfig struct {
 	// MinLogStd floors the log-scale so exploration never collapses to
 	// exactly zero during training.
 	MinLogStd float64
+	// Shards is the number of minibatch shards used for parallel gradient
+	// accumulation during Update. Each shard runs the per-row forward/
+	// backward work on its own worker over a contiguous row range; the
+	// cross-row gradient sums are then reduced serially in fixed shard
+	// order, so every shard count produces weights bit-identical to the
+	// serial pass regardless of GOMAXPROCS (the third rule of the
+	// determinism contract). 0 (the default) selects automatically:
+	// min(GOMAXPROCS, 4) shards, falling back to serial when the
+	// minibatch is too small to amortize the fan-out. 1 forces the serial
+	// path.
+	Shards int
 	// Seed drives weight initialization and action sampling.
 	Seed int64
 }
@@ -89,6 +101,9 @@ func (c PPOConfig) validate() {
 	if c.LR <= 0 {
 		panic(fmt.Sprintf("rl: PPO LR=%g must be positive", c.LR))
 	}
+	if c.Shards < 0 {
+		panic(fmt.Sprintf("rl: PPO Shards=%d must be non-negative", c.Shards))
+	}
 }
 
 // PPO is the proximal-policy-optimization learner of Section IV. It owns
@@ -118,6 +133,17 @@ type PPO struct {
 	dMeanB   mat.Matrix // minibatch×actDim
 	dLogStdB mat.Matrix
 	dValueB  []float64
+
+	// sharded-update machinery (see shard.go): per-shard workers created
+	// lazily on the first sharded minibatch and reused across updates,
+	// plus per-row loss slots the master reduces row-ascending so sharded
+	// statistics match the serial pass bit for bit.
+	workers       []*ppoWorker
+	shardWG       sync.WaitGroup
+	rowPolicyLoss []float64
+	rowValueLoss  []float64
+	rowEntropy    []float64
+	rowClipped    []float64
 }
 
 // NewPPO builds a PPO learner for an environment with the given
@@ -283,8 +309,13 @@ func (p *PPO) Update(buf *Rollout) UpdateStats {
 // network as one batched forward/backward pass — the policy is evaluated
 // for every selected rollout step at once — with gradient accumulation
 // ordered so the result is bit-identical to the sample-at-a-time loop it
-// replaced.
+// replaced. With more than one effective shard the per-row work fans out
+// across workers (see shard.go) and produces the same bits.
 func (p *PPO) updateMiniBatch(steps []Transition, batch []int, stats *UpdateStats) {
+	if shards := p.effectiveShards(len(batch)); shards > 1 {
+		p.updateMiniBatchSharded(steps, batch, stats, shards)
+		return
+	}
 	params := p.net.Params()
 	nn.ZeroGrads(params)
 	scale := 1 / float64(len(batch))
@@ -294,10 +325,7 @@ func (p *PPO) updateMiniBatch(steps []Transition, batch []int, stats *UpdateStat
 	p.obsB.Resize(b, obsDim)
 	p.dMeanB.Resize(b, actDim)
 	p.dLogStdB.Resize(b, actDim)
-	if cap(p.dValueB) < b {
-		p.dValueB = make([]float64, b)
-	}
-	p.dValueB = p.dValueB[:b]
+	p.dValueB = growSlice(p.dValueB, b)
 	for bi, i := range batch {
 		copy(p.obsB.Row(bi), steps[i].Obs)
 	}
@@ -305,43 +333,15 @@ func (p *PPO) updateMiniBatch(steps []Transition, batch []int, stats *UpdateStat
 	means, logStd, values := p.net.ForwardBatch(&p.obsB)
 
 	for bi, i := range batch {
-		tr := &steps[i]
-		mean := means.Row(bi)
-
-		newLogP := gaussianLogProb(tr.Action, mean, logStd)
-		ratio := math.Exp(newLogP - tr.LogProb)
-		adv := tr.Advantage
-
-		// Clipped surrogate (Eqs. 15, 19). The unclipped branch carries
-		// gradient only when it attains the min.
-		surr1 := ratio * adv
-		clipped := mathx.Clamp(ratio, 1-p.cfg.ClipEps, 1+p.cfg.ClipEps)
-		surr2 := clipped * adv
-		useUnclipped := surr1 <= surr2
-		if ratio != clipped {
+		dMean, dLogStd := p.dMeanB.Row(bi), p.dLogStdB.Row(bi)
+		dValue, policyLoss, valueLoss, clipped :=
+			p.rowLoss(&steps[i], means.Row(bi), logStd, values[bi], dMean, dLogStd, scale)
+		p.dValueB[bi] = dValue
+		if clipped {
 			stats.ClipFraction++
 		}
-
-		// Gradient of the maximized objective w.r.t. mean/logstd.
-		var dObjDLogP float64
-		if useUnclipped {
-			dObjDLogP = ratio * adv // d(r·A)/dlogp = r·A... chain below
-		}
-		dMean, dLogStd := p.dMeanB.Row(bi), p.dLogStdB.Row(bi)
-		gaussianLogProbGrads(tr.Action, mean, logStd, dMean, dLogStd)
-		// We minimize loss = -objective, so flip signs. The entropy bonus
-		// adds +β·H; dH/dlogσ = 1 per dimension.
-		for d := range dMean {
-			dMean[d] *= -dObjDLogP * scale
-			dLogStd[d] = -dObjDLogP*dLogStd[d]*scale - p.cfg.EntropyCoef*scale
-		}
-
-		// Value loss (Eq. 16): (V - V^targ)². d/dV = 2(V - V^targ).
-		vErr := values[bi] - tr.Return
-		p.dValueB[bi] = p.cfg.ValueCoef * 2 * vErr * scale
-
-		stats.PolicyLoss += -math.Min(surr1, surr2)
-		stats.ValueLoss += vErr * vErr
+		stats.PolicyLoss += policyLoss
+		stats.ValueLoss += valueLoss
 		stats.Entropy += gaussianEntropy(logStd)
 		stats.Samples++
 	}
@@ -351,6 +351,50 @@ func (p *PPO) updateMiniBatch(steps []Transition, batch []int, stats *UpdateStat
 	nn.ClipGradNorm(params, p.cfg.MaxGradNorm)
 	p.opt.Step(params)
 	p.clampLogStd()
+}
+
+// rowLoss computes one rollout sample's contribution to the minibatch
+// loss: it fills the scaled, sign-flipped gradient rows dMean and dLogStd
+// and returns the scaled value-head gradient plus the per-row statistics
+// terms. The serial and sharded update paths share it verbatim, which is
+// what makes their numbers bit-identical.
+func (p *PPO) rowLoss(tr *Transition, mean, logStd []float64, value float64, dMean, dLogStd []float64, scale float64) (dValue, policyLoss, valueLoss float64, clipped bool) {
+	newLogP := gaussianLogProb(tr.Action, mean, logStd)
+	ratio := math.Exp(newLogP - tr.LogProb)
+	adv := tr.Advantage
+
+	// Clipped surrogate (Eqs. 15, 19). The unclipped branch carries
+	// gradient only when it attains the min.
+	surr1 := ratio * adv
+	clip := mathx.Clamp(ratio, 1-p.cfg.ClipEps, 1+p.cfg.ClipEps)
+	surr2 := clip * adv
+
+	// Gradient of the maximized objective w.r.t. mean/logstd.
+	var dObjDLogP float64
+	if surr1 <= surr2 {
+		dObjDLogP = ratio * adv // d(r·A)/dlogp = r·A... chain below
+	}
+	gaussianLogProbGrads(tr.Action, mean, logStd, dMean, dLogStd)
+	// We minimize loss = -objective, so flip signs. The entropy bonus
+	// adds +β·H; dH/dlogσ = 1 per dimension.
+	for d := range dMean {
+		dMean[d] *= -dObjDLogP * scale
+		dLogStd[d] = -dObjDLogP*dLogStd[d]*scale - p.cfg.EntropyCoef*scale
+	}
+
+	// Value loss (Eq. 16): (V - V^targ)². d/dV = 2(V - V^targ).
+	vErr := value - tr.Return
+	dValue = p.cfg.ValueCoef * 2 * vErr * scale
+	return dValue, -math.Min(surr1, surr2), vErr * vErr, ratio != clip
+}
+
+// growSlice sizes s to length n, reusing capacity when possible. The
+// contents are unspecified; callers fully overwrite them.
+func growSlice(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // clampLogStd keeps the exploration scale above the configured floor.

@@ -1,0 +1,284 @@
+package rl
+
+import (
+	"math"
+	"runtime"
+
+	"vtmig/internal/mat"
+	"vtmig/internal/nn"
+)
+
+// This file implements sharded PPO gradient accumulation: each minibatch
+// is split into a fixed number of contiguous row shards, one worker per
+// shard runs every strictly per-row operation (observation gather, the
+// batched forward pass, the loss gradients, and the input-gradient
+// backward chain) on its own clone of the actor–critic, and the master
+// then folds the recorded shards into the shared parameter gradients
+// serially, in shard order.
+//
+// Determinism: every cross-row sum — dW += dYᵀ·X, db += colsum(dY), the
+// log-std gradient, and the update statistics — is performed only during
+// the serial reduction, by the same row-ascending single-accumulator
+// kernels the serial pass uses. Reducing contiguous shards in order
+// therefore replays the exact addition sequence of the full-batch pass,
+// so the summed gradients (and hence the updated weights) are
+// bit-identical to the serial path for EVERY shard count, regardless of
+// GOMAXPROCS or scheduling. This is the third rule of the determinism
+// contract (see doc.go).
+
+const (
+	// autoShardCap bounds the automatic shard count: beyond a few workers
+	// the serial reduction and fan-out overhead dominate on
+	// minibatch-sized problems.
+	autoShardCap = 4
+	// autoShardMinRows is the smallest minibatch the automatic mode will
+	// shard; below it the per-shard GEMMs are too small to amortize the
+	// goroutine fan-out. Explicitly configured shard counts are always
+	// honored.
+	autoShardMinRows = 32
+)
+
+// effectiveShards resolves the shard count for a minibatch of the given
+// number of rows. The result never exceeds rows, so every shard is
+// non-empty.
+func (p *PPO) effectiveShards(rows int) int {
+	s := p.cfg.Shards
+	if s == 0 {
+		if rows < autoShardMinRows {
+			return 1
+		}
+		s = runtime.GOMAXPROCS(0)
+		if s > autoShardCap {
+			s = autoShardCap
+		}
+	}
+	if s > rows {
+		s = rows
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// acShardView is one worker's private view of the actor–critic network:
+// layer clones that share the parameters (values and gradient storage)
+// with the master network but own their forward/backward caches. It
+// mirrors ActorCritic's batched pass over a row shard, deferring every
+// parameter-gradient write to the serial accumulate step.
+type acShardView struct {
+	trunk   []nn.ShardModule
+	meanHd  nn.ShardModule
+	valueHd nn.ShardModule
+	logStd  []float64 // shared parameter values; read-only during a pass
+	actDim  int
+
+	// private counterparts of ActorCritic's batched scratch, grown to the
+	// largest shard seen
+	meanOutB   mat.Matrix
+	valuesB    []float64
+	meanGradB  mat.Matrix
+	valueDyB   mat.Matrix
+	trunkGradB mat.Matrix
+}
+
+// newACShardView clones the network's layers for one worker.
+func newACShardView(ac *ActorCritic) *acShardView {
+	v := &acShardView{logStd: ac.logStd.Value, actDim: ac.actDim}
+	for _, m := range ac.trunk {
+		v.trunk = append(v.trunk, m.(nn.ShardModule).ShardClone())
+	}
+	v.meanHd = ac.meanHd.ShardClone()
+	v.valueHd = ac.valueHd.ShardClone()
+	return v
+}
+
+// forwardBatch is ActorCritic.ForwardBatch on the worker's clones: row r
+// of the returned mean matrix and element r of the returned values are
+// bit-identical to the master network's batched (or sample-at-a-time)
+// forward on the same observation row.
+func (v *acShardView) forwardBatch(obs *mat.Matrix) (mean *mat.Matrix, values []float64) {
+	h := obs
+	for _, m := range v.trunk {
+		h = m.ForwardBatch(h)
+	}
+	raw := v.meanHd.ForwardBatch(h)
+	v.meanOutB.Resize(raw.Rows, raw.Cols)
+	for i, x := range raw.Data {
+		v.meanOutB.Data[i] = math.Tanh(x)
+	}
+	vals := v.valueHd.ForwardBatch(h)
+	v.valuesB = growSlice(v.valuesB, vals.Rows)
+	copy(v.valuesB, vals.Data)
+	return &v.meanOutB, v.valuesB
+}
+
+// backwardDeferred is ActorCritic.BackwardBatch minus every cross-row
+// parameter-gradient sum: it propagates the input gradients through the
+// clones (a strictly per-row computation) and leaves each layer's
+// (dY, X) shard recorded for the serial reduction. The log-std gradient
+// needs no per-row work at all, so the master reduces it directly from
+// the shared dLogStd matrix.
+func (v *acShardView) backwardDeferred(dMean *mat.Matrix, dValue []float64) {
+	rows := v.meanOutB.Rows
+	v.meanGradB.Resize(rows, v.actDim)
+	for i, g := range dMean.Data {
+		// d tanh(u)/du = 1 - tanh(u)².
+		sq := v.meanOutB.Data[i]
+		v.meanGradB.Data[i] = g * (1 - sq*sq)
+	}
+	gm := v.meanHd.BackwardBatchDeferred(&v.meanGradB)
+	v.valueDyB.Resize(rows, 1)
+	copy(v.valueDyB.Data, dValue)
+	gv := v.valueHd.BackwardBatchDeferred(&v.valueDyB)
+	v.trunkGradB.Resize(rows, gm.Cols)
+	mat.AddTo(&v.trunkGradB, gm, gv)
+	g := &v.trunkGradB
+	for i := len(v.trunk) - 1; i >= 0; i-- {
+		g = v.trunk[i].BackwardBatchDeferred(g)
+	}
+}
+
+// accumulate folds the worker's recorded shard into the shared parameter
+// gradients. Callers invoke it serially, one worker at a time in shard
+// order; each parameter's running element-wise accumulation then visits
+// the minibatch rows strictly ascending, exactly like the full-batch
+// serial backward.
+func (v *acShardView) accumulate() {
+	v.meanHd.AccumulateDeferred()
+	v.valueHd.AccumulateDeferred()
+	for i := len(v.trunk) - 1; i >= 0; i-- {
+		v.trunk[i].AccumulateDeferred()
+	}
+}
+
+// ppoWorker runs the per-row half of one minibatch shard. The master sets
+// the shard assignment fields, fans the workers out, waits, and then
+// reduces; workers only read shared state (weights, rollout steps) and
+// write row-disjoint slices of the learner's minibatch scratch.
+type ppoWorker struct {
+	p   *PPO
+	net *acShardView
+	// spawn is the pre-bound goroutine body; storing it once keeps the
+	// per-update fan-out free of closure allocations.
+	spawn func()
+
+	// shard assignment for the current pass, set by the master before the
+	// fan-out
+	steps  []Transition
+	batch  []int
+	lo, hi int // row range [lo, hi) of the minibatch
+
+	// borrowed row-range views over the learner's shared minibatch
+	// matrices
+	obsView, dMeanView mat.Matrix
+}
+
+// newPPOWorker builds a worker bound to the learner.
+func newPPOWorker(p *PPO) *ppoWorker {
+	w := &ppoWorker{p: p, net: newACShardView(p.net)}
+	w.spawn = func() {
+		defer p.shardWG.Done()
+		w.work()
+	}
+	return w
+}
+
+// rowView borrows rows [lo, lo+rows) of m as a matrix header without
+// copying or allocating.
+func rowView(m *mat.Matrix, lo, rows int) mat.Matrix {
+	return mat.Matrix{Rows: rows, Cols: m.Cols, Data: m.Data[lo*m.Cols : (lo+rows)*m.Cols]}
+}
+
+// work executes the worker's shard: gather the shard's observation rows,
+// forward them through the clone network, compute every per-row loss
+// quantity into the shard's rows of the shared scratch, and backpropagate
+// the input gradients. No shared parameter gradient is touched.
+func (w *ppoWorker) work() {
+	p := w.p
+	rows := w.hi - w.lo
+	scale := 1 / float64(len(w.batch))
+
+	for bi := w.lo; bi < w.hi; bi++ {
+		copy(p.obsB.Row(bi), w.steps[w.batch[bi]].Obs)
+	}
+	w.obsView = rowView(&p.obsB, w.lo, rows)
+	means, values := w.net.forwardBatch(&w.obsView)
+
+	logStd := w.net.logStd
+	for r := 0; r < rows; r++ {
+		bi := w.lo + r
+		dMean, dLogStd := p.dMeanB.Row(bi), p.dLogStdB.Row(bi)
+		dValue, policyLoss, valueLoss, clipped :=
+			p.rowLoss(&w.steps[w.batch[bi]], means.Row(r), logStd, values[r], dMean, dLogStd, scale)
+		p.dValueB[bi] = dValue
+		p.rowPolicyLoss[bi] = policyLoss
+		p.rowValueLoss[bi] = valueLoss
+		p.rowEntropy[bi] = gaussianEntropy(logStd)
+		if clipped {
+			p.rowClipped[bi] = 1
+		} else {
+			p.rowClipped[bi] = 0
+		}
+	}
+
+	w.dMeanView = rowView(&p.dMeanB, w.lo, rows)
+	w.net.backwardDeferred(&w.dMeanView, p.dValueB[w.lo:w.hi])
+}
+
+// updateMiniBatchSharded is the parallel counterpart of the serial branch
+// of updateMiniBatch: per-row work fans out across shards, cross-row sums
+// reduce serially in fixed shard order. Bit-identical to the serial pass
+// for every shard count.
+func (p *PPO) updateMiniBatchSharded(steps []Transition, batch []int, stats *UpdateStats, shards int) {
+	params := p.net.Params()
+	nn.ZeroGrads(params)
+
+	b := len(batch)
+	p.obsB.Resize(b, p.net.ObsDim())
+	p.dMeanB.Resize(b, p.net.ActDim())
+	p.dLogStdB.Resize(b, p.net.ActDim())
+	p.dValueB = growSlice(p.dValueB, b)
+	p.rowPolicyLoss = growSlice(p.rowPolicyLoss, b)
+	p.rowValueLoss = growSlice(p.rowValueLoss, b)
+	p.rowEntropy = growSlice(p.rowEntropy, b)
+	p.rowClipped = growSlice(p.rowClipped, b)
+	for len(p.workers) < shards {
+		p.workers = append(p.workers, newPPOWorker(p))
+	}
+
+	// Fixed balanced contiguous partition: shard s covers rows
+	// [s·b/S, (s+1)·b/S). It depends only on (b, S), never on scheduling.
+	for s := 0; s < shards; s++ {
+		w := p.workers[s]
+		w.steps, w.batch = steps, batch
+		w.lo, w.hi = s*b/shards, (s+1)*b/shards
+	}
+	p.shardWG.Add(shards - 1)
+	for s := 1; s < shards; s++ {
+		go p.workers[s].spawn()
+	}
+	p.workers[0].work()
+	p.shardWG.Wait()
+
+	// Serial reduction in fixed shard order: parameter gradients first,
+	// then the log-std gradient and the statistics row-ascending over the
+	// whole minibatch — the exact addition sequence of the serial pass.
+	for s := 0; s < shards; s++ {
+		w := p.workers[s]
+		w.net.accumulate()
+		w.steps, w.batch = nil, nil
+	}
+	p.net.accumulateLogStdGrads(&p.dLogStdB)
+	for bi := 0; bi < b; bi++ {
+		stats.PolicyLoss += p.rowPolicyLoss[bi]
+		stats.ValueLoss += p.rowValueLoss[bi]
+		stats.Entropy += p.rowEntropy[bi]
+		stats.ClipFraction += p.rowClipped[bi]
+		stats.Samples++
+	}
+
+	nn.ClipGradNorm(params, p.cfg.MaxGradNorm)
+	p.opt.Step(params)
+	p.clampLogStd()
+}

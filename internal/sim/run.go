@@ -40,6 +40,10 @@ type Simulator struct {
 	nextUpdate  []float64
 	pausedFrom  []float64
 	pausedUntil []float64
+
+	// demandScratch backs the per-round follower best responses; it is
+	// resized to each round's batch and reused across rounds.
+	demandScratch []float64
 }
 
 // New builds a simulator from the configuration.
@@ -213,7 +217,10 @@ func (s *Simulator) runPricingRound() {
 	s.emit(trace.Event{TimeS: s.now, Kind: trace.KindPricingRound, Vehicle: -1, Price: price, Participants: len(batch)})
 
 	// Followers best-respond; the remaining pool bounds this round.
-	demands := game.BestResponses(price)
+	if cap(s.demandScratch) < game.N() {
+		s.demandScratch = make([]float64, game.N())
+	}
+	demands := game.BestResponsesInto(s.demandScratch[:game.N()], price)
 	scaled, _ := channel.NewOFDMAAllocator(maxf(s.alloc.Available(), 1e-12)).ScaleToFit(demands)
 
 	for i, pm := range batch {

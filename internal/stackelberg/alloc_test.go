@@ -1,0 +1,61 @@
+package stackelberg
+
+import (
+	"testing"
+)
+
+// The tests in this file lock in the zero-allocation steady state of the
+// equilibrium evaluation path: after a warm-up call has grown the scratch
+// to the follower count, EvaluateInto, SolveInto, and the destination-
+// passing helpers must not touch the heap again. This is what keeps the
+// Fig. 2(a) training loop allocation-free (the per-round follower
+// response used to cost ~1k allocs/op in report slices).
+
+func TestEvaluateIntoAllocationFree(t *testing.T) {
+	g := DefaultGame()
+	var s EvalScratch
+	g.EvaluateInto(&s, 25.3) // warm-up grows the scratch
+	if n := testing.AllocsPerRun(100, func() {
+		if eq := g.EvaluateInto(&s, 25.3); eq.MSPUtility <= 0 {
+			t.Fatal("bad evaluation")
+		}
+	}); n != 0 {
+		t.Errorf("EvaluateInto allocates %v times per call, want 0 in steady state", n)
+	}
+}
+
+func TestSolveIntoAllocationFree(t *testing.T) {
+	g := DefaultGame()
+	var s EvalScratch
+	g.SolveInto(&s) // warm-up
+	if n := testing.AllocsPerRun(50, func() {
+		if eq := g.SolveInto(&s); eq.Price <= 0 {
+			t.Fatal("bad solve")
+		}
+	}); n != 0 {
+		t.Errorf("SolveInto allocates %v times per call, want 0 in steady state", n)
+	}
+}
+
+func TestBestResponsesIntoAllocationFree(t *testing.T) {
+	g := DefaultGame()
+	dst := make([]float64, g.N())
+	ages := make([]float64, g.N())
+	if n := testing.AllocsPerRun(100, func() {
+		g.BestResponsesInto(dst, 25.3)
+		g.AoTMsInto(ages, dst)
+	}); n != 0 {
+		t.Errorf("BestResponsesInto+AoTMsInto allocate %v times per call, want 0", n)
+	}
+}
+
+func TestMSPUtilityAtPriceAllocationFree(t *testing.T) {
+	g := DefaultGame()
+	if n := testing.AllocsPerRun(100, func() {
+		if u := g.MSPUtilityAtPrice(25.3); u <= 0 {
+			t.Fatal("bad utility")
+		}
+	}); n != 0 {
+		t.Errorf("MSPUtilityAtPrice allocates %v times per call, want 0", n)
+	}
+}

@@ -7,6 +7,77 @@ import (
 	"vtmig/internal/channel"
 )
 
+// fuzzGame builds a valid randomized game from raw fuzz inputs, clamping
+// each parameter into its admissible range.
+func fuzzGame(t *testing.T, a1, d1, a2, d2, cost, bmax float64) *Game {
+	t.Helper()
+	clampIn := func(v, lo, hi float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return lo
+		}
+		return lo + math.Mod(math.Abs(v), hi-lo)
+	}
+	vmus := []VMU{
+		{ID: 0, Alpha: clampIn(a1, 1, 30), DataSize: clampIn(d1, 0.1, 5)},
+		{ID: 1, Alpha: clampIn(a2, 1, 30), DataSize: clampIn(d2, 0.1, 5)},
+	}
+	g, err := NewGame(vmus, channel.DefaultParams(), clampIn(cost, 1, 20), 50, clampIn(bmax, 0, 2))
+	if err != nil {
+		t.Fatalf("constructed game invalid: %v", err)
+	}
+	return g
+}
+
+// equilibriaEqualBits fails the test unless the two reports are
+// bit-identical in every field.
+func equilibriaEqualBits(t *testing.T, label string, want, got Equilibrium) {
+	t.Helper()
+	eq := func(what string, a, b float64) {
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("%s: %s differs: %v (%x) vs %v (%x)",
+				label, what, a, math.Float64bits(a), b, math.Float64bits(b))
+		}
+	}
+	eq("price", want.Price, got.Price)
+	eq("MSP utility", want.MSPUtility, got.MSPUtility)
+	eq("total bandwidth", want.TotalBandwidth, got.TotalBandwidth)
+	if want.CapacityBound != got.CapacityBound {
+		t.Fatalf("%s: capacity bound differs: %v vs %v", label, want.CapacityBound, got.CapacityBound)
+	}
+	if len(want.Demands) != len(got.Demands) || len(want.VMUUtilities) != len(got.VMUUtilities) {
+		t.Fatalf("%s: slice lengths differ", label)
+	}
+	for n := range want.Demands {
+		eq("demand", want.Demands[n], got.Demands[n])
+		eq("VMU utility", want.VMUUtilities[n], got.VMUUtilities[n])
+	}
+}
+
+// FuzzEvaluateScratch pins the tentpole equivalence of the allocation-free
+// evaluation path: for randomized games and prices, EvaluateInto with a
+// reused scratch must reproduce the allocating Evaluate bit for bit —
+// including immediately after the scratch was dirtied by other calls —
+// and SolveInto must reproduce Solve the same way.
+func FuzzEvaluateScratch(f *testing.F) {
+	f.Add(5.0, 2.0, 5.0, 1.0, 5.0, 0.5, 25.3)
+	f.Add(20.0, 3.0, 15.0, 0.1, 9.0, 0.01, 49.0)
+	f.Add(5.0, 1.0, 5.0, 1.0, 49.0, 0.0, 1.0)
+	f.Fuzz(func(t *testing.T, a1, d1, a2, d2, cost, bmax, price float64) {
+		if math.IsNaN(price) || math.IsInf(price, 0) {
+			price = 10
+		}
+		g := fuzzGame(t, a1, d1, a2, d2, cost, bmax)
+
+		var s EvalScratch
+		equilibriaEqualBits(t, "Evaluate", g.Evaluate(price), g.EvaluateInto(&s, price))
+		// Dirty the scratch with an unrelated price, then re-evaluate:
+		// reuse must not leak state between calls.
+		g.EvaluateInto(&s, g.Cost+1)
+		equilibriaEqualBits(t, "Evaluate after reuse", g.Evaluate(price), g.EvaluateInto(&s, price))
+		equilibriaEqualBits(t, "Solve", g.Solve(), g.SolveInto(&s))
+	})
+}
+
 // FuzzSolve ensures the equilibrium solver stays total over a wide
 // parameter space: any valid game must solve to a feasible, in-range,
 // non-negative-profit outcome.
@@ -15,20 +86,7 @@ func FuzzSolve(f *testing.F) {
 	f.Add(20.0, 3.0, 15.0, 0.1, 9.0, 0.01)
 	f.Add(5.0, 1.0, 5.0, 1.0, 49.0, 0.0)
 	f.Fuzz(func(t *testing.T, a1, d1, a2, d2, cost, bmax float64) {
-		clampIn := func(v, lo, hi float64) float64 {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return lo
-			}
-			return lo + math.Mod(math.Abs(v), hi-lo)
-		}
-		vmus := []VMU{
-			{ID: 0, Alpha: clampIn(a1, 1, 30), DataSize: clampIn(d1, 0.1, 5)},
-			{ID: 1, Alpha: clampIn(a2, 1, 30), DataSize: clampIn(d2, 0.1, 5)},
-		}
-		g, err := NewGame(vmus, channel.DefaultParams(), clampIn(cost, 1, 20), 50, clampIn(bmax, 0, 2))
-		if err != nil {
-			t.Fatalf("constructed game invalid: %v", err)
-		}
+		g := fuzzGame(t, a1, d1, a2, d2, cost, bmax)
 		eq := g.Solve()
 		if eq.Price < g.Cost-1e-9 || eq.Price > g.PMax+1e-9 {
 			t.Fatalf("price %v outside [C=%v, pmax=%v]", eq.Price, g.Cost, g.PMax)

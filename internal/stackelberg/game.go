@@ -147,13 +147,23 @@ func (g *Game) BestResponse(n int, price float64) float64 {
 	return b
 }
 
-// BestResponses returns every follower's best response to price.
+// BestResponses returns every follower's best response to price. The
+// result is freshly allocated; hot loops use BestResponsesInto.
 func (g *Game) BestResponses(price float64) []float64 {
-	out := make([]float64, g.N())
-	for n := range g.VMUs {
-		out[n] = g.BestResponse(n, price)
+	return g.BestResponsesInto(make([]float64, g.N()), price)
+}
+
+// BestResponsesInto writes every follower's best response to price into
+// dst (length N) and returns dst — the destination-passing form used by
+// the allocation-free evaluation path.
+func (g *Game) BestResponsesInto(dst []float64, price float64) []float64 {
+	if len(dst) != g.N() {
+		panic(fmt.Sprintf("stackelberg: BestResponsesInto dst length %d, want %d", len(dst), g.N()))
 	}
-	return out
+	for n := range g.VMUs {
+		dst[n] = g.BestResponse(n, price)
+	}
+	return dst
 }
 
 // TotalDemand returns Σ_n b*_n(price).
@@ -179,17 +189,33 @@ func (g *Game) MSPUtility(price float64, demands []float64) float64 {
 }
 
 // MSPUtilityAtPrice evaluates the leader's reduced objective (Eq. 9):
-// U_s(p) with followers playing their best responses.
+// U_s(p) with followers playing their best responses. It accumulates the
+// per-follower terms directly — in follower order, exactly like
+// MSPUtility over a BestResponses vector — so it is allocation-free and
+// bit-identical to the materialized form.
 func (g *Game) MSPUtilityAtPrice(price float64) float64 {
-	return g.MSPUtility(price, g.BestResponses(price))
+	var u float64
+	for n := range g.VMUs {
+		u += (price - g.Cost) * g.BestResponse(n, price)
+	}
+	return u
 }
 
 // AoTMs returns each follower's Age of Twin Migration under the given
-// demand vector (+Inf for zero bandwidth).
+// demand vector (+Inf for zero bandwidth). The result is freshly
+// allocated; hot loops use AoTMsInto.
 func (g *Game) AoTMs(demands []float64) []float64 {
-	out := make([]float64, g.N())
-	for n, v := range g.VMUs {
-		out[n] = aotm.AoTMForBandwidth(v.DataSize, demands[n], g.Channel)
+	return g.AoTMsInto(make([]float64, g.N()), demands)
+}
+
+// AoTMsInto writes each follower's Age of Twin Migration under the given
+// demand vector into dst (length N) and returns dst.
+func (g *Game) AoTMsInto(dst, demands []float64) []float64 {
+	if len(dst) != g.N() || len(demands) != g.N() {
+		panic(fmt.Sprintf("stackelberg: AoTMsInto lengths %d/%d, want %d", len(dst), len(demands), g.N()))
 	}
-	return out
+	for n, v := range g.VMUs {
+		dst[n] = aotm.AoTMForBandwidth(v.DataSize, demands[n], g.Channel)
+	}
+	return dst
 }

@@ -7,6 +7,12 @@ import (
 )
 
 // Equilibrium is a solved Stackelberg outcome.
+//
+// Ownership of the slice fields depends on how the value was produced:
+// Solve and Evaluate return freshly allocated slices the caller owns,
+// while the *Into variants alias the EvalScratch they were given, which
+// the next *Into call on the same scratch overwrites. Clone decouples a
+// report that must outlive its scratch.
 type Equilibrium struct {
 	// Price is the MSP's optimal unit bandwidth price p*.
 	Price float64
@@ -21,6 +27,35 @@ type Equilibrium struct {
 	// CapacityBound reports whether the Bmax constraint binds at the
 	// optimum (the regime behind the price increase in Fig. 3(c)).
 	CapacityBound bool
+}
+
+// Clone returns a deep copy of eq whose slices are freshly allocated and
+// independent of any EvalScratch.
+func (eq Equilibrium) Clone() Equilibrium {
+	eq.Demands = append([]float64(nil), eq.Demands...)
+	eq.VMUUtilities = append([]float64(nil), eq.VMUUtilities...)
+	return eq
+}
+
+// EvalScratch holds the reusable destination buffers of the *Into
+// evaluation path. One scratch serves one game-evaluation loop: every
+// EvaluateInto/SolveInto call on it overwrites the slices of the
+// previously returned Equilibrium. The zero value is ready to use and
+// grows to the follower count on first use; a scratch must not be shared
+// between concurrent goroutines.
+type EvalScratch struct {
+	demands   []float64
+	utilities []float64
+}
+
+// grow sizes both buffers to n followers, reusing capacity.
+func (s *EvalScratch) grow(n int) {
+	if cap(s.demands) < n {
+		s.demands = make([]float64, n)
+		s.utilities = make([]float64, n)
+	}
+	s.demands = s.demands[:n]
+	s.utilities = s.utilities[:n]
 }
 
 // UnconstrainedOptimalPrice evaluates the closed form of Theorem 2,
@@ -57,9 +92,18 @@ const solverIters = 200
 //  3. if even pmax cannot damp demand below Bmax, charge pmax and admit
 //     demands proportionally scaled to capacity.
 func (g *Game) Solve() Equilibrium {
+	var s EvalScratch
+	return g.SolveInto(&s)
+}
+
+// SolveInto is Solve with caller-provided scratch: the returned report's
+// slices alias s and are overwritten by the next *Into call on s. After a
+// warm-up call the solve is allocation-free in steady state.
+func (g *Game) SolveInto(s *EvalScratch) Equilibrium {
 	lo, hi := g.Cost, g.PMax
 	price, _ := mathx.GoldenMax(g.MSPUtilityAtPrice, lo, hi, solverTol, solverIters)
-	demands := g.BestResponses(price)
+	s.grow(g.N())
+	demands := g.BestResponsesInto(s.demands, price)
 	capacityBound := false
 
 	if g.BMax > 0 && mathx.Sum(demands) > g.BMax {
@@ -73,7 +117,7 @@ func (g *Game) Solve() Equilibrium {
 			} else {
 				price = g.PMax
 			}
-			demands = g.BestResponses(price)
+			g.BestResponsesInto(demands, price)
 			// Wash out residual bisection error so Σb ≤ Bmax exactly.
 			if sum := mathx.Sum(demands); sum > g.BMax {
 				scale := g.BMax / sum
@@ -84,7 +128,7 @@ func (g *Game) Solve() Equilibrium {
 		} else {
 			// Demand exceeds capacity even at pmax: admission control.
 			price = g.PMax
-			demands = g.BestResponses(price)
+			g.BestResponsesInto(demands, price)
 			scale := g.BMax / mathx.Sum(demands)
 			for i := range demands {
 				demands[i] *= scale
@@ -92,15 +136,27 @@ func (g *Game) Solve() Equilibrium {
 		}
 	}
 
-	return g.equilibriumAt(price, demands, capacityBound)
+	return g.equilibriumInto(s, price, capacityBound)
 }
 
 // Evaluate builds the full equilibrium report for an arbitrary price with
 // followers playing best responses (subject to proportional admission when
-// Bmax binds). This is how learned or baseline prices are scored.
+// Bmax binds). This is how learned or baseline prices are scored. The
+// returned slices are freshly allocated; per-round loops use EvaluateInto.
 func (g *Game) Evaluate(price float64) Equilibrium {
+	var s EvalScratch
+	return g.EvaluateInto(&s, price)
+}
+
+// EvaluateInto is Evaluate with caller-provided scratch — the
+// allocation-free form used by the POMDP environment's per-round loop.
+// The returned report's slices alias s and are overwritten by the next
+// *Into call on s; use Clone (or Evaluate) for a report that must be
+// retained. Results are bit-identical to Evaluate.
+func (g *Game) EvaluateInto(s *EvalScratch, price float64) Equilibrium {
 	price = mathx.Clamp(price, g.Cost, g.PMax)
-	demands := g.BestResponses(price)
+	s.grow(g.N())
+	demands := g.BestResponsesInto(s.demands, price)
 	bound := false
 	if g.BMax > 0 {
 		if sum := mathx.Sum(demands); sum > g.BMax {
@@ -111,21 +167,21 @@ func (g *Game) Evaluate(price float64) Equilibrium {
 			}
 		}
 	}
-	return g.equilibriumAt(price, demands, bound)
+	return g.equilibriumInto(s, price, bound)
 }
 
-// equilibriumAt assembles the report struct.
-func (g *Game) equilibriumAt(price float64, demands []float64, bound bool) Equilibrium {
-	utilities := make([]float64, g.N())
+// equilibriumInto assembles the report struct over the scratch buffers
+// (s.demands already holds the admitted demand vector).
+func (g *Game) equilibriumInto(s *EvalScratch, price float64, bound bool) Equilibrium {
 	for n := range g.VMUs {
-		utilities[n] = g.VMUUtility(n, demands[n], price)
+		s.utilities[n] = g.VMUUtility(n, s.demands[n], price)
 	}
 	return Equilibrium{
 		Price:          price,
-		Demands:        demands,
-		MSPUtility:     g.MSPUtility(price, demands),
-		VMUUtilities:   utilities,
-		TotalBandwidth: mathx.Sum(demands),
+		Demands:        s.demands,
+		MSPUtility:     g.MSPUtility(price, s.demands),
+		VMUUtilities:   s.utilities,
+		TotalBandwidth: mathx.Sum(s.demands),
 		CapacityBound:  bound,
 	}
 }

@@ -37,9 +37,11 @@ func (g *Game) VerifyEquilibrium(eq Equilibrium, gridN int, tol float64) VerifyR
 	}
 	res := VerifyResult{OK: true}
 
-	// Leader deviations over the price range.
+	// Leader deviations over the price range. One scratch serves the whole
+	// grid sweep: only alt's scalar fields are read per point.
+	var scratch EvalScratch
 	for _, p := range mathx.Linspace(g.Cost, g.PMax, gridN) {
-		alt := g.Evaluate(p)
+		alt := g.EvaluateInto(&scratch, p)
 		if gain := alt.MSPUtility - eq.MSPUtility; gain > tol {
 			res.OK = false
 			if gain > res.MaxLeaderGain {

@@ -20,6 +20,13 @@ type (
 	Game = stackelberg.Game
 	// Equilibrium is a solved game outcome.
 	Equilibrium = stackelberg.Equilibrium
+	// EvalScratch backs the allocation-free equilibrium evaluation path:
+	// pass one to Game.EvaluateInto / Game.SolveInto in loops that solve
+	// or score many prices (sweeps, per-round scoring) to avoid
+	// per-report slice allocations. Reports returned through a scratch
+	// alias it and are overwritten by the next call; Clone them to
+	// retain.
+	EvalScratch = stackelberg.EvalScratch
 	// ChannelParams is the RSU-to-RSU wireless link model.
 	ChannelParams = channel.Params
 )
