@@ -1,16 +1,46 @@
 # Development targets for the vtmig reproduction. `make ci` is the gate
-# run before merging: vet, build, race-enabled tests (which exercise the
-# experiment worker pool under the race detector), and a short benchmark
-# smoke pass over the PPO hot path.
+# run before merging — GitHub Actions runs it on every push and pull
+# request (.github/workflows/ci.yml, with Go build/module caching): vet,
+# gofmt cleanliness, build, race-enabled tests (which exercise the
+# experiment worker pool under the race detector), the sharded-update and
+# vectorized-collection determinism suites under -race, and a short
+# benchmark smoke pass over the PPO hot path.
+#
+# Benchmark regressions are gated by tools/benchdiff, which diffs two
+# recordings — BENCH_*.json snapshots or raw `go test -bench -benchmem`
+# output — and exits non-zero on >15 % ns/op growth or any allocs/op
+# increase. `make bench-compare` measures a fresh short pass of the hot
+# paths and diffs it against the latest snapshot (override BASE to pin an
+# older snapshot); to diff two arbitrary recordings run the tool
+# directly:
+#
+#	make bench-compare
+#	make bench-compare BASE=BENCH_pr2.json
+#	go run ./tools/benchdiff BENCH_pr2.json BENCH_pr3.json
+#
+# CI runs bench-compare as an advisory job; shared-runner timing noise
+# makes the ns/op gate informative rather than blocking there, while the
+# allocs/op gate is exact everywhere.
 
 GO ?= go
 
-.PHONY: all vet build test race race-sharded bench-smoke bench golden ci
+# BASE is the snapshot bench-compare measures against.
+BASE ?= BENCH_pr3.json
+# BENCH_HOT selects the hot-path benchmarks bench-compare re-measures.
+BENCH_HOT = PPOUpdate$$|PPOUpdateSharded|PPOSelectAction|MLPForward$$|Evaluate|SolveScratch|Collect|TrainerEpisode
+
+.PHONY: all vet fmt-check build test race race-sharded race-collect bench-smoke bench bench-compare golden ci
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails when any file needs gofmt (CI cleanliness gate).
+fmt-check:
+	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -32,18 +62,32 @@ race:
 race-sharded:
 	$(GO) test -race -count=2 -run 'Sharded|AutoShards|ShardDeferred|ShardClone' ./internal/rl ./internal/pomdp ./internal/nn
 
+# race-collect re-runs the vectorized-collection determinism and
+# allocation tests under the race detector. The worker×GOMAXPROCS tables
+# pin worker counts above the host's core count, so a race or a
+# merge-order bug in the parallel collection path fails here even on a
+# single-core CI box.
+race-collect:
+	$(GO) test -race -count=2 -run 'VecCollect|VecAuto|VecMerge|VecGAE|VecTrainer|VecEnv|SingleEnvTrainer|SelectActionBatch' ./internal/rl ./internal/pomdp
+
 # bench-smoke exercises the PPO hot-path benchmarks just enough to catch
 # gross regressions and allocation reintroductions.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'PPOUpdate$$|PPOSelectAction|MLPForward|MatMul' -benchmem -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'PPOUpdate$$|PPOSelectAction|MLPForward|MatMul|Collect' -benchmem -benchtime 100x .
 
 # bench is the full benchmark suite used to fill BENCH_pr*.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 2s .
+
+# bench-compare measures a fresh short pass of the hot paths and diffs
+# it against the latest snapshot (see header).
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -benchtime 1s . > bench-current.txt
+	$(GO) run ./tools/benchdiff -threshold 0.15 $(BASE) bench-current.txt
 
 # golden regenerates the fixed-seed golden files after an intentional
 # numeric change.
 golden:
 	$(GO) test ./internal/experiments -run Golden -update
 
-ci: vet build race race-sharded bench-smoke
+ci: vet fmt-check build race race-sharded race-collect bench-smoke

@@ -227,6 +227,7 @@ func BenchmarkPPOUpdate(b *testing.B) {
 		}
 	}
 	buf.ComputeGAE(0.95, 0.95, 0)
+	agent.Update(buf) // warm-up: grows minibatch scratch and Adam state
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -266,6 +267,109 @@ func BenchmarkPPOUpdateSharded(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				agent.Update(buf)
+			}
+		})
+	}
+}
+
+// newBenchVecEnv builds n independently seeded copies of the paper's
+// POMDP for collection benchmarks.
+func newBenchVecEnv(b *testing.B, n int) *rl.EnvSlice {
+	b.Helper()
+	vec, err := pomdp.NewVecEnv(pomdp.Config{
+		Game:       stackelberg.DefaultGame(),
+		HistoryLen: 4,
+		Rounds:     100,
+		Reward:     pomdp.RewardBinary,
+		Seed:       1,
+	}, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return vec
+}
+
+// BenchmarkCollect measures Algorithm 1's collection phase in isolation
+// (no optimization): 100 rounds of experience per op. serial-loop is the
+// classic per-step SelectAction/Step/Add sequence; the envs=W cases run
+// the VecCollector, whose per-round policy evaluation is one batched pass
+// over all live envs. Note the per-op work scales with the env count
+// (envs=4 collects 400 transitions per op, so compare ns/op ÷ envs);
+// every worker count produces bit-identical rollouts (determinism
+// contract rule 4), so the worker axis is purely about throughput.
+func BenchmarkCollect(b *testing.B) {
+	b.Run("serial-loop", func(b *testing.B) {
+		env := newBenchEnv(b)
+		lo, hi := env.ActionBounds()
+		agent := rl.NewPPO(env.ObsDim(), env.ActDim(), lo, hi, rl.DefaultPPOConfig())
+		buf := rl.NewRollout(100)
+		op := func() {
+			buf.Reset()
+			obs := env.Reset()
+			for k := 0; k < 100; k++ {
+				raw, envAct, logP, value := agent.SelectAction(obs)
+				next, reward, done := env.Step(envAct)
+				buf.Add(obs, raw, logP, reward, value, done || k == 99)
+				obs = next
+				if done {
+					break
+				}
+			}
+			buf.ComputeGAE(0.95, 0.95, 0)
+		}
+		op() // warm-up grows arenas and scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+	for _, tc := range []struct{ envs, workers int }{{1, 1}, {4, 1}, {4, 4}} {
+		b.Run(fmt.Sprintf("envs=%d/workers=%d", tc.envs, tc.workers), func(b *testing.B) {
+			vec := newBenchVecEnv(b, tc.envs)
+			lo, hi := vec.ActionBounds()
+			agent := rl.NewPPO(vec.ObsDim(), vec.ActDim(), lo, hi, rl.DefaultPPOConfig())
+			col := rl.NewVecCollector(vec, agent, tc.workers)
+			buf := rl.NewRollout(100 * tc.envs)
+			op := func() {
+				buf.Reset()
+				col.Begin(tc.envs)
+				for k := 0; k < 100 && col.Live() > 0; k++ {
+					col.Step(k == 99)
+				}
+				col.Merge(buf)
+			}
+			op() // warm-up grows staging buffers, matrices, workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		})
+	}
+}
+
+// BenchmarkTrainerEpisode measures one full episode block of Algorithm 1
+// — collection plus the interleaved PPO optimization phases — through the
+// Trainer. envs=1 is the paper's serial loop; envs=4 trains four episodes
+// per op in lockstep (compare ns/op ÷ envs for per-episode cost).
+func BenchmarkTrainerEpisode(b *testing.B) {
+	for _, tc := range []struct{ envs, workers int }{{1, 1}, {4, 1}, {4, 4}} {
+		b.Run(fmt.Sprintf("envs=%d/workers=%d", tc.envs, tc.workers), func(b *testing.B) {
+			vec := newBenchVecEnv(b, tc.envs)
+			lo, hi := vec.ActionBounds()
+			agent := rl.NewPPO(vec.ObsDim(), vec.ActDim(), lo, hi, rl.DefaultPPOConfig())
+			trainer := rl.NewVecTrainer(vec, agent, rl.TrainerConfig{
+				Episodes:         tc.envs, // exactly one lockstep block per Run
+				RoundsPerEpisode: 100,
+				UpdateEvery:      20,
+				CollectWorkers:   tc.workers,
+			})
+			trainer.Run() // warm-up
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trainer.Run()
 			}
 		})
 	}

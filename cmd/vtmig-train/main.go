@@ -7,6 +7,13 @@
 //
 //	vtmig-train [-episodes 500] [-rounds 100] [-history 4] [-lr 3e-4]
 //	            [-reward binary|shaped] [-seed 1] [-checkpoint out.json]
+//	            [-collect-envs 1] [-collect-workers 0]
+//
+// -collect-envs W ≥ 2 enables vectorized collection: episodes run in
+// lockstep blocks of W independently seeded environments with the policy
+// evaluated for all of them in one batched pass per round.
+// -collect-workers sets the environment-stepping goroutine count
+// (0 = automatic); any worker count produces bit-identical results.
 package main
 
 import (
@@ -38,6 +45,9 @@ func run(args []string) error {
 		reward     = fs.String("reward", "binary", "reward signal: binary (Eq. 12) or shaped")
 		seed       = fs.Int64("seed", 1, "random seed")
 		checkpoint = fs.String("checkpoint", "", "write trained weights to this JSON file")
+
+		collectEnvs    = fs.Int("collect-envs", 1, "parallel training environments for vectorized collection (≥2 enables lockstep episode blocks)")
+		collectWorkers = fs.Int("collect-workers", 0, "environment-stepping goroutines during collection; 0 = auto, any value is bit-identical")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +59,14 @@ func run(args []string) error {
 	cfg.HistoryLen = *history
 	cfg.PPO.LR = *lr
 	cfg.Seed = *seed
+	if *collectEnvs < 1 {
+		return fmt.Errorf("collect-envs must be at least 1, got %d", *collectEnvs)
+	}
+	if *collectWorkers < 0 {
+		return fmt.Errorf("collect-workers must be non-negative, got %d", *collectWorkers)
+	}
+	cfg.CollectEnvs = *collectEnvs
+	cfg.CollectWorkers = *collectWorkers
 	switch *reward {
 	case "binary":
 		cfg.Reward = pomdp.RewardBinary
@@ -61,6 +79,10 @@ func run(args []string) error {
 	game := stackelberg.DefaultGame()
 	fmt.Printf("Training PPO agent: E=%d K=%d L=%d |I|=%d M=%d lr=%g reward=%s\n",
 		cfg.Episodes, cfg.Rounds, cfg.HistoryLen, cfg.UpdateEvery, cfg.PPO.Epochs, cfg.PPO.LR, *reward)
+	if cfg.CollectEnvs > 1 {
+		fmt.Printf("Vectorized collection: %d envs per episode block, collect-workers=%d (0 = auto)\n",
+			cfg.CollectEnvs, cfg.CollectWorkers)
+	}
 	res, err := experiments.TrainAgent(game, cfg)
 	if err != nil {
 		return err

@@ -18,6 +18,21 @@ func TestRunShapedReward(t *testing.T) {
 	}
 }
 
+func TestRunVectorizedCollection(t *testing.T) {
+	if err := run([]string{"-episodes", "4", "-rounds", "20", "-collect-envs", "2", "-collect-workers", "3"}); err != nil {
+		t.Fatalf("run vectorized: %v", err)
+	}
+}
+
+func TestRunBadCollectFlags(t *testing.T) {
+	if err := run([]string{"-collect-envs", "0"}); err == nil {
+		t.Fatal("collect-envs=0 accepted")
+	}
+	if err := run([]string{"-collect-workers", "-1"}); err == nil {
+		t.Fatal("collect-workers=-1 accepted")
+	}
+}
+
 func TestRunUnknownReward(t *testing.T) {
 	if err := run([]string{"-reward", "nonsense"}); err == nil {
 		t.Fatal("unknown reward accepted")

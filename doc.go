@@ -45,13 +45,18 @@
 // The Stackelberg evaluation is destination-passing as well
 // (Game.EvaluateInto / Game.SolveInto over an EvalScratch), which keeps
 // the per-round follower response inside the POMDP's Step free of report
-// allocations. Experiment fan-outs (restarts, seed studies, sweep points,
-// ablation cells) run through a shared bounded, context-cancellable
-// worker pool in internal/experiments.
+// allocations. Algorithm 1's collection phase is vectorized
+// (rl.VecEnv / rl.VecCollector / rl.NewVecTrainer): episode blocks step
+// W independently seeded environment instances in lockstep, the policy
+// is evaluated for every live env in one batched pass per round, and the
+// env stepping fans out across collection workers. Experiment fan-outs
+// (restarts, seed studies, sweep points, ablation cells) run through a
+// shared bounded, context-cancellable worker pool in
+// internal/experiments.
 //
 // # Determinism contract
 //
-// The same seed yields the same figures, bit for bit. Three rules enforce
+// The same seed yields the same figures, bit for bit. Four rules enforce
 // it:
 //
 //  1. Batched kernels accumulate in exactly the order of the
@@ -65,6 +70,16 @@
 //     reduction with the same row-ascending kernels as the serial pass —
 //     so any shard count yields bit-identical weights regardless of
 //     GOMAXPROCS.
+//  4. Vectorized collection merges independently seeded per-env streams
+//     in fixed env-index order: the per-round policy evaluation is one
+//     batched pass over the live envs ascending, action sampling consumes
+//     the single policy RNG serially in that same order, collection
+//     workers perform only per-env stepping into per-env staging buffers,
+//     and the merge replays the staged transitions env-ascending with
+//     per-env GAE segments — so any worker count yields rollouts (and
+//     training runs) bit-identical to serial collection regardless of
+//     GOMAXPROCS, and a single-env vectorized trainer is bit-identical to
+//     the classic serial collect loop.
 //
 // The golden-file tests under internal/experiments/testdata pin the exact
 // fixed-seed outputs of every figure pipeline, and the determinism tests

@@ -28,6 +28,20 @@ type DRLConfig struct {
 	// collapses to a dead policy; independent restarts are the standard
 	// remedy. Values below 1 mean 1.
 	Restarts int
+	// CollectEnvs is the number of parallel training environments for
+	// vectorized rollout collection. Values below 2 (the default) train on
+	// a single environment — the paper's Algorithm 1 and the configuration
+	// pinned by the golden files. With W ≥ 2, episodes run in lockstep
+	// blocks of W independently seeded environments (env i uses
+	// pomdp.VecSeed(Seed, i)): the training trajectory changes (each
+	// optimization phase sees W envs' transitions) but stays
+	// bit-reproducible for a fixed seed and independent of CollectWorkers.
+	CollectEnvs int
+	// CollectWorkers is the number of goroutines stepping environments
+	// during collection: 0 selects automatically, 1 steps serially. Any
+	// value produces bit-identical results (determinism contract rule 4) —
+	// it is purely a throughput knob.
+	CollectWorkers int
 	// Seed drives environment and learner randomness (restart r uses
 	// Seed + r).
 	Seed int64
@@ -56,7 +70,9 @@ func DefaultDRLConfig() DRLConfig {
 type TrainResult struct {
 	// Agent is the trained PPO learner.
 	Agent *rl.PPO
-	// Env is the training environment (reusable for evaluation).
+	// Env is the training environment (with vectorized collection, the
+	// identically configured evaluation environment; training then runs
+	// on the CollectEnvs-instance bundle derived from it).
 	Env *pomdp.GameEnv
 	// Episodes are per-episode training statistics; Episodes[i].Return is
 	// the Fig. 2(a) curve.
@@ -80,8 +96,9 @@ func TrainAgent(game *stackelberg.Game, cfg DRLConfig) (*TrainResult, error) {
 }
 
 // TrainAgentCtx is TrainAgent with cancellation: restarts fan out through
-// the shared worker pool and stop at the next episode boundary when ctx
-// is cancelled.
+// the shared worker pool and stop at the next episode boundary — the next
+// episode-block boundary under vectorized collection (CollectEnvs ≥ 2) —
+// when ctx is cancelled.
 func TrainAgentCtx(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (*TrainResult, error) {
 	restarts := cfg.Restarts
 	if restarts < 1 {
@@ -124,11 +141,10 @@ func trainOnce(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (*Tra
 	ppoCfg.Seed = cfg.Seed
 	lo, hi := env.ActionBounds()
 	agent := rl.NewPPO(env.ObsDim(), env.ActDim(), lo, hi, ppoCfg)
-	trainer := rl.NewTrainer(env, agent, rl.TrainerConfig{
-		Episodes:         cfg.Episodes,
-		RoundsPerEpisode: cfg.Rounds,
-		UpdateEvery:      cfg.UpdateEvery,
-	})
+	trainer, err := newTrainer(env, agent, cfg)
+	if err != nil {
+		return nil, err
+	}
 	trainer.OnEpisode = func(rl.EpisodeStats) bool { return ctx.Err() == nil }
 	episodes := trainer.Run()
 	if err := ctx.Err(); err != nil {
@@ -144,6 +160,30 @@ func trainOnce(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (*Tra
 		EvalOutcome:   game.Evaluate(price),
 		OracleOutcome: game.Solve(),
 	}, nil
+}
+
+// newTrainer builds the Algorithm 1 trainer for the given agent: the
+// classic single-environment trainer when cfg.CollectEnvs < 2 (the
+// golden-pinned serial path), otherwise a vectorized trainer over
+// CollectEnvs independently seeded copies of env — derived from env's own
+// configuration, so the vectorized and serial paths can never train on
+// differently-configured environments. In vectorized mode env itself is
+// kept out of training and serves as the evaluation environment.
+func newTrainer(env *pomdp.GameEnv, agent *rl.PPO, cfg DRLConfig) (*rl.Trainer, error) {
+	tcfg := rl.TrainerConfig{
+		Episodes:         cfg.Episodes,
+		RoundsPerEpisode: cfg.Rounds,
+		UpdateEvery:      cfg.UpdateEvery,
+		CollectWorkers:   cfg.CollectWorkers,
+	}
+	if cfg.CollectEnvs < 2 {
+		return rl.NewTrainer(env, agent, tcfg), nil
+	}
+	vec, err := pomdp.NewVecEnv(env.Config(), cfg.CollectEnvs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building vectorized envs: %w", err)
+	}
+	return rl.NewVecTrainer(vec, agent, tcfg), nil
 }
 
 // EvaluateAgent estimates the learned deterministic price. It plays the

@@ -45,7 +45,8 @@ func RunFig2(game *stackelberg.Game, cfg DRLConfig) (*Fig2Result, error) {
 }
 
 // RunFig2Ctx is RunFig2 with cancellation: training stops at the next
-// episode boundary when ctx is cancelled and the cancellation error is
+// episode boundary (the next episode-block boundary under vectorized
+// collection) when ctx is cancelled and the cancellation error is
 // returned.
 func RunFig2Ctx(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (*Fig2Result, error) {
 	// A separate evaluation environment keeps deterministic evaluations
@@ -81,11 +82,10 @@ func RunFig2Ctx(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (*Fi
 		Utility:       &Series{Name: "drl_Us"},
 		OracleUtility: game.Solve().MSPUtility,
 	}
-	trainer := rl.NewTrainer(trainEnv, agent, rl.TrainerConfig{
-		Episodes:         cfg.Episodes,
-		RoundsPerEpisode: cfg.Rounds,
-		UpdateEvery:      cfg.UpdateEvery,
-	})
+	trainer, err := newTrainer(trainEnv, agent, cfg)
+	if err != nil {
+		return nil, err
+	}
 	// One scratch serves every per-episode utility probe; only the scalar
 	// MSPUtility is read from the aliased report.
 	var evalScratch stackelberg.EvalScratch

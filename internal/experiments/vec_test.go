@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"vtmig/internal/stackelberg"
+)
+
+// smallVecCfg returns a reduced training configuration with vectorized
+// collection enabled.
+func smallVecCfg(workers int) DRLConfig {
+	cfg := DefaultDRLConfig()
+	cfg.Episodes = 6
+	cfg.Rounds = 30
+	cfg.Restarts = 1
+	cfg.CollectEnvs = 3
+	cfg.CollectWorkers = workers
+	return cfg
+}
+
+// TestFig2VectorizedWorkerInvariant pins rule 4 at the figure level: the
+// full Fig. 2 pipeline with vectorized collection must produce identical
+// curves for every worker count.
+func TestFig2VectorizedWorkerInvariant(t *testing.T) {
+	game := stackelberg.DefaultGame()
+	ref, err := RunFig2(game, smallVecCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Return.Len() != 6 {
+		t.Fatalf("vectorized fig2 recorded %d episodes, want 6", ref.Return.Len())
+	}
+	for _, workers := range []int{2, 5} {
+		got, err := RunFig2(game, smallVecCfg(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Return.Y {
+			if math.Float64bits(ref.Return.Y[i]) != math.Float64bits(got.Return.Y[i]) {
+				t.Fatalf("workers=%d: episode %d return %v, serial collection %v",
+					workers, i, got.Return.Y[i], ref.Return.Y[i])
+			}
+		}
+		for i := range ref.Utility.Y {
+			if math.Float64bits(ref.Utility.Y[i]) != math.Float64bits(got.Utility.Y[i]) {
+				t.Fatalf("workers=%d: episode %d utility %v, serial collection %v",
+					workers, i, got.Utility.Y[i], ref.Utility.Y[i])
+			}
+		}
+	}
+}
+
+// TestTrainAgentVectorized checks the TrainAgent entry point with
+// vectorized collection: training must complete, reproduce itself, and
+// report the configured number of episodes.
+func TestTrainAgentVectorized(t *testing.T) {
+	game := stackelberg.DefaultGame()
+	cfg := smallVecCfg(0) // automatic worker count
+	a, err := TrainAgent(game, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Episodes) != cfg.Episodes {
+		t.Fatalf("trained %d episodes, want %d", len(a.Episodes), cfg.Episodes)
+	}
+	b, err := TrainAgent(game, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(a.EvalPrice) != math.Float64bits(b.EvalPrice) {
+		t.Fatalf("vectorized training not reproducible: eval price %v vs %v", a.EvalPrice, b.EvalPrice)
+	}
+	for i := range a.Episodes {
+		if math.Float64bits(a.Episodes[i].Return) != math.Float64bits(b.Episodes[i].Return) {
+			t.Fatalf("episode %d return %v vs %v", i, a.Episodes[i].Return, b.Episodes[i].Return)
+		}
+	}
+}

@@ -169,6 +169,11 @@ func (e *GameEnv) ActionBounds() (lo, hi []float64) {
 // Rounds returns K.
 func (e *GameEnv) Rounds() int { return e.cfg.Rounds }
 
+// Config returns the environment's configuration — e.g. to derive a
+// vectorized bundle of the same environment (NewVecEnv) without
+// re-assembling the fields.
+func (e *GameEnv) Config() Config { return e.cfg }
+
 // OracleUtility returns the closed-form Stackelberg-equilibrium MSP
 // utility, the dashed reference line of Fig. 2(b).
 func (e *GameEnv) OracleUtility() float64 { return e.oracleUs }

@@ -8,6 +8,8 @@
 // no external deep-learning framework is used.
 package rl
 
+import "fmt"
+
 // Env is a (possibly partially observable) environment with continuous
 // observations and actions. The POMDP of the paper (internal/pomdp) is the
 // canonical implementation.
@@ -26,3 +28,75 @@ type Env interface {
 	// these bounds before stepping.
 	ActionBounds() (lo, hi []float64)
 }
+
+// VecEnv is a fixed set of independently seeded environment instances with
+// identical observation/action spaces, stepped in lockstep by a
+// VecCollector. Instances must not share mutable state: the collector
+// steps different instances from different goroutines (each instance is
+// only ever touched by one goroutine at a time).
+type VecEnv interface {
+	// NumEnvs returns the number of environment instances.
+	NumEnvs() int
+	// EnvAt returns instance i (0 ≤ i < NumEnvs).
+	EnvAt(i int) Env
+	// ObsDim, ActDim, and ActionBounds describe the shared spaces.
+	ObsDim() int
+	ActDim() int
+	ActionBounds() (lo, hi []float64)
+}
+
+// EnvSlice is the canonical VecEnv: a slice of Env instances. Construct
+// with NewEnvSlice.
+type EnvSlice struct {
+	envs   []Env
+	lo, hi []float64
+}
+
+var _ VecEnv = (*EnvSlice)(nil)
+
+// NewEnvSlice bundles the given environments into a VecEnv. Every
+// environment must agree on the observation dimension, the action
+// dimension, and the action bounds; a mismatch is a programming error and
+// panics.
+func NewEnvSlice(envs ...Env) *EnvSlice {
+	if len(envs) == 0 {
+		panic("rl: NewEnvSlice needs at least one environment")
+	}
+	ref := envs[0]
+	lo, hi := ref.ActionBounds()
+	s := &EnvSlice{
+		envs: append([]Env(nil), envs...),
+		lo:   append([]float64(nil), lo...),
+		hi:   append([]float64(nil), hi...),
+	}
+	for i, e := range envs[1:] {
+		if e.ObsDim() != ref.ObsDim() || e.ActDim() != ref.ActDim() {
+			panic(fmt.Sprintf("rl: env %d dims (%d, %d) do not match env 0 (%d, %d)",
+				i+1, e.ObsDim(), e.ActDim(), ref.ObsDim(), ref.ActDim()))
+		}
+		elo, ehi := e.ActionBounds()
+		for d := range s.lo {
+			if elo[d] != s.lo[d] || ehi[d] != s.hi[d] {
+				panic(fmt.Sprintf("rl: env %d action bounds dim %d [%g, %g] do not match env 0 [%g, %g]",
+					i+1, d, elo[d], ehi[d], s.lo[d], s.hi[d]))
+			}
+		}
+	}
+	return s
+}
+
+// NumEnvs implements VecEnv.
+func (s *EnvSlice) NumEnvs() int { return len(s.envs) }
+
+// EnvAt implements VecEnv.
+func (s *EnvSlice) EnvAt(i int) Env { return s.envs[i] }
+
+// ObsDim implements VecEnv.
+func (s *EnvSlice) ObsDim() int { return s.envs[0].ObsDim() }
+
+// ActDim implements VecEnv.
+func (s *EnvSlice) ActDim() int { return s.envs[0].ActDim() }
+
+// ActionBounds implements VecEnv. The returned slices are owned by the
+// EnvSlice and must not be mutated.
+func (s *EnvSlice) ActionBounds() (lo, hi []float64) { return s.lo, s.hi }

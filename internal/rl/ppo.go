@@ -125,14 +125,15 @@ type PPO struct {
 
 	// scratch reused across calls; the steady-state training loop is
 	// allocation-free.
-	sample   []float64
-	rawBuf   []float64
-	envBuf   []float64
-	idx      []int
-	obsB     mat.Matrix // minibatch×obsDim gather buffer
-	dMeanB   mat.Matrix // minibatch×actDim
-	dLogStdB mat.Matrix
-	dValueB  []float64
+	sample     []float64
+	rawBuf     []float64
+	envBuf     []float64
+	meanEnvBuf []float64
+	idx        []int
+	obsB       mat.Matrix // minibatch×obsDim gather buffer
+	dMeanB     mat.Matrix // minibatch×actDim
+	dLogStdB   mat.Matrix
+	dValueB    []float64
 
 	// sharded-update machinery (see shard.go): per-shard workers created
 	// lazily on the first sharded minibatch and reused across updates,
@@ -208,6 +209,53 @@ func (p *PPO) SelectAction(obs []float64) (raw, env []float64, logProb, value fl
 	copy(p.rawBuf, p.sample)
 	logProb = gaussianLogProb(p.rawBuf, mean, logStd)
 	return p.rawBuf, p.denormalizeInto(p.envBuf, p.rawBuf), logProb, v
+}
+
+// SelectActionWithMean is SelectAction plus the deterministic (mean)
+// environment action of the same forward pass, for deployment readouts
+// that act on the mean while driving their belief state with the
+// stochastic sample (e.g. the simulator's DRL pricer) — one forward
+// instead of a SelectAction/MeanAction pair. All returned slices alias
+// learner-owned scratch overwritten by the next action-selection call.
+func (p *PPO) SelectActionWithMean(obs []float64) (raw, env []float64, logP, value float64, meanEnv []float64) {
+	mean, logStd, v := p.net.Forward(obs)
+	p.meanEnvBuf = growSlice(p.meanEnvBuf, len(mean))
+	p.denormalizeInto(p.meanEnvBuf, mean)
+	gaussianSample(p.rng, mean, logStd, p.sample)
+	copy(p.rawBuf, p.sample)
+	logP = gaussianLogProb(p.rawBuf, mean, logStd)
+	return p.rawBuf, p.denormalizeInto(p.envBuf, p.rawBuf), logP, v, p.meanEnvBuf
+}
+
+// SelectActionBatch samples one stochastic action per observation row in
+// a single batched forward pass — the collection-phase counterpart of the
+// batched minibatch update. Row r of raw/envAct and element r of
+// logP/values are bit-identical to a serial SelectAction on obs.Row(r):
+// the forward pass goes through the batched kernels (whose rows reproduce
+// the sample-at-a-time pass bitwise, contract rule 1) and the sampler
+// consumes the learner's RNG strictly row-ascending, so the stream
+// matches the per-row call sequence exactly regardless of how callers
+// later fan the sampled actions out across workers (contract rule 4).
+//
+// raw and envAct are resized to obs.Rows×ActDim; logP and values must
+// have length obs.Rows.
+func (p *PPO) SelectActionBatch(obs, raw, envAct *mat.Matrix, logP, values []float64) {
+	rows := obs.Rows
+	if len(logP) != rows || len(values) != rows {
+		panic(fmt.Sprintf("rl: SelectActionBatch logP/values lengths %d/%d, want %d",
+			len(logP), len(values), rows))
+	}
+	actDim := p.net.ActDim()
+	raw.Resize(rows, actDim)
+	envAct.Resize(rows, actDim)
+	means, logStd, vals := p.net.ForwardBatch(obs)
+	copy(values, vals)
+	for r := 0; r < rows; r++ {
+		rawR := raw.Row(r)
+		gaussianSample(p.rng, means.Row(r), logStd, rawR)
+		logP[r] = gaussianLogProb(rawR, means.Row(r), logStd)
+		p.denormalizeInto(envAct.Row(r), rawR)
+	}
 }
 
 // MeanAction returns the deterministic (mean) action mapped to the

@@ -64,6 +64,17 @@ func (r *Rollout) Add(obs, action []float64, logProb, reward, value float64, don
 	})
 }
 
+// AppendFrom appends every transition of src in order, copying the
+// observation and action storage into the receiver's arenas. src is left
+// untouched; the vectorized collector uses this to merge per-environment
+// staging buffers into the shared rollout in fixed env-index order.
+func (r *Rollout) AppendFrom(src *Rollout) {
+	for i := range src.steps {
+		s := &src.steps[i]
+		r.Add(s.Obs, s.Action, s.LogProb, s.Reward, s.Value, s.Done)
+	}
+}
+
 // Len returns the number of stored transitions.
 func (r *Rollout) Len() int { return len(r.steps) }
 

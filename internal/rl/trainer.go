@@ -11,11 +11,17 @@ type TrainerConfig struct {
 	// UpdateEvery is |I|: an optimization phase runs whenever this many
 	// new transitions have been collected (and at episode end).
 	UpdateEvery int
+	// CollectWorkers is the number of goroutines stepping environments
+	// during vectorized collection: 0 selects automatically
+	// (min(GOMAXPROCS, env count, a small cap)), 1 steps serially. Any
+	// value produces bit-identical training runs (the fourth rule of the
+	// determinism contract) — it is purely a throughput knob.
+	CollectWorkers int
 }
 
 // validate panics on invalid settings.
 func (c TrainerConfig) validate() {
-	if c.Episodes <= 0 || c.RoundsPerEpisode <= 0 || c.UpdateEvery <= 0 {
+	if c.Episodes <= 0 || c.RoundsPerEpisode <= 0 || c.UpdateEvery <= 0 || c.CollectWorkers < 0 {
 		panic(fmt.Sprintf("rl: invalid TrainerConfig %+v", c))
 	}
 }
@@ -30,83 +36,115 @@ type EpisodeStats struct {
 	// MeanReward is Return / K.
 	MeanReward float64
 	// FinalUpdate carries the statistics of the last optimization phase
-	// of the episode.
+	// of the episode (with vectorized collection, of the episode block the
+	// episode belongs to — the block's episodes share update phases).
 	FinalUpdate UpdateStats
 }
 
 // Trainer runs the episode loop of Algorithm 1: collect transitions from
 // the environment with the current policy, and every |I| rounds run a PPO
 // optimization phase on the buffered segment.
+//
+// With a multi-env VecEnv (NewVecTrainer), episodes run in lockstep
+// blocks of up to NumEnvs independently seeded environments: each round
+// evaluates the policy for every live env in one batched pass and steps
+// the envs across CollectWorkers goroutines, and an optimization phase
+// runs whenever the block has staged |I| new transitions (and at block
+// end). The block's transitions merge into the shared rollout in fixed
+// env-index order, so the run is bit-reproducible for a fixed seed and
+// independent of the worker count. A single-env trainer is bit-identical
+// to the classic serial collect loop.
 type Trainer struct {
 	cfg   TrainerConfig
-	env   Env
+	vec   VecEnv
 	agent *PPO
 	buf   *Rollout
+	col   *VecCollector
+
+	// statsBuf is the per-block EpisodeStats scratch, reused so the
+	// steady-state episode loop stays allocation-free.
+	statsBuf []EpisodeStats
 
 	// OnEpisode, when non-nil, is invoked after every episode with its
-	// statistics. Returning false stops training early.
+	// statistics. Returning false stops training early (with vectorized
+	// collection, at the end of the current episode block).
 	OnEpisode func(EpisodeStats) bool
 }
 
-// NewTrainer wires an environment and a PPO learner together.
+// NewTrainer wires a single environment and a PPO learner together — the
+// paper's serial Algorithm 1.
 func NewTrainer(env Env, agent *PPO, cfg TrainerConfig) *Trainer {
+	return NewVecTrainer(NewEnvSlice(env), agent, cfg)
+}
+
+// NewVecTrainer wires a vectorized environment and a PPO learner
+// together. Up to vec.NumEnvs() episodes run in parallel per block.
+func NewVecTrainer(vec VecEnv, agent *PPO, cfg TrainerConfig) *Trainer {
 	cfg.validate()
 	return &Trainer{
 		cfg:   cfg,
-		env:   env,
+		vec:   vec,
 		agent: agent,
-		buf:   NewRollout(cfg.RoundsPerEpisode),
+		buf:   NewRollout(cfg.RoundsPerEpisode * vec.NumEnvs()),
+		col:   NewVecCollector(vec, agent, cfg.CollectWorkers),
 	}
 }
 
 // Run executes the training loop and returns per-episode statistics.
 func (t *Trainer) Run() []EpisodeStats {
 	out := make([]EpisodeStats, 0, t.cfg.Episodes)
-	for e := 0; e < t.cfg.Episodes; e++ {
-		stats := t.runEpisode(e)
-		out = append(out, stats)
-		if t.OnEpisode != nil && !t.OnEpisode(stats) {
+	for done := 0; done < t.cfg.Episodes; {
+		active := t.vec.NumEnvs()
+		if rem := t.cfg.Episodes - done; active > rem {
+			active = rem
+		}
+		stop := false
+		for _, s := range t.runBlock(done, active) {
+			out = append(out, s)
+			if t.OnEpisode != nil && !t.OnEpisode(s) {
+				stop = true
+			}
+		}
+		if stop {
 			break
 		}
+		done += active
 	}
 	return out
 }
 
-// runEpisode plays K rounds, optimizing every |I| rounds (Algorithm 1,
-// lines 4–14).
-func (t *Trainer) runEpisode(episode int) EpisodeStats {
-	obs := t.env.Reset()
+// runBlock plays one lockstep episode block over the first active envs
+// (Algorithm 1, lines 4–14; active == 1 reproduces the serial per-episode
+// body exactly). The returned slice aliases trainer-owned scratch
+// overwritten by the next block.
+func (t *Trainer) runBlock(firstEpisode, active int) []EpisodeStats {
+	t.col.Begin(active)
 	t.buf.Reset()
 
-	var ret float64
 	var lastUpdate UpdateStats
-	sinceUpdate := 0
-	for k := 0; k < t.cfg.RoundsPerEpisode; k++ {
-		raw, envAct, logP, value := t.agent.SelectAction(obs)
-		next, reward, done := t.env.Step(envAct)
-		terminal := done || k == t.cfg.RoundsPerEpisode-1
-		t.buf.Add(obs, raw, logP, reward, value, terminal)
-		ret += reward
-		obs = next
-		sinceUpdate++
-
-		if sinceUpdate >= t.cfg.UpdateEvery || terminal {
-			bootstrap := 0.0
-			if !terminal {
-				bootstrap = t.agent.Value(obs)
-			}
-			t.buf.ComputeGAE(t.agent.cfg.Gamma, t.agent.cfg.Lambda, bootstrap)
+	since := 0
+	for k := 0; k < t.cfg.RoundsPerEpisode && t.col.Live() > 0; k++ {
+		final := k == t.cfg.RoundsPerEpisode-1
+		since += t.col.Step(final)
+		if since >= t.cfg.UpdateEvery || final || t.col.Live() == 0 {
+			t.col.Merge(t.buf)
 			lastUpdate = t.agent.Update(t.buf)
-			sinceUpdate = 0
-		}
-		if done {
-			break
+			since = 0
 		}
 	}
-	return EpisodeStats{
-		Episode:     episode,
-		Return:      ret,
-		MeanReward:  ret / float64(t.cfg.RoundsPerEpisode),
-		FinalUpdate: lastUpdate,
+
+	if cap(t.statsBuf) < active {
+		t.statsBuf = make([]EpisodeStats, active)
 	}
+	stats := t.statsBuf[:active]
+	returns := t.col.Returns()
+	for e := 0; e < active; e++ {
+		stats[e] = EpisodeStats{
+			Episode:     firstEpisode + e,
+			Return:      returns[e],
+			MeanReward:  returns[e] / float64(t.cfg.RoundsPerEpisode),
+			FinalUpdate: lastUpdate,
+		}
+	}
+	return stats
 }

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+
+	"vtmig/internal/pomdp"
+	"vtmig/internal/rl"
+	"vtmig/internal/stackelberg"
+)
+
+// drlPricer deploys a trained PPO pricing agent as a simulator Pricer,
+// closing the loop between the learning stack and the end-to-end
+// discrete-event simulator: the policy that converged on the paper's
+// benchmark posts the price of every migration round.
+//
+// The agent is a POMDP policy — it acts on a history window of its
+// training game's (price, demand) outcomes, not on the round's actual
+// game (which varies in size as handovers batch up). The pricer therefore
+// carries a private instance of the training environment as the agent's
+// belief state: each round it reads out the deterministic (mean) price
+// for the current history and advances the history with a stochastic
+// action, exactly like the harness's EvaluateAgent readout — rolling the
+// deterministic policy forward on its own outputs drifts off the training
+// distribution, so the stochastic policy drives the window.
+type drlPricer struct {
+	env   *pomdp.GameEnv
+	agent *rl.PPO
+	obs   []float64
+	act   [1]float64
+}
+
+// NewDRLPricer wraps a trained agent and its training environment into a
+// Pricer. env must be a fresh (or reusable) instance of the environment
+// the agent was trained on; the pricer owns it from here on.
+func NewDRLPricer(env *pomdp.GameEnv, agent *rl.PPO) Pricer {
+	if env.ActDim() != 1 {
+		panic(fmt.Sprintf("sim: DRL pricer needs a 1-dimensional price action, env has %d", env.ActDim()))
+	}
+	p := &drlPricer{env: env, agent: agent, obs: make([]float64, env.ObsDim())}
+	copy(p.obs, env.Reset())
+	return p
+}
+
+// Name implements Pricer.
+func (p *drlPricer) Name() string { return "drl" }
+
+// PriceFor implements Pricer: the deterministic policy's price for the
+// current belief state. The round's actual game is not consulted — the
+// MSP prices under incomplete information, as in the paper.
+func (p *drlPricer) PriceFor(g *stackelberg.Game) float64 {
+	_, envAct, _, _, meanEnv := p.agent.SelectActionWithMean(p.obs)
+	price := meanEnv[0]
+	p.act[0] = envAct[0]
+	next, _, done := p.env.Step(p.act[:])
+	copy(p.obs, next)
+	if done {
+		copy(p.obs, p.env.Reset())
+	}
+	return price
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"vtmig/internal/pomdp"
+	"vtmig/internal/rl"
+	"vtmig/internal/stackelberg"
+)
+
+// trainTinyAgent trains a small PPO pricing agent with vectorized
+// collection on the paper's benchmark game — the policy the simulator
+// deploys.
+func trainTinyAgent(t *testing.T) (*rl.PPO, *pomdp.GameEnv) {
+	t.Helper()
+	game := stackelberg.DefaultGame()
+	cfg := pomdp.Config{
+		Game:       game,
+		HistoryLen: 3,
+		Rounds:     30,
+		Reward:     pomdp.RewardBinary,
+		Seed:       4,
+	}
+	vec, err := pomdp.NewVecEnv(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := rl.DefaultPPOConfig()
+	pcfg.Seed = 4
+	pcfg.MiniBatch = 10
+	lo, hi := vec.ActionBounds()
+	agent := rl.NewPPO(vec.ObsDim(), vec.ActDim(), lo, hi, pcfg)
+	rl.NewVecTrainer(vec, agent, rl.TrainerConfig{
+		Episodes:         4,
+		RoundsPerEpisode: 30,
+		UpdateEvery:      10,
+	}).Run()
+
+	// A long-horizon belief environment for deployment: the pricer steps
+	// it once per pricing round for the whole simulation.
+	beliefCfg := cfg
+	beliefCfg.Rounds = 1 << 20
+	belief, err := pomdp.NewGameEnv(beliefCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agent, belief
+}
+
+// TestDRLPricerDrivesSimulation deploys a trained agent as the
+// simulator's pricing strategy and checks the end-to-end run: rounds are
+// priced inside the action interval and the report is consistent.
+func TestDRLPricerDrivesSimulation(t *testing.T) {
+	agent, belief := trainTinyAgent(t)
+
+	cfg := DefaultConfig()
+	cfg.DurationS = 120
+	cfg.Seed = 3
+	cfg.Pricer = NewDRLPricer(belief, agent)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run()
+
+	if rep.PricerName != "drl" {
+		t.Fatalf("pricer name %q, want drl", rep.PricerName)
+	}
+	if rep.PricingRounds == 0 {
+		t.Fatal("no pricing rounds executed")
+	}
+	for _, m := range rep.Migrations {
+		if m.Price < cfg.Cost || m.Price > cfg.PMax {
+			t.Fatalf("vehicle %d priced at %g outside [%g, %g]", m.VehicleID, m.Price, cfg.Cost, cfg.PMax)
+		}
+		if math.IsNaN(m.AoTM) || m.AoTM < 0 {
+			t.Fatalf("vehicle %d AoTM %g", m.VehicleID, m.AoTM)
+		}
+	}
+}
+
+// TestDRLPricerReproducible pins that two identically seeded simulations
+// with identically trained agents produce the same revenue.
+func TestDRLPricerReproducible(t *testing.T) {
+	run := func() Report {
+		agent, belief := trainTinyAgent(t)
+		cfg := DefaultConfig()
+		cfg.DurationS = 60
+		cfg.Seed = 5
+		cfg.Pricer = NewDRLPricer(belief, agent)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	a, b := run(), run()
+	if math.Float64bits(a.MSPRevenue) != math.Float64bits(b.MSPRevenue) {
+		t.Fatalf("revenue not reproducible: %v vs %v", a.MSPRevenue, b.MSPRevenue)
+	}
+	if a.PricingRounds != b.PricingRounds {
+		t.Fatalf("pricing rounds %d vs %d", a.PricingRounds, b.PricingRounds)
+	}
+}

@@ -1,0 +1,216 @@
+// Command benchdiff compares two benchmark recordings and exits non-zero
+// when the newer one regresses: more than a threshold fraction slower in
+// ns/op (default 15 %), or any increase in allocs/op.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] OLD NEW
+//
+// Each argument is either a BENCH_*.json recording (the repository's
+// benchmark snapshot format: a top-level "benchmarks" object mapping
+// benchmark names to {ns_per_op, bytes_per_op, allocs_per_op}) or the raw
+// text output of `go test -bench -benchmem` (benchmark lines are parsed,
+// everything else ignored; the trailing -GOMAXPROCS suffix is stripped so
+// names match the snapshots). Only benchmarks present in both inputs are
+// compared; the rest are listed as unmatched.
+//
+// The Makefile wires this up as `make bench-compare`, which measures a
+// fresh short pass of the hot-path benchmarks and diffs it against the
+// latest snapshot; CI runs that target as an advisory job.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// errRegression marks a detected performance regression (as opposed to a
+// usage or parse error).
+type errRegression struct{ count int }
+
+func (e errRegression) Error() string {
+	return fmt.Sprintf("%d benchmark regression(s)", e.count)
+}
+
+// bench is one benchmark's recorded figures.
+type bench struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// run executes the comparison and returns an error on usage problems or
+// regressions.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.15, "maximum tolerated ns/op growth as a fraction (0.15 = +15%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [-threshold 0.15] OLD NEW")
+	}
+	if *threshold < 0 {
+		return fmt.Errorf("threshold must be non-negative, got %g", *threshold)
+	}
+	oldB, err := parseFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newB, err := parseFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	regressions := compare(oldB, newB, *threshold, out)
+	if regressions > 0 {
+		return errRegression{count: regressions}
+	}
+	return nil
+}
+
+// parseFile loads one recording, auto-detecting the format.
+func parseFile(path string) (map[string]bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if b, err := parseJSON(data); err == nil {
+		return b, nil
+	}
+	b := parseBenchText(data)
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%s: neither a BENCH_*.json snapshot nor go-bench output", path)
+	}
+	return b, nil
+}
+
+// parseJSON decodes the repository's BENCH_*.json snapshot format. Every
+// value beyond the three figures (notes, comparison columns) is ignored.
+func parseJSON(data []byte) (map[string]bench, error) {
+	var doc struct {
+		Benchmarks map[string]struct {
+			NsPerOp     float64 `json:"ns_per_op"`
+			BytesPerOp  float64 `json:"bytes_per_op"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmarks object")
+	}
+	out := make(map[string]bench, len(doc.Benchmarks))
+	for name, b := range doc.Benchmarks {
+		out[name] = bench{NsPerOp: b.NsPerOp, BytesPerOp: b.BytesPerOp, AllocsPerOp: b.AllocsPerOp}
+	}
+	return out, nil
+}
+
+// gomaxprocsSuffix matches the -N tail go test appends to benchmark
+// names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchText extracts benchmark lines from `go test -bench -benchmem`
+// output:
+//
+//	BenchmarkName-8   100   22242511 ns/op   376704 B/op   221 allocs/op
+//
+// Lines without an ns/op figure are skipped.
+func parseBenchText(data []byte) map[string]bench {
+	out := make(map[string]bench)
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		b := bench{NsPerOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if b.NsPerOp < 0 {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		out[name] = b
+	}
+	return out
+}
+
+// compare prints a per-benchmark table and returns the number of
+// regressions: >threshold ns/op growth or any allocs/op increase.
+func compare(oldB, newB map[string]bench, threshold float64, out io.Writer) int {
+	names := make([]string, 0, len(oldB))
+	for name := range oldB {
+		if _, ok := newB[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	fmt.Fprintf(out, "%-50s %14s %14s %8s %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "verdict")
+	for _, name := range names {
+		o, n := oldB[name], newB[name]
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = n.NsPerOp/o.NsPerOp - 1
+		}
+		verdict := "ok"
+		switch {
+		case n.AllocsPerOp > o.AllocsPerOp:
+			verdict = fmt.Sprintf("REGRESSION: allocs/op %g -> %g", o.AllocsPerOp, n.AllocsPerOp)
+			regressions++
+		case delta > threshold:
+			verdict = "REGRESSION: ns/op"
+			regressions++
+		case delta < -threshold:
+			verdict = "faster"
+		}
+		fmt.Fprintf(out, "%-50s %14.0f %14.0f %+7.1f%% %s\n", name, o.NsPerOp, n.NsPerOp, delta*100, verdict)
+	}
+
+	unmatched := func(label string, a, b map[string]bench) {
+		var miss []string
+		for name := range a {
+			if _, ok := b[name]; !ok {
+				miss = append(miss, name)
+			}
+		}
+		sort.Strings(miss)
+		for _, name := range miss {
+			fmt.Fprintf(out, "unmatched (%s only): %s\n", label, name)
+		}
+	}
+	unmatched("old", oldB, newB)
+	unmatched("new", newB, oldB)
+
+	fmt.Fprintf(out, "%d compared, %d regression(s), threshold +%.0f%% ns/op, allocs/op must not grow\n",
+		len(names), regressions, threshold*100)
+	return regressions
+}

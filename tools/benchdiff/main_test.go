@@ -1,0 +1,156 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const oldJSON = `{
+  "description": "old snapshot",
+  "benchmarks": {
+    "BenchmarkFast": {"ns_per_op": 1000, "bytes_per_op": 0, "allocs_per_op": 0},
+    "BenchmarkSlow": {"ns_per_op": 2000, "bytes_per_op": 64, "allocs_per_op": 2, "note": "ignored"},
+    "BenchmarkGone": {"ns_per_op": 10, "bytes_per_op": 0, "allocs_per_op": 0}
+  }
+}`
+
+const benchText = `goos: linux
+goarch: amd64
+BenchmarkFast-8            1000       1100 ns/op          0 B/op          0 allocs/op
+BenchmarkSlow-8             500       2100 ns/op         64 B/op          2 allocs/op
+BenchmarkNew/case=1-8       100        500 ns/op          0 B/op          0 allocs/op
+PASS
+ok      vtmig   1.234s
+`
+
+// write puts content in a temp file and returns its path.
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseJSONSnapshot(t *testing.T) {
+	b, err := parseJSON([]byte(oldJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(b))
+	}
+	if b["BenchmarkSlow"].NsPerOp != 2000 || b["BenchmarkSlow"].AllocsPerOp != 2 {
+		t.Fatalf("BenchmarkSlow parsed as %+v", b["BenchmarkSlow"])
+	}
+}
+
+func TestParseBenchText(t *testing.T) {
+	b := parseBenchText([]byte(benchText))
+	if len(b) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(b), b)
+	}
+	if b["BenchmarkFast"].NsPerOp != 1100 {
+		t.Fatalf("BenchmarkFast ns/op %g, want 1100 (suffix not stripped?)", b["BenchmarkFast"].NsPerOp)
+	}
+	if _, ok := b["BenchmarkNew/case=1"]; !ok {
+		t.Fatalf("sub-benchmark name not normalized: %+v", b)
+	}
+	if b["BenchmarkSlow"].AllocsPerOp != 2 || b["BenchmarkSlow"].BytesPerOp != 64 {
+		t.Fatalf("BenchmarkSlow parsed as %+v", b["BenchmarkSlow"])
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	oldPath := write(t, "old.json", oldJSON)
+	newPath := write(t, "new.txt", benchText)
+	var sb strings.Builder
+	// Fast: +10%, Slow: +5%, both within 15%; allocs equal.
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "2 compared, 0 regression(s)") {
+		t.Fatalf("unexpected report:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "unmatched (old only): BenchmarkGone") {
+		t.Fatalf("missing unmatched listing:\n%s", sb.String())
+	}
+}
+
+func TestCompareNsRegressionFails(t *testing.T) {
+	oldPath := write(t, "old.json", oldJSON)
+	newPath := write(t, "new.txt", benchText)
+	var sb strings.Builder
+	// 10% growth on BenchmarkFast exceeds a 5% threshold.
+	err := run([]string{"-threshold", "0.05", oldPath, newPath}, &sb)
+	var reg errRegression
+	if !errors.As(err, &reg) {
+		t.Fatalf("want regression error, got %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION: ns/op") {
+		t.Fatalf("report does not flag the ns/op regression:\n%s", sb.String())
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	oldPath := write(t, "old.json", oldJSON)
+	newPath := write(t, "new.json", `{"benchmarks": {
+		"BenchmarkFast": {"ns_per_op": 900, "bytes_per_op": 16, "allocs_per_op": 1}
+	}}`)
+	var sb strings.Builder
+	err := run([]string{oldPath, newPath}, &sb)
+	var reg errRegression
+	if !errors.As(err, &reg) {
+		t.Fatalf("want regression error, got %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "allocs/op 0 -> 1") {
+		t.Fatalf("report does not flag the allocation increase:\n%s", sb.String())
+	}
+}
+
+func TestCompareFasterIsNotRegression(t *testing.T) {
+	oldPath := write(t, "old.json", oldJSON)
+	newPath := write(t, "new.json", `{"benchmarks": {
+		"BenchmarkSlow": {"ns_per_op": 100, "bytes_per_op": 64, "allocs_per_op": 2}
+	}}`)
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "faster") {
+		t.Fatalf("speedup not reported:\n%s", sb.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"only-one"}, &sb); err == nil {
+		t.Fatal("single argument accepted")
+	}
+	if err := run([]string{"-threshold", "-1", "a", "b"}, &sb); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	garbage := write(t, "g.txt", "not a benchmark file")
+	good := write(t, "ok.json", oldJSON)
+	if err := run([]string{garbage, good}, &sb); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}
+
+func TestRealSnapshotsCompare(t *testing.T) {
+	// The checked-in snapshots must parse and compare cleanly (the PR 2 →
+	// PR 3 comparison is the advisory CI gate's baseline).
+	for _, f := range []string{"BENCH_seed.json", "BENCH_pr1.json", "BENCH_pr2.json"} {
+		path := filepath.Join("..", "..", f)
+		if _, err := os.Stat(path); err != nil {
+			t.Skipf("snapshot %s not present: %v", f, err)
+		}
+		if _, err := parseFile(path); err != nil {
+			t.Fatalf("parsing %s: %v", f, err)
+		}
+	}
+}
