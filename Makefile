@@ -2,9 +2,9 @@
 # run before merging — GitHub Actions runs it on every push and pull
 # request (.github/workflows/ci.yml, with Go build/module caching): vet,
 # gofmt cleanliness, build, race-enabled tests (which exercise the
-# experiment worker pool under the race detector), the sharded-update and
-# vectorized-collection determinism suites under -race, and a short
-# benchmark smoke pass over the PPO hot path.
+# experiment worker pool under the race detector), the sharded-update,
+# vectorized-collection, and online-learning determinism suites under
+# -race, and a short benchmark smoke pass over the PPO hot path.
 #
 # Benchmark regressions are gated by tools/benchdiff, which diffs two
 # recordings — BENCH_*.json snapshots or raw `go test -bench -benchmem`
@@ -25,11 +25,11 @@
 GO ?= go
 
 # BASE is the snapshot bench-compare measures against.
-BASE ?= BENCH_pr3.json
+BASE ?= BENCH_pr4.json
 # BENCH_HOT selects the hot-path benchmarks bench-compare re-measures.
-BENCH_HOT = PPOUpdate$$|PPOUpdateSharded|PPOSelectAction|MLPForward$$|Evaluate|SolveScratch|Collect|TrainerEpisode
+BENCH_HOT = PPOUpdate$$|PPOUpdateSharded|PPOSelectAction|MLPForward$$|Evaluate|SolveScratch|Collect|TrainerEpisode|StreamCollect|SimRoundOnline
 
-.PHONY: all vet fmt-check build test race race-sharded race-collect bench-smoke bench bench-compare golden ci
+.PHONY: all vet fmt-check build test race race-sharded race-collect race-online bench-smoke bench bench-compare golden ci
 
 all: ci
 
@@ -70,10 +70,18 @@ race-sharded:
 race-collect:
 	$(GO) test -race -count=2 -run 'VecCollect|VecAuto|VecMerge|VecGAE|VecTrainer|VecEnv|SingleEnvTrainer|SelectActionBatch' ./internal/rl ./internal/pomdp
 
+# race-online re-runs the online continual-learning determinism and
+# stream-collector tests under the race detector. The rule-5 tables pin
+# CollectWorkers x shard x GOMAXPROCS combinations above the host's core
+# count, so a race or an ordering bug anywhere in the online training
+# path fails here even on a single-core CI box.
+race-online:
+	$(GO) test -race -count=2 -run 'Online|Stream' ./internal/rl ./internal/sim
+
 # bench-smoke exercises the PPO hot-path benchmarks just enough to catch
 # gross regressions and allocation reintroductions.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'PPOUpdate$$|PPOSelectAction|MLPForward|MatMul|Collect' -benchmem -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'PPOUpdate$$|PPOSelectAction|MLPForward|MatMul|Collect|StreamCollect|SimRoundOnline' -benchmem -benchtime 100x .
 
 # bench is the full benchmark suite used to fill BENCH_pr*.json.
 bench:
@@ -86,8 +94,10 @@ bench-compare:
 	$(GO) run ./tools/benchdiff -threshold 0.15 $(BASE) bench-current.txt
 
 # golden regenerates the fixed-seed golden files after an intentional
-# numeric change.
+# numeric change: the experiment figure pipelines and the per-pricer
+# simulator reports.
 golden:
 	$(GO) test ./internal/experiments -run Golden -update
+	$(GO) test ./internal/sim -run Golden -update
 
-ci: vet fmt-check build race race-sharded race-collect bench-smoke
+ci: vet fmt-check build race race-sharded race-collect race-online bench-smoke

@@ -517,6 +517,83 @@ func BenchmarkMatMulATBAddTo(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamCollect measures the online-learning collection path in
+// isolation: one externally produced transition staged into the
+// StreamCollector per op, including the amortized cost of the PPO
+// optimization phase that fires every 20 transitions (the paper's |I|).
+// Steady state is allocation-free like the rest of the training hot path.
+func BenchmarkStreamCollect(b *testing.B) {
+	env := newBenchEnv(b)
+	lo, hi := env.ActionBounds()
+	agent := rl.NewPPO(env.ObsDim(), env.ActDim(), lo, hi, rl.DefaultPPOConfig())
+	col := rl.NewStreamCollector(agent, 20)
+	obs := env.Reset()
+	step := func() {
+		raw, envAct, logP, value := agent.SelectAction(obs)
+		next, reward, done := env.Step(envAct)
+		col.Add(obs, raw, logP, reward, value, done, next)
+		obs = next
+		if done {
+			obs = env.Reset()
+		}
+	}
+	for i := 0; i < 40; i++ {
+		step() // warm-up: grows arenas, minibatch scratch, Adam state
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+// BenchmarkSimRoundOnline measures the online pricer's per-round cost
+// inside the simulator's pricing loop: one PriceFor on the benchmark game
+// — policy forward, per-round oracle solve and equilibrium evaluation,
+// observation-window update, staging, and the amortized optimization
+// phase every 20 rounds.
+func BenchmarkSimRoundOnline(b *testing.B) {
+	game := stackelberg.DefaultGame()
+	pricer, err := sim.NewOnlinePricer(sim.OnlinePricerConfig{Game: game})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		pricer.PriceFor(game) // warm-up
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := pricer.PriceFor(game); p < game.Cost || p > game.PMax {
+			b.Fatalf("price %g out of bounds", p)
+		}
+	}
+}
+
+// BenchmarkSimulationOnline measures a 60-second end-to-end simulator
+// slice priced by a cold-started online learner (cf. BenchmarkSimulation
+// for the oracle-priced reference).
+func BenchmarkSimulationOnline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pricer, err := sim.NewOnlinePricer(sim.OnlinePricerConfig{
+			Game: stackelberg.DefaultGame(),
+			Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.DurationS = 60
+		cfg.Seed = int64(i + 1)
+		cfg.Pricer = pricer
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run()
+	}
+}
+
 // BenchmarkSimulation measures a 60-second end-to-end simulator slice.
 func BenchmarkSimulation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -3,10 +3,19 @@
 // by the Stackelberg incentive mechanism, pre-copy migration over OFDMA
 // bandwidth, and AoTM accounting.
 //
+// Besides the analytic pricers, the MSP can deploy a DRL pricing agent:
+// `-pricer drl` trains one offline on the paper's benchmark game and
+// deploys it frozen; `-pricer online` keeps it learning from the live
+// pricing rounds (warm-started from the same offline training, or from
+// scratch with `-warm-start=false`), running a sharded PPO optimization
+// phase every `-update-every` rounds.
+//
 // Usage:
 //
-//	vtmig-sim [-vehicles 6] [-rsus 8] [-duration 600] [-pricer oracle|random|fixed]
-//	          [-price 25] [-failure 0] [-seed 1] [-verbose]
+//	vtmig-sim [-vehicles 6] [-rsus 8] [-duration 600]
+//	          [-pricer oracle|random|fixed|drl|online] [-price 25]
+//	          [-train-episodes 30] [-update-every 20] [-warm-start]
+//	          [-failure 0] [-seed 1] [-verbose]
 package main
 
 import (
@@ -14,7 +23,9 @@ import (
 	"fmt"
 	"os"
 
+	"vtmig/internal/experiments"
 	"vtmig/internal/sim"
+	"vtmig/internal/stackelberg"
 )
 
 func main() {
@@ -27,15 +38,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vtmig-sim", flag.ContinueOnError)
 	var (
-		vehicles = fs.Int("vehicles", 6, "number of vehicles (VMUs)")
-		rsus     = fs.Int("rsus", 8, "number of RSUs on the highway")
-		duration = fs.Float64("duration", 600, "simulated seconds")
-		pricer   = fs.String("pricer", "oracle", "MSP pricing strategy: oracle, random, or fixed")
-		price    = fs.Float64("price", 25, "price for -pricer fixed")
-		failure  = fs.Float64("failure", 0, "pricing-round failure probability in [0, 1)")
-		seed     = fs.Int64("seed", 1, "random seed")
-		verbose  = fs.Bool("verbose", false, "print every migration record")
-		traceOut = fs.String("trace", "", "write a JSONL event trace to this file")
+		vehicles    = fs.Int("vehicles", 6, "number of vehicles (VMUs)")
+		rsus        = fs.Int("rsus", 8, "number of RSUs on the highway")
+		duration    = fs.Float64("duration", 600, "simulated seconds")
+		pricer      = fs.String("pricer", "oracle", "MSP pricing strategy: oracle, random, fixed, drl, or online")
+		price       = fs.Float64("price", 25, "price for -pricer fixed")
+		episodes    = fs.Int("train-episodes", 30, "offline training episodes for -pricer drl / warm-started online")
+		updateEvery = fs.Int("update-every", 20, "online optimization cadence in pricing rounds (-pricer online)")
+		warmStart   = fs.Bool("warm-start", true, "warm-start -pricer online from offline training (false: learn from scratch)")
+		failure     = fs.Float64("failure", 0, "pricing-round failure probability in [0, 1)")
+		seed        = fs.Int64("seed", 1, "random seed")
+		verbose     = fs.Bool("verbose", false, "print every migration record")
+		traceOut    = fs.String("trace", "", "write a JSONL event trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,8 +68,42 @@ func run(args []string) error {
 		cfg.Pricer = sim.NewRandomPricer(*seed)
 	case "fixed":
 		cfg.Pricer = sim.NewFixedPricer(*price)
+	case "drl":
+		res, err := trainOffline(*episodes, *seed)
+		if err != nil {
+			return err
+		}
+		frozen, err := experiments.FrozenPricer(res)
+		if err != nil {
+			return err
+		}
+		cfg.Pricer = frozen
+	case "online":
+		onlineCfg := sim.OnlinePricerConfig{
+			Game:        stackelberg.DefaultGame(),
+			UpdateEvery: *updateEvery,
+			Seed:        *seed,
+		}
+		// Reject a broken configuration before spending the offline
+		// training budget on it.
+		if err := onlineCfg.Validate(); err != nil {
+			return err
+		}
+		if *warmStart {
+			res, err := trainOffline(*episodes, *seed)
+			if err != nil {
+				return err
+			}
+			onlineCfg.Agent = res.Agent
+			onlineCfg.HistoryLen = res.Env.Config().HistoryLen
+		}
+		online, err := sim.NewOnlinePricer(onlineCfg)
+		if err != nil {
+			return err
+		}
+		cfg.Pricer = online
 	default:
-		return fmt.Errorf("unknown pricer %q (want oracle, random, or fixed)", *pricer)
+		return fmt.Errorf("unknown pricer %q (want oracle, random, fixed, drl, or online)", *pricer)
 	}
 
 	if *traceOut != "" {
@@ -86,6 +134,11 @@ func run(args []string) error {
 	if rep.PlacementFailures > 0 {
 		fmt.Printf("Placement failures %d\n", rep.PlacementFailures)
 	}
+	if online, ok := cfg.Pricer.(*sim.OnlinePricer); ok {
+		online.Flush() // learn from the trailing partial round segment too
+		fmt.Printf("Online updates     %d (every %d rounds; best live utility %.4f)\n",
+			online.Updates(), online.UpdateEvery(), online.BestUtility())
+	}
 
 	if *verbose {
 		fmt.Println("\nstart    veh  from→to  price   bw(MHz)  AoTM(s)  data(MB)  downtime(s)")
@@ -95,4 +148,19 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// trainOffline trains the MSP agent on the paper's benchmark game for the
+// drl and warm-started online pricers.
+func trainOffline(episodes int, seed int64) (*experiments.TrainResult, error) {
+	drlCfg := experiments.DefaultDRLConfig()
+	drlCfg.Episodes = episodes
+	drlCfg.Restarts = 1
+	drlCfg.Seed = seed
+	fmt.Printf("Training PPO pricing agent offline (%d episodes x %d rounds)...\n", drlCfg.Episodes, drlCfg.Rounds)
+	res, err := experiments.TrainAgent(stackelberg.DefaultGame(), drlCfg)
+	if err != nil {
+		return nil, fmt.Errorf("offline training: %w", err)
+	}
+	return res, nil
 }

@@ -16,6 +16,33 @@ func TestRunPricers(t *testing.T) {
 	}
 }
 
+func TestRunDRLPricer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run skipped in -short mode")
+	}
+	if err := run([]string{"-duration", "60", "-pricer", "drl", "-train-episodes", "2"}); err != nil {
+		t.Fatalf("drl pricer: %v", err)
+	}
+}
+
+func TestRunOnlinePricer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run skipped in -short mode")
+	}
+	if err := run([]string{"-duration", "120", "-pricer", "online", "-train-episodes", "2", "-update-every", "5"}); err != nil {
+		t.Fatalf("online warm pricer: %v", err)
+	}
+	if err := run([]string{"-duration", "120", "-pricer", "online", "-warm-start=false", "-update-every", "5"}); err != nil {
+		t.Fatalf("online cold pricer: %v", err)
+	}
+}
+
+func TestRunOnlineInvalidUpdateEvery(t *testing.T) {
+	if err := run([]string{"-pricer", "online", "-warm-start=false", "-update-every", "-3"}); err == nil {
+		t.Fatal("negative update interval accepted")
+	}
+}
+
 func TestRunUnknownPricer(t *testing.T) {
 	if err := run([]string{"-pricer", "nonsense"}); err == nil {
 		t.Fatal("unknown pricer accepted")

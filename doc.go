@@ -21,7 +21,9 @@
 //     evaluation (internal/baselines);
 //   - pre-copy live migration, highway mobility, and an end-to-end
 //     discrete-event vehicular-metaverse simulator (internal/migration,
-//     internal/mobility, internal/sim);
+//     internal/mobility, internal/sim), whose MSP can deploy the trained
+//     agent frozen (sim.NewDRLPricer) or keep it learning online from the
+//     live pricing rounds (sim.NewOnlinePricer over rl.StreamCollector);
 //   - the paper's future-work extension to multiple competing MSPs
 //     (internal/multimsp);
 //   - and a harness that regenerates every figure of the evaluation
@@ -49,14 +51,19 @@
 // (rl.VecEnv / rl.VecCollector / rl.NewVecTrainer): episode blocks step
 // W independently seeded environment instances in lockstep, the policy
 // is evaluated for every live env in one batched pass per round, and the
-// env stepping fans out across collection workers. Experiment fan-outs
-// (restarts, seed studies, sweep points, ablation cells) run through a
-// shared bounded, context-cancellable worker pool in
+// env stepping fans out across collection workers. The online-learning
+// path reuses the same machinery: rl.StreamCollector accumulates
+// externally produced transitions (the simulator's pricing rounds) into
+// the arena-backed rollout and triggers the same sharded optimization
+// phases, so continual learning inside the simulator stays
+// allocation-free in steady state too. Experiment fan-outs (restarts,
+// seed studies, sweep points, ablation cells, online-study arms) run
+// through a shared bounded, context-cancellable worker pool in
 // internal/experiments.
 //
 // # Determinism contract
 //
-// The same seed yields the same figures, bit for bit. Four rules enforce
+// The same seed yields the same figures, bit for bit. Five rules enforce
 // it:
 //
 //  1. Batched kernels accumulate in exactly the order of the
@@ -80,14 +87,24 @@
 //     training runs) bit-identical to serial collection regardless of
 //     GOMAXPROCS, and a single-env vectorized trainer is bit-identical to
 //     the classic serial collect loop.
+//  5. Online continual learning adds no ordering of its own: externally
+//     produced transitions enter the rollout strictly in
+//     simulator-round order (the producing loop is serial and the
+//     rl.StreamCollector consumes no RNG), and every online optimization
+//     phase runs through the rule-3 sharded reduction — so a fixed
+//     simulator seed yields a bit-identical sim.Report and bit-identical
+//     final network weights regardless of CollectWorkers (of the
+//     warm-start training), the learner's shard count, and GOMAXPROCS.
 //
 // The golden-file tests under internal/experiments/testdata pin the exact
-// fixed-seed outputs of every figure pipeline, and the determinism tests
-// in internal/rl, internal/pomdp, and internal/stackelberg pin the rules
-// at unit level. Regenerate the golden files after an intentional numeric
-// change with
+// fixed-seed outputs of every figure pipeline, those under
+// internal/sim/testdata the per-pricer simulator reports, and the
+// determinism tests in internal/rl, internal/pomdp, internal/sim, and
+// internal/stackelberg pin the rules at unit level. Regenerate the golden
+// files after an intentional numeric change with
 //
 //	go test ./internal/experiments -run Golden -update
+//	go test ./internal/sim -run Golden -update
 //
 // # Benchmarks
 //

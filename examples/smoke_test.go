@@ -21,6 +21,7 @@ var smokeRuns = []struct {
 	{name: "equilibrium_analysis"},
 	{name: "highway_migration"},
 	{name: "incentive_training", env: []string{"VTMIG_EPISODES=3"}},
+	{name: "online_pricing", env: []string{"VTMIG_DURATION=120"}},
 	{name: "quickstart"},
 	{name: "sensing_freshness"},
 }

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"vtmig/internal/pomdp"
+	"vtmig/internal/sim"
+	"vtmig/internal/stackelberg"
+)
+
+// OnlineStudyConfig parameterizes the online continual-learning study:
+// the same fixed-seed simulation scenario is run once per pricing arm —
+// the complete-information oracle, the frozen offline-trained DRL agent,
+// the same agent continuing to learn online, and a cold-started online
+// learner — and the arms' leader economics are compared.
+type OnlineStudyConfig struct {
+	// Sim is the simulation scenario; its Pricer field is ignored (each
+	// arm installs its own) and its Seed fixes the vehicle process for
+	// every arm.
+	Sim sim.Config
+	// Game is the offline training game and the online pricers' reference
+	// game. Nil selects stackelberg.DefaultGame().
+	Game *stackelberg.Game
+	// DRL is the offline training configuration behind the frozen and
+	// warm-started arms. The frozen and online-warm arms train
+	// independently with identical seeds — bit-identical agents by the
+	// determinism contract — so the frozen agent's weights are untouched
+	// by the online arm's continued updates.
+	DRL DRLConfig
+	// UpdateEvery is the online pricers' optimization cadence in live
+	// rounds. Zero selects DRL.UpdateEvery.
+	UpdateEvery int
+	// Reward is the online pricers' live learning signal. The zero value
+	// selects pomdp.RewardShaped (see sim.OnlinePricerConfig).
+	Reward pomdp.RewardKind
+	// OnlinePPO optionally overrides the learner configuration of the
+	// cold-started arm (zero Epochs selects DRL.PPO).
+	OnlinePPO OnlinePPOConfig
+}
+
+// OnlinePPOConfig aliases the learner knobs the cold arm can override
+// without pulling the whole rl surface into the study configuration.
+type OnlinePPOConfig struct {
+	// LR overrides the cold learner's Adam step size (0 keeps DRL.PPO.LR).
+	LR float64
+}
+
+// OnlineArm is one pricer's outcome in the study.
+type OnlineArm struct {
+	// Name identifies the arm: "oracle", "frozen-drl", "online-warm", or
+	// "online-cold".
+	Name string
+	// Report is the arm's full simulation report.
+	Report sim.Report
+	// LeaderUtility is the arm's average leader (MSP) utility per pricing
+	// round — MSPRevenue / PricingRounds, the study's headline metric.
+	LeaderUtility float64
+	// Updates counts the online optimization phases (zero for the oracle
+	// and frozen arms).
+	Updates int
+}
+
+// OnlineStudy is the result of RunOnlineStudy.
+type OnlineStudy struct {
+	// Arms are the study's outcomes in fixed order: oracle, frozen-drl,
+	// online-warm, online-cold.
+	Arms []OnlineArm
+}
+
+// Arm returns the named arm, or nil.
+func (s *OnlineStudy) Arm(name string) *OnlineArm {
+	for i := range s.Arms {
+		if s.Arms[i].Name == name {
+			return &s.Arms[i]
+		}
+	}
+	return nil
+}
+
+// Table lays the study out as one row per arm.
+func (s *OnlineStudy) Table() *Table {
+	t := &Table{
+		Title: "online-study",
+		Columns: []string{"arm", "leader_utility", "revenue", "pricing_rounds", "migrations",
+			"mean_aotm", "mean_vmu_utility", "updates"},
+	}
+	for _, a := range s.Arms {
+		t.AddRow(float64(armIndex(a.Name)), a.LeaderUtility, a.Report.MSPRevenue,
+			float64(a.Report.PricingRounds), float64(len(a.Report.Migrations)),
+			a.Report.MeanAoTM, a.Report.MeanVMUUtility, float64(a.Updates))
+	}
+	return t
+}
+
+// armIndex maps arm names onto the numeric first column of the table
+// (tables are numeric; the fixed ordering doubles as the arm id).
+func armIndex(name string) int {
+	switch name {
+	case "oracle":
+		return 0
+	case "frozen-drl":
+		return 1
+	case "online-warm":
+		return 2
+	case "online-cold":
+		return 3
+	}
+	return -1
+}
+
+// deploymentBeliefRounds is the belief-environment horizon of a deployed
+// frozen pricer: effectively unbounded, so the belief window is never
+// reset mid-deployment.
+const deploymentBeliefRounds = 1 << 20
+
+// FrozenPricer deploys a trained agent as the simulator's frozen DRL
+// pricing strategy: a fresh long-horizon belief environment with the
+// agent's training configuration wraps it via sim.NewDRLPricer. The
+// study's frozen arm and vtmig-sim's `-pricer drl` share it.
+func FrozenPricer(res *TrainResult) (sim.Pricer, error) {
+	beliefCfg := res.Env.Config()
+	beliefCfg.Rounds = deploymentBeliefRounds
+	belief, err := pomdp.NewGameEnv(beliefCfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewDRLPricer(belief, res.Agent), nil
+}
+
+// DefaultOnlineStudyConfig returns a study over the default simulation
+// scenario with a deliberately small offline budget: the point of the
+// study is to measure what online continual learning adds on top of (or
+// instead of) offline training.
+func DefaultOnlineStudyConfig() OnlineStudyConfig {
+	simCfg := sim.DefaultConfig()
+	drl := DefaultDRLConfig()
+	drl.Episodes = 20
+	drl.Restarts = 1
+	return OnlineStudyConfig{Sim: simCfg, DRL: drl}
+}
+
+// RunOnlineStudy runs the frozen-vs-online-vs-oracle comparison.
+func RunOnlineStudy(cfg OnlineStudyConfig) (*OnlineStudy, error) {
+	return RunOnlineStudyCtx(context.Background(), cfg)
+}
+
+// RunOnlineStudyCtx is RunOnlineStudy with cancellation: the four arms
+// fan out through the shared worker pool (results assembled in fixed arm
+// order, determinism contract rule 2), and the training arms stop at the
+// next episode boundary when ctx is cancelled.
+func RunOnlineStudyCtx(ctx context.Context, cfg OnlineStudyConfig) (*OnlineStudy, error) {
+	game := cfg.Game
+	if game == nil {
+		game = stackelberg.DefaultGame()
+	}
+	updateEvery := cfg.UpdateEvery
+	if updateEvery == 0 {
+		updateEvery = cfg.DRL.UpdateEvery
+	}
+
+	// Each arm builds its own pricer — including its own offline training
+	// where needed, so no agent instance is shared between a frozen and a
+	// learning deployment — and runs the identical fixed-seed scenario.
+	arms := []struct {
+		name  string
+		build func(ctx context.Context) (sim.Pricer, error)
+	}{
+		{"oracle", func(context.Context) (sim.Pricer, error) { return sim.NewOraclePricer(), nil }},
+		{"frozen-drl", func(ctx context.Context) (sim.Pricer, error) {
+			res, err := TrainAgentCtx(ctx, game, cfg.DRL)
+			if err != nil {
+				return nil, err
+			}
+			return FrozenPricer(res)
+		}},
+		{"online-warm", func(ctx context.Context) (sim.Pricer, error) {
+			res, err := TrainAgentCtx(ctx, game, cfg.DRL)
+			if err != nil {
+				return nil, err
+			}
+			return sim.NewOnlinePricer(sim.OnlinePricerConfig{
+				Game:        game,
+				HistoryLen:  cfg.DRL.HistoryLen,
+				Agent:       res.Agent,
+				UpdateEvery: updateEvery,
+				Reward:      cfg.Reward,
+				Seed:        cfg.DRL.Seed,
+			})
+		}},
+		{"online-cold", func(context.Context) (sim.Pricer, error) {
+			ppo := cfg.DRL.PPO
+			if cfg.OnlinePPO.LR > 0 {
+				ppo.LR = cfg.OnlinePPO.LR
+			}
+			return sim.NewOnlinePricer(sim.OnlinePricerConfig{
+				Game:        game,
+				HistoryLen:  cfg.DRL.HistoryLen,
+				PPO:         ppo,
+				UpdateEvery: updateEvery,
+				Reward:      cfg.Reward,
+				Seed:        cfg.DRL.Seed,
+			})
+		}},
+	}
+
+	study := &OnlineStudy{Arms: make([]OnlineArm, len(arms))}
+	err := defaultPool.Run(ctx, len(arms), func(ctx context.Context, i int) error {
+		pricer, err := arms[i].build(ctx)
+		if err != nil {
+			return fmt.Errorf("experiments: building %s arm: %w", arms[i].name, err)
+		}
+		simCfg := cfg.Sim
+		simCfg.Pricer = pricer
+		s, err := sim.New(simCfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %s arm simulator: %w", arms[i].name, err)
+		}
+		rep := s.Run()
+		arm := OnlineArm{Name: arms[i].name, Report: rep}
+		if rep.PricingRounds > 0 {
+			arm.LeaderUtility = rep.MSPRevenue / float64(rep.PricingRounds)
+		}
+		if op, ok := pricer.(*sim.OnlinePricer); ok {
+			op.Flush() // close the trailing partial segment before reading the learner
+			arm.Updates = op.Updates()
+		}
+		study.Arms[i] = arm
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return study, nil
+}

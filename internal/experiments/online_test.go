@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"vtmig/internal/pomdp"
+)
+
+// onlineStudyCfg returns a test-sized study configuration.
+func onlineStudyCfg() OnlineStudyConfig {
+	cfg := DefaultOnlineStudyConfig()
+	cfg.Sim.DurationS = 300
+	cfg.Sim.Seed = 1
+	cfg.DRL.Episodes = 2
+	cfg.DRL.Rounds = 20
+	cfg.DRL.HistoryLen = 3
+	cfg.DRL.UpdateEvery = 10
+	cfg.DRL.PPO.MiniBatch = 10
+	cfg.DRL.Seed = 5
+	return cfg
+}
+
+// TestOnlineStudyArms checks the study's structure: all four arms run the
+// identical scenario, the online arms actually update, and the table lays
+// out one row per arm.
+func TestOnlineStudyArms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	study, err := RunOnlineStudy(onlineStudyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"oracle", "frozen-drl", "online-warm", "online-cold"}
+	if len(study.Arms) != len(want) {
+		t.Fatalf("%d arms, want %d", len(study.Arms), len(want))
+	}
+	for i, name := range want {
+		arm := study.Arms[i]
+		if arm.Name != name {
+			t.Fatalf("arm %d is %q, want %q", i, arm.Name, name)
+		}
+		if arm.Report.PricingRounds == 0 {
+			t.Fatalf("%s arm ran no pricing rounds", name)
+		}
+		if arm.Report.PricingRounds != study.Arms[0].Report.PricingRounds {
+			t.Fatalf("%s arm ran %d rounds, oracle ran %d — scenario not identical",
+				name, arm.Report.PricingRounds, study.Arms[0].Report.PricingRounds)
+		}
+		isOnline := name == "online-warm" || name == "online-cold"
+		if isOnline && arm.Updates == 0 {
+			t.Fatalf("%s arm never updated", name)
+		}
+		if !isOnline && arm.Updates != 0 {
+			t.Fatalf("%s arm reports %d updates", name, arm.Updates)
+		}
+		if study.Arm(name) != &study.Arms[i] {
+			t.Fatalf("Arm(%q) lookup broken", name)
+		}
+	}
+	tab := study.Table()
+	if len(tab.Rows) != len(want) || len(tab.Columns) != 8 {
+		t.Fatalf("table %d×%d, want 4×8", len(tab.Rows), len(tab.Columns))
+	}
+	if study.Arm("nonsense") != nil {
+		t.Fatal("unknown arm resolved")
+	}
+}
+
+// TestOnlineStudyOnlineBeatsFrozen pins the committed headline scenario
+// (recorded in BENCH_pr4.json): over a 1800-second default-scenario run
+// with a deliberately small offline budget, continuing to learn online
+// earns the MSP a higher average leader utility than deploying the same
+// agent frozen. The run is fully deterministic (contract rules 1–5), so
+// this is a regression pin, not a statistical claim.
+func TestOnlineStudyOnlineBeatsFrozen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	cfg := DefaultOnlineStudyConfig()
+	cfg.Sim.DurationS = 1800
+	cfg.Sim.Seed = 1
+	cfg.DRL.Episodes = 10
+	study, err := RunOnlineStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := study.Arm("frozen-drl")
+	warm := study.Arm("online-warm")
+	oracle := study.Arm("oracle")
+	if warm.LeaderUtility < frozen.LeaderUtility {
+		t.Fatalf("online-warm leader utility %.4f below frozen %.4f",
+			warm.LeaderUtility, frozen.LeaderUtility)
+	}
+	if oracle.LeaderUtility < warm.LeaderUtility {
+		t.Fatalf("oracle %.4f below online-warm %.4f — oracle is the upper reference",
+			oracle.LeaderUtility, warm.LeaderUtility)
+	}
+}
+
+// TestOnlineStudyCancellation pins that a cancelled context aborts the
+// study with an error instead of hanging or panicking.
+func TestOnlineStudyCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunOnlineStudyCtx(ctx, onlineStudyCfg()); err == nil {
+		t.Fatal("cancelled study returned no error")
+	}
+}
+
+// TestOnlineStudyRewardKinds checks that both live reward signals run end
+// to end.
+func TestOnlineStudyRewardKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	cfg := onlineStudyCfg()
+	cfg.Sim.DurationS = 120
+	cfg.Reward = pomdp.RewardBinary
+	study, err := RunOnlineStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Arm("online-cold").Report.PricingRounds == 0 {
+		t.Fatal("binary-reward study ran no rounds")
+	}
+}

@@ -1,0 +1,161 @@
+package pomdp
+
+import (
+	"fmt"
+	"math"
+
+	"vtmig/internal/stackelberg"
+)
+
+// Encoder is the observation encoding of the POMDP, factored out of
+// GameEnv so that external belief-state holders — most prominently the
+// simulator's online continual-learning pricer, which feeds live pricing
+// rounds instead of training-game rounds — produce observations in exactly
+// the layout the agent was trained on.
+//
+// The encoder keeps the last L rounds of normalized (price, demands)
+// records, oldest first; each record is one row of width 1+slots: the
+// price mapped to [0, 1] over [cost, pmax], followed by each demand
+// divided by the demand reference scale. The L row buffers are allocated
+// once and recycled: recording a round rotates the oldest row to the end
+// and rewrites it in place, so Record and Obs do not allocate.
+type Encoder struct {
+	cost, pmax, scale float64
+
+	// history holds the L rows, oldest first.
+	history [][]float64
+	obs     []float64
+}
+
+// NewEncoder builds an encoder for a window of historyLen rounds with
+// slots demand entries per round, normalizing prices over [cost, pmax]
+// and demands by demandScale. The window starts zeroed; GameEnv (and the
+// online pricer) warm it with historyLen recorded rounds before the first
+// observation is read.
+func NewEncoder(historyLen, slots int, cost, pmax, demandScale float64) (*Encoder, error) {
+	if historyLen <= 0 {
+		return nil, fmt.Errorf("pomdp: encoder history length must be positive, got %d", historyLen)
+	}
+	if slots <= 0 {
+		return nil, fmt.Errorf("pomdp: encoder needs at least one demand slot, got %d", slots)
+	}
+	if math.IsNaN(cost) || math.IsNaN(pmax) || pmax <= cost {
+		return nil, fmt.Errorf("pomdp: encoder price range [%g, %g] inverted", cost, pmax)
+	}
+	if !(demandScale > 0) {
+		return nil, fmt.Errorf("pomdp: encoder demand scale %g must be positive", demandScale)
+	}
+	e := &Encoder{
+		cost:    cost,
+		pmax:    pmax,
+		scale:   demandScale,
+		history: make([][]float64, historyLen),
+		obs:     make([]float64, historyLen*(1+slots)),
+	}
+	rows := make([]float64, historyLen*(1+slots))
+	for i := range e.history {
+		e.history[i] = rows[i*(1+slots) : (i+1)*(1+slots)]
+	}
+	return e, nil
+}
+
+// ObsDim is L × (1 + slots).
+func (e *Encoder) ObsDim() int { return len(e.obs) }
+
+// Record slides the window by one round: the oldest row is rotated to the
+// newest slot and rewritten with the normalized (price, demands) record.
+// When the round has fewer demands than the encoder has slots (a live
+// round with fewer participants than the training game), the remaining
+// slots read zero — the encoding of a VMU that buys no bandwidth; extra
+// demands beyond the slot count are dropped.
+func (e *Encoder) Record(price float64, demands []float64) {
+	row := e.history[0]
+	copy(e.history, e.history[1:])
+	e.history[len(e.history)-1] = row
+
+	row[0] = (price - e.cost) / (e.pmax - e.cost)
+	slots := len(row) - 1
+	for i := 0; i < slots; i++ {
+		if i < len(demands) {
+			row[1+i] = demands[i] / e.scale
+		} else {
+			row[1+i] = 0
+		}
+	}
+}
+
+// Obs flattens the window, oldest round first, into the encoder-owned
+// observation slice (overwritten by the next Obs call after a Record).
+func (e *Encoder) Obs() []float64 {
+	i := 0
+	for _, row := range e.history {
+		i += copy(e.obs[i:], row)
+	}
+	return e.obs
+}
+
+// Reset zeroes the window (a fresh belief with no recorded rounds).
+func (e *Encoder) Reset() {
+	for _, row := range e.history {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// NewGameEncoder builds an Encoder that reproduces the observation
+// encoding of a GameEnv over the given game: one demand slot per VMU,
+// prices normalized over [Cost, PMax], and demands normalized by the
+// game's demand scale (BMax when configured, otherwise the total demand
+// at the minimum price). An agent trained on a GameEnv over g reads
+// observations from this encoder in its training layout.
+func NewGameEncoder(historyLen int, g *stackelberg.Game) (*Encoder, error) {
+	if g == nil {
+		return nil, fmt.Errorf("pomdp: nil game")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return NewEncoder(historyLen, g.N(), g.Cost, g.PMax, demandScale(g))
+}
+
+// BestTracker maintains the running best leader utility behind the binary
+// reward of Eq. (12): Observe returns 1 when a utility reaches the best
+// seen so far (within the tolerance band) and 0 otherwise, updating the
+// best afterwards. GameEnv uses one per training run; the simulator's
+// online pricer uses one across live pricing rounds.
+type BestTracker struct {
+	best float64
+	tol  float64
+}
+
+// NewBestTracker builds a tracker with the Config.BestTolFrac semantics:
+// tolFrac 0 selects the default band, negative demands exact ≥.
+func NewBestTracker(tolFrac float64) *BestTracker {
+	return &BestTracker{best: math.Inf(-1), tol: Config{BestTolFrac: tolFrac}.bestTolFrac()}
+}
+
+// Observe scores one round's leader utility against the running best —
+// the binary reward of Eq. (12) with the tolerance band — and then folds
+// the utility into the best.
+func (t *BestTracker) Observe(us float64) float64 {
+	threshold := t.best
+	if t.tol > 0 && !math.IsInf(threshold, -1) {
+		threshold -= t.tol * math.Max(math.Abs(t.best), 1)
+	}
+	var reward float64
+	if us >= threshold {
+		reward = 1
+	}
+	if us > t.best {
+		t.best = us
+	}
+	return reward
+}
+
+// Best returns the best utility observed so far (−Inf before the first
+// Observe).
+func (t *BestTracker) Best() float64 { return t.best }
+
+// Reset forgets the running best.
+func (t *BestTracker) Reset() { t.best = math.Inf(-1) }

@@ -7,7 +7,6 @@ package pomdp
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"vtmig/internal/rl"
@@ -112,14 +111,14 @@ type GameEnv struct {
 	game *stackelberg.Game
 	rng  *rand.Rand
 
-	// history holds the last L rounds, oldest first; each entry is a
-	// normalized (price, demands...) record of width 1+N. The L row
-	// buffers are allocated once and recycled: sliding the window rotates
-	// pointers and rewrites the freed row in place, so Step and Reset do
-	// not allocate.
-	history [][]float64
-	round   int
-	bestUs  float64
+	// enc holds the last L rounds as the normalized observation window
+	// (see Encoder); the encoding is shared with external belief-state
+	// holders such as the simulator's online pricer.
+	enc   *Encoder
+	round int
+	// best tracks the running best MSP utility behind the binary reward
+	// of Eq. (12).
+	best *BestTracker
 	// oracleUs is the closed-form equilibrium utility used for reward
 	// shaping and regret reporting.
 	oracleUs float64
@@ -129,7 +128,6 @@ type GameEnv struct {
 	scratch stackelberg.EvalScratch
 
 	last stackelberg.Equilibrium
-	obs  []float64
 }
 
 var _ rl.Env = (*GameEnv)(nil)
@@ -144,19 +142,18 @@ func NewGameEnv(cfg Config) (*GameEnv, error) {
 		game:     cfg.Game,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		oracleUs: cfg.Game.Solve().MSPUtility,
-		bestUs:   math.Inf(-1),
+		best:     NewBestTracker(cfg.BestTolFrac),
 	}
-	env.obs = make([]float64, env.ObsDim())
-	env.history = make([][]float64, cfg.HistoryLen)
-	rows := make([]float64, cfg.HistoryLen*(1+env.game.N()))
-	for i := range env.history {
-		env.history[i] = rows[i*(1+env.game.N()) : (i+1)*(1+env.game.N())]
+	enc, err := NewEncoder(cfg.HistoryLen, cfg.Game.N(), cfg.Game.Cost, cfg.Game.PMax, demandScale(cfg.Game))
+	if err != nil {
+		return nil, err
 	}
+	env.enc = enc
 	return env, nil
 }
 
 // ObsDim is L × (1 + N): L rounds of one price plus N demands.
-func (e *GameEnv) ObsDim() int { return e.cfg.HistoryLen * (1 + e.game.N()) }
+func (e *GameEnv) ObsDim() int { return e.enc.ObsDim() }
 
 // ActDim is 1: the unit bandwidth price.
 func (e *GameEnv) ActDim() int { return 1 }
@@ -183,14 +180,14 @@ func (e *GameEnv) OracleUtility() float64 { return e.oracleUs }
 func (e *GameEnv) Reset() []float64 {
 	e.round = 0
 	if e.cfg.ResetBestPerEpisode {
-		e.bestUs = math.Inf(-1)
+		e.best.Reset()
 	}
 	for i := 0; i < e.cfg.HistoryLen; i++ {
 		price := e.game.Cost + e.rng.Float64()*(e.game.PMax-e.game.Cost)
 		eq := e.game.EvaluateInto(&e.scratch, price)
-		e.recordInto(e.history[i], eq)
+		e.enc.Record(eq.Price, eq.Demands)
 	}
-	return e.buildObs()
+	return e.enc.Obs()
 }
 
 // Step applies the pricing action, lets the followers best-respond, and
@@ -205,38 +202,24 @@ func (e *GameEnv) Step(action []float64) ([]float64, float64, bool) {
 	eq := e.game.EvaluateInto(&e.scratch, action[0])
 	e.last = eq
 
-	var reward float64
-	switch e.cfg.Reward {
-	case RewardBinary:
-		// Eq. (12): reward 1 iff the utility reaches the historical best,
-		// within the configured tolerance band.
-		threshold := e.bestUs
-		if tol := e.cfg.bestTolFrac(); tol > 0 && !math.IsInf(threshold, -1) {
-			threshold -= tol * math.Max(math.Abs(e.bestUs), 1)
-		}
-		if eq.MSPUtility >= threshold {
-			reward = 1
-		}
-	case RewardShaped:
+	// Eq. (12): reward 1 iff the utility reaches the historical best,
+	// within the configured tolerance band.
+	reward := e.best.Observe(eq.MSPUtility)
+	if e.cfg.Reward == RewardShaped {
 		if e.oracleUs > 0 {
 			reward = eq.MSPUtility / e.oracleUs
 		} else {
 			reward = eq.MSPUtility
 		}
 	}
-	if eq.MSPUtility > e.bestUs {
-		e.bestUs = eq.MSPUtility
-	}
 
-	// Slide the history window: rotate the oldest row buffer to the end
-	// and rewrite it in place.
-	oldest := e.history[0]
-	copy(e.history, e.history[1:])
-	e.history[len(e.history)-1] = e.recordInto(oldest, eq)
+	// Slide the history window: the encoder rotates the oldest row buffer
+	// to the end and rewrites it in place.
+	e.enc.Record(eq.Price, eq.Demands)
 
 	e.round++
 	done := e.round >= e.cfg.Rounds
-	return e.buildObs(), reward, done
+	return e.enc.Obs(), reward, done
 }
 
 // LastOutcome returns the full equilibrium report of the most recent round
@@ -246,34 +229,15 @@ func (e *GameEnv) Step(action []float64) ([]float64, float64, bool) {
 func (e *GameEnv) LastOutcome() stackelberg.Equilibrium { return e.last }
 
 // BestUtility returns the best MSP utility seen this episode.
-func (e *GameEnv) BestUtility() float64 { return e.bestUs }
+func (e *GameEnv) BestUtility() float64 { return e.best.Best() }
 
-// recordInto normalizes one round's outcome into the given observation
-// row (width 1+N): the price mapped to [0,1] over [C, pmax] and each
-// demand divided by a bandwidth reference scale. It returns row.
-func (e *GameEnv) recordInto(row []float64, eq stackelberg.Equilibrium) []float64 {
-	row[0] = (eq.Price - e.game.Cost) / (e.game.PMax - e.game.Cost)
-	ref := e.demandScale()
-	for n, b := range eq.Demands {
-		row[1+n] = b / ref
+// demandScale returns the observation normalization constant for a game's
+// demands: Bmax when configured, otherwise the demand at the minimum
+// price (an upper bound). GameEnv and external encoders over the same
+// game (the simulator's online pricer) share it through NewEncoder.
+func demandScale(g *stackelberg.Game) float64 {
+	if g.BMax > 0 {
+		return g.BMax
 	}
-	return row
-}
-
-// demandScale returns the normalization constant for demands: Bmax when
-// configured, otherwise the demand at the minimum price (an upper bound).
-func (e *GameEnv) demandScale() float64 {
-	if e.game.BMax > 0 {
-		return e.game.BMax
-	}
-	return e.game.TotalDemand(e.game.Cost) + 1e-9
-}
-
-// buildObs flattens the history window, oldest round first.
-func (e *GameEnv) buildObs() []float64 {
-	i := 0
-	for _, row := range e.history {
-		i += copy(e.obs[i:], row)
-	}
-	return e.obs
+	return g.TotalDemand(g.Cost) + 1e-9
 }

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"vtmig/internal/pomdp"
+)
+
+// FuzzSimConfigValidate pins the configuration contract: Validate (and
+// New behind it) must reject broken configurations with an error — never
+// a panic — and any configuration Validate accepts must construct.
+func FuzzSimConfigValidate(f *testing.F) {
+	base := DefaultConfig()
+	f.Add(base.Vehicles, base.SpeedMinMps, base.SpeedMaxMps, base.TimeStepS, base.DurationS,
+		base.AlphaMin, base.AlphaMax, base.VTMemoryMinMB, base.VTMemoryMaxMB,
+		base.PricingFailureRate, base.Cost, base.PMax, base.SensingPeriodS, base.SensingDelayS)
+	f.Add(0, -1.0, 0.0, 0.0, -5.0, 0.0, -1.0, 0.0, -1.0, 1.5, -2.0, -2.0, 0.0, -1.0)
+	f.Add(3, 5.0, 4.0, 1.0, 60.0, 5.0, 4.0, 100.0, 50.0, 0.99, 50.0, 5.0, 0.5, 0.0)
+	f.Add(1, math.Inf(1), math.Inf(1), 1e-9, 1e12, 1e300, 1e300, 1e300, 1e300, 0.0, 1e-300, 1e300, 1e-300, 1e300)
+	f.Fuzz(func(t *testing.T, vehicles int,
+		speedMin, speedMax, timeStep, duration,
+		alphaMin, alphaMax, memMin, memMax,
+		failureRate, cost, pmax, sensingPeriod, sensingDelay float64) {
+		cfg := DefaultConfig()
+		cfg.Vehicles = vehicles
+		cfg.SpeedMinMps, cfg.SpeedMaxMps = speedMin, speedMax
+		cfg.TimeStepS, cfg.DurationS = timeStep, duration
+		cfg.AlphaMin, cfg.AlphaMax = alphaMin, alphaMax
+		cfg.VTMemoryMinMB, cfg.VTMemoryMaxMB = memMin, memMax
+		cfg.PricingFailureRate = failureRate
+		cfg.Cost, cfg.PMax = cost, pmax
+		cfg.SensingPeriodS, cfg.SensingDelayS = sensingPeriod, sensingDelay
+
+		// Neither Validate nor New may panic, whatever the numbers; an
+		// accepted configuration must build a simulator. Cap the vehicle
+		// count so accepted configs stay allocation-bounded.
+		if vehicles > 1<<12 {
+			t.Skip("vehicle count outside the fuzzed range")
+		}
+		if err := cfg.Validate(); err != nil {
+			return
+		}
+		if _, err := New(cfg); err != nil {
+			t.Fatalf("Validate accepted a config New rejects: %v (%+v)", err, cfg)
+		}
+	})
+}
+
+// FuzzOnlinePricerConfigValidate extends the pin to the online pricer's
+// configuration: invalid values error rather than panic.
+func FuzzOnlinePricerConfigValidate(f *testing.F) {
+	f.Add(4, 20, int64(1), 0, 0.0)
+	f.Add(-1, -1, int64(0), 99, -2.0)
+	f.Add(0, 0, int64(7), 2, 0.5)
+	f.Fuzz(func(t *testing.T, historyLen, updateEvery int, seed int64, reward int, tolFrac float64) {
+		if historyLen > 1<<10 {
+			t.Skip("history length outside the fuzzed range")
+		}
+		cfg := onlineCfg()
+		cfg.HistoryLen = historyLen
+		cfg.UpdateEvery = updateEvery
+		cfg.Seed = seed
+		cfg.Reward = pomdp.RewardKind(reward)
+		cfg.BestTolFrac = tolFrac
+		if err := cfg.Validate(); err != nil {
+			return
+		}
+		if _, err := NewOnlinePricer(cfg); err != nil {
+			t.Fatalf("Validate accepted a config NewOnlinePricer rejects: %v", err)
+		}
+	})
+}

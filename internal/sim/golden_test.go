@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vtmig/internal/pomdp"
+	"vtmig/internal/rl"
+	"vtmig/internal/stackelberg"
+)
+
+// The golden tests pin the exact numeric sim.Report of every built-in
+// pricer at a fixed seed — the simulator-level arm of the determinism
+// contract: the same seed yields the same report, bit for bit, regardless
+// of kernel batching, collection workers, shard counts, or GOMAXPROCS.
+// Regenerate after an intentional numeric change with
+//
+//	go test ./internal/sim -run Golden -update
+//
+// (or `make golden`, which regenerates the experiments goldens too).
+var updateGolden = flag.Bool("update", false, "rewrite the golden files instead of comparing")
+
+// goldenTol absorbs decimal formatting only; values are serialized with
+// full float64 round-trip precision.
+const goldenTol = 1e-9
+
+// goldenSimConfig is the fixed scenario every pricer golden runs.
+func goldenSimConfig() Config {
+	cfg := DefaultConfig()
+	cfg.DurationS = 120
+	cfg.Seed = 123
+	return cfg
+}
+
+// goldenFrozenAgent trains the small fixed-seed agent deployed by the
+// frozen-DRL and warm-started online goldens.
+func goldenFrozenAgent(t *testing.T) (*rl.PPO, pomdp.Config) {
+	t.Helper()
+	envCfg := pomdp.Config{
+		Game:       stackelberg.DefaultGame(),
+		HistoryLen: 3,
+		Rounds:     30,
+		Reward:     pomdp.RewardBinary,
+		Seed:       123,
+	}
+	vec, err := pomdp.NewVecEnv(envCfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := rl.DefaultPPOConfig()
+	pcfg.Seed = 123
+	pcfg.MiniBatch = 10
+	lo, hi := vec.ActionBounds()
+	agent := rl.NewPPO(vec.ObsDim(), vec.ActDim(), lo, hi, pcfg)
+	rl.NewVecTrainer(vec, agent, rl.TrainerConfig{
+		Episodes:         4,
+		RoundsPerEpisode: 30,
+		UpdateEvery:      10,
+	}).Run()
+	return agent, envCfg
+}
+
+// formatReport serializes a report with full float64 precision: a summary
+// row plus one row per migration.
+func formatReport(rep Report) string {
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	b01 := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# report %s\n", rep.PricerName)
+	fmt.Fprintln(&b, "| handovers,pricing_rounds,failed_rounds,deferred,opted_out,msp_revenue,mean_aotm,max_aotm,mean_vmu_utility,placement_failures,mean_sensing_aoi,simulated_s")
+	fmt.Fprintln(&b, strings.Join([]string{
+		strconv.Itoa(rep.Handovers), strconv.Itoa(rep.PricingRounds), strconv.Itoa(rep.FailedRounds),
+		strconv.Itoa(rep.Deferred), strconv.Itoa(rep.OptedOut), g(rep.MSPRevenue),
+		g(rep.MeanAoTM), g(rep.MaxAoTM), g(rep.MeanVMUUtility),
+		strconv.Itoa(rep.PlacementFailures), g(rep.MeanSensingAoI), g(rep.SimulatedS),
+	}, ","))
+	fmt.Fprintln(&b, "# migrations")
+	fmt.Fprintln(&b, "| vehicle,start_s,from_rsu,to_rsu,price,bandwidth_mhz,aotm,data_moved_mb,downtime_s,duration_s,vmu_utility,msp_profit,pre_copy_converged")
+	for _, m := range rep.Migrations {
+		fmt.Fprintln(&b, strings.Join([]string{
+			strconv.Itoa(m.VehicleID), g(m.StartS), strconv.Itoa(m.FromRSU), strconv.Itoa(m.ToRSU),
+			g(m.Price), g(m.BandwidthMHz), g(m.AoTM), g(m.DataMovedMB),
+			g(m.DowntimeS), g(m.DurationS), g(m.VMUUtility), g(m.MSPProfit), b01(m.PreCopyConverged),
+		}, ","))
+	}
+	return b.String()
+}
+
+// checkGoldenReport compares the serialized report against
+// testdata/<name>, or rewrites the file under -update.
+func checkGoldenReport(t *testing.T, name string, rep Report) {
+	t.Helper()
+	got := formatReport(rep)
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to record): %v", path, err)
+	}
+	compareGoldenReport(t, name, string(wantBytes), got)
+}
+
+// compareGoldenReport diffs two serialized reports cell by cell within
+// goldenTol relative tolerance (headers exactly).
+func compareGoldenReport(t *testing.T, name, want, got string) {
+	t.Helper()
+	wantLines := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	gotLines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(wantLines) != len(gotLines) {
+		t.Fatalf("%s: %d lines, golden has %d", name, len(gotLines), len(wantLines))
+	}
+	for ln := range wantLines {
+		w, g := wantLines[ln], gotLines[ln]
+		if strings.HasPrefix(w, "#") || strings.HasPrefix(w, "|") {
+			if w != g {
+				t.Fatalf("%s line %d: header %q, golden %q", name, ln+1, g, w)
+			}
+			continue
+		}
+		wc, gc := strings.Split(w, ","), strings.Split(g, ",")
+		if len(wc) != len(gc) {
+			t.Fatalf("%s line %d: %d cells, golden has %d", name, ln+1, len(gc), len(wc))
+		}
+		for i := range wc {
+			wv, err1 := strconv.ParseFloat(wc[i], 64)
+			gv, err2 := strconv.ParseFloat(gc[i], 64)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s line %d cell %d: parse errors %v/%v", name, ln+1, i, err1, err2)
+			}
+			if diff := math.Abs(wv - gv); diff > goldenTol*math.Max(1, math.Max(math.Abs(wv), math.Abs(gv))) {
+				t.Errorf("%s line %d cell %d: got %v, golden %v (diff %g)", name, ln+1, i, gv, wv, diff)
+			}
+		}
+	}
+}
+
+// runGoldenSim executes the fixed golden scenario with the given pricer.
+func runGoldenSim(t *testing.T, pricer Pricer) Report {
+	t.Helper()
+	cfg := goldenSimConfig()
+	cfg.Pricer = pricer
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Run()
+}
+
+func TestGoldenReportOracle(t *testing.T) {
+	checkGoldenReport(t, "report_oracle_golden.txt", runGoldenSim(t, NewOraclePricer()))
+}
+
+func TestGoldenReportFixed(t *testing.T) {
+	checkGoldenReport(t, "report_fixed_golden.txt", runGoldenSim(t, NewFixedPricer(25)))
+}
+
+func TestGoldenReportRandom(t *testing.T) {
+	checkGoldenReport(t, "report_random_golden.txt", runGoldenSim(t, NewRandomPricer(123)))
+}
+
+func TestGoldenReportDRL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training golden skipped in -short mode")
+	}
+	agent, envCfg := goldenFrozenAgent(t)
+	beliefCfg := envCfg
+	beliefCfg.Rounds = 1 << 20
+	belief, err := pomdp.NewGameEnv(beliefCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGoldenReport(t, "report_drl_golden.txt", runGoldenSim(t, NewDRLPricer(belief, agent)))
+}
+
+func TestGoldenReportOnline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training golden skipped in -short mode")
+	}
+	agent, envCfg := goldenFrozenAgent(t)
+	pricer, err := NewOnlinePricer(OnlinePricerConfig{
+		Game:        envCfg.Game,
+		HistoryLen:  envCfg.HistoryLen,
+		Agent:       agent,
+		UpdateEvery: 10,
+		Seed:        123,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGoldenReport(t, "report_online_golden.txt", runGoldenSim(t, pricer))
+}

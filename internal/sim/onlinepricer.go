@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vtmig/internal/mathx"
+	"vtmig/internal/pomdp"
+	"vtmig/internal/rl"
+	"vtmig/internal/stackelberg"
+)
+
+// OnlinePricerConfig configures the simulator's online continual-learning
+// pricer: a PPO pricing agent that keeps training from live simulator
+// rounds instead of being deployed frozen.
+type OnlinePricerConfig struct {
+	// Game is the reference game fixing the agent's interface: the
+	// observation layout (one demand slot per reference VMU, prices
+	// normalized over [Cost, PMax], demands over the game's demand scale)
+	// and the action interval [Cost, PMax]. A warm-started agent must have
+	// been trained on a pomdp.GameEnv over this game; for a cold start it
+	// is also the source of the random initial history.
+	Game *stackelberg.Game
+	// HistoryLen is L, the number of past rounds in the observation
+	// (paper: 4). It must match the warm-start agent's training value.
+	HistoryLen int
+	// Agent, when non-nil, warm-starts the pricer from an offline-trained
+	// learner (e.g. experiments.TrainResult.Agent). The pricer owns and
+	// keeps mutating the agent from here on — hand it a dedicated
+	// instance, not one shared with a frozen pricer. Nil cold-starts a
+	// fresh learner from PPO.
+	Agent *rl.PPO
+	// PPO configures the cold-start learner (ignored under warm start).
+	// The zero value selects rl.DefaultPPOConfig(); Seed overrides
+	// PPO.Seed either way.
+	PPO rl.PPOConfig
+	// UpdateEvery is |I|: an optimization phase runs whenever this many
+	// live rounds have been collected. Zero selects the paper's 20.
+	UpdateEvery int
+	// Reward selects the learning signal computed from each live round at
+	// the sampled price. The zero value selects pomdp.RewardShaped — the
+	// round's leader utility normalized by that round's closed-form
+	// equilibrium utility, a dense signal that stays comparable across
+	// rounds of varying size and remaining bandwidth. pomdp.RewardBinary
+	// applies Eq. (12) against the best live utility seen so far.
+	Reward pomdp.RewardKind
+	// BestTolFrac is the RewardBinary tolerance band, with the
+	// pomdp.Config.BestTolFrac semantics (0 default band, negative exact).
+	BestTolFrac float64
+	// Seed drives the random initial history and the cold-start learner.
+	// Zero selects 1.
+	Seed int64
+}
+
+// withDefaults resolves the zero-value conveniences.
+func (c OnlinePricerConfig) withDefaults() OnlinePricerConfig {
+	if c.HistoryLen == 0 {
+		c.HistoryLen = 4
+	}
+	if c.UpdateEvery == 0 {
+		c.UpdateEvery = 20
+	}
+	if c.Reward == 0 {
+		c.Reward = pomdp.RewardShaped
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Agent == nil && c.PPO.Epochs == 0 {
+		// Epochs is positive in every valid PPO configuration, so zero
+		// marks the config as unset.
+		c.PPO = rl.DefaultPPOConfig()
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable (after the
+// zero-value defaults are applied).
+func (c OnlinePricerConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Game == nil {
+		return fmt.Errorf("sim: online pricer needs a reference game")
+	}
+	if err := c.Game.Validate(); err != nil {
+		return err
+	}
+	if c.HistoryLen < 0 {
+		return fmt.Errorf("sim: online pricer history length %d must be positive", c.HistoryLen)
+	}
+	if c.UpdateEvery < 0 {
+		return fmt.Errorf("sim: online pricer update interval %d must be positive", c.UpdateEvery)
+	}
+	switch c.Reward {
+	case pomdp.RewardBinary, pomdp.RewardShaped:
+	default:
+		return fmt.Errorf("sim: online pricer reward kind %d unknown", int(c.Reward))
+	}
+	return nil
+}
+
+// OnlinePricer is the online continual-learning MSP pricing strategy: a
+// PPO agent deployed like the frozen DRL pricer — it posts the
+// deterministic (mean) price of the current belief state — whose belief
+// window is driven by the live rounds themselves and whose policy keeps
+// training from them.
+//
+// Each pricing round contributes one learning transition: the agent
+// samples a stochastic price at the current observation, the round's
+// actual game is evaluated at that sampled price (the followers'
+// best-response demands and the resulting leader utility), the outcome is
+// scored into a reward and recorded into the observation window, and the
+// transition enters a rl.StreamCollector, which runs a sharded PPO
+// optimization phase every UpdateEvery rounds. The stochastic sample
+// drives the belief window — exactly like the frozen pricer's readout —
+// so the observation stream stays on the policy's own distribution while
+// the posted price remains the deterministic mean.
+//
+// Determinism (contract rule 5): the simulator feeds rounds serially, the
+// pricer consumes the learner RNG in round order, and every update runs
+// through the rule-1/rule-3 fixed-order kernels — so a fixed simulator
+// seed (plus a warm-start agent from a fixed training seed) yields a
+// bit-identical sim.Report and bit-identical final weights for any
+// CollectWorkers, shard count, and GOMAXPROCS.
+type OnlinePricer struct {
+	agent   *rl.PPO
+	col     *rl.StreamCollector
+	enc     *pomdp.Encoder
+	tracker *pomdp.BestTracker
+	reward  pomdp.RewardKind
+
+	obs []float64 // current observation (copy; encoder rows rotate under it)
+
+	evalScratch  stackelberg.EvalScratch
+	solveScratch stackelberg.EvalScratch
+}
+
+var _ Pricer = (*OnlinePricer)(nil)
+
+// NewOnlinePricer builds the online continual-learning pricer.
+func NewOnlinePricer(cfg OnlinePricerConfig) (*OnlinePricer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	enc, err := pomdp.NewGameEncoder(cfg.HistoryLen, cfg.Game)
+	if err != nil {
+		return nil, err
+	}
+	agent := cfg.Agent
+	if agent == nil {
+		ppoCfg := cfg.PPO
+		ppoCfg.Seed = cfg.Seed
+		agent = rl.NewPPO(enc.ObsDim(), 1, []float64{cfg.Game.Cost}, []float64{cfg.Game.PMax}, ppoCfg)
+	}
+	p := &OnlinePricer{
+		agent:   agent,
+		col:     rl.NewStreamCollector(agent, cfg.UpdateEvery),
+		enc:     enc,
+		tracker: pomdp.NewBestTracker(cfg.BestTolFrac),
+		reward:  cfg.Reward,
+		obs:     make([]float64, enc.ObsDim()),
+	}
+	if err := p.checkAgent(cfg); err != nil {
+		return nil, err
+	}
+	p.warmHistory(cfg)
+	return p, nil
+}
+
+// checkAgent verifies a warm-start agent against the reference
+// interface. A dimension mismatch would panic deep inside the first
+// forward pass; probe once up front and surface it as a construction
+// error instead (the probe consumes no learner RNG).
+func (p *OnlinePricer) checkAgent(cfg OnlinePricerConfig) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: online pricer agent does not fit the reference game interface (obs dim %d, 1 action): %v",
+				p.enc.ObsDim(), r)
+		}
+	}()
+	if got := len(p.agent.MeanAction(p.obs)); got != 1 {
+		return fmt.Errorf("sim: online pricer needs a 1-dimensional price action, agent has %d", got)
+	}
+	return nil
+}
+
+// warmHistory fills the observation window with HistoryLen random rounds
+// on the reference game — the paper's "initial stage", mirroring
+// pomdp.GameEnv.Reset — and captures the initial observation.
+func (p *OnlinePricer) warmHistory(cfg OnlinePricerConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.HistoryLen; i++ {
+		price := cfg.Game.Cost + rng.Float64()*(cfg.Game.PMax-cfg.Game.Cost)
+		eq := cfg.Game.EvaluateInto(&p.evalScratch, price)
+		p.enc.Record(eq.Price, eq.Demands)
+	}
+	copy(p.obs, p.enc.Obs())
+}
+
+// Name implements Pricer.
+func (p *OnlinePricer) Name() string { return "online-drl" }
+
+// PriceFor implements Pricer: it posts the deterministic (mean) price for
+// the current belief state and folds the round into the learning stream
+// (see the type comment). The round's actual game g is consulted only as
+// the MSP's own model of the followers — the incomplete-information
+// setting of the paper is preserved: the agent still observes nothing but
+// the (price, demand) history window.
+func (p *OnlinePricer) PriceFor(g *stackelberg.Game) float64 {
+	raw, envAct, logP, value, meanEnv := p.agent.SelectActionWithMean(p.obs)
+	price := meanEnv[0]
+
+	// Learning transition at the sampled price.
+	sampled := mathx.Clamp(envAct[0], g.Cost, g.PMax)
+	var oracleUs float64
+	if p.reward == pomdp.RewardShaped {
+		oracleUs = g.SolveInto(&p.solveScratch).MSPUtility
+	}
+	eq := g.EvaluateInto(&p.evalScratch, sampled)
+	reward := p.tracker.Observe(eq.MSPUtility)
+	if p.reward == pomdp.RewardShaped {
+		if oracleUs > 0 {
+			reward = eq.MSPUtility / oracleUs
+		} else {
+			reward = eq.MSPUtility
+		}
+	}
+
+	p.enc.Record(eq.Price, eq.Demands)
+	next := p.enc.Obs()
+	p.col.Add(p.obs, raw, logP, reward, value, false, next)
+	copy(p.obs, next)
+	return price
+}
+
+// Flush closes the current partial learning segment with one final
+// optimization phase (bootstrapping the value of the current belief
+// state) and reports whether anything was pending. Transitions staged
+// since the last phase are otherwise retained and consumed once later
+// rounds complete the segment — appropriate while the pricer keeps
+// serving; call Flush when a deployment ends and the trailing experience
+// would be discarded with the pricer (RunOnlineStudy and vtmig-sim do).
+func (p *OnlinePricer) Flush() (rl.UpdateStats, bool) {
+	return p.col.Flush(false, p.obs)
+}
+
+// Agent exposes the (continually trained) learner, e.g. to snapshot its
+// weights after a run.
+func (p *OnlinePricer) Agent() *rl.PPO { return p.agent }
+
+// Updates returns the number of optimization phases run so far.
+func (p *OnlinePricer) Updates() int { return p.col.Updates() }
+
+// UpdateEvery returns the effective optimization cadence in live rounds.
+func (p *OnlinePricer) UpdateEvery() int { return p.col.UpdateEvery() }
+
+// Rounds returns the number of live rounds learned from so far.
+func (p *OnlinePricer) Rounds() int { return p.col.Total() }
+
+// BestUtility returns the best live leader utility observed so far.
+func (p *OnlinePricer) BestUtility() float64 { return p.tracker.Best() }

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"vtmig/internal/aoi"
@@ -221,7 +222,7 @@ func (s *Simulator) runPricingRound() {
 		s.demandScratch = make([]float64, game.N())
 	}
 	demands := game.BestResponsesInto(s.demandScratch[:game.N()], price)
-	scaled, _ := channel.NewOFDMAAllocator(maxf(s.alloc.Available(), 1e-12)).ScaleToFit(demands)
+	scaled, _ := channel.NewOFDMAAllocator(math.Max(s.alloc.Available(), 1e-12)).ScaleToFit(demands)
 
 	for i, pm := range batch {
 		bw := scaled[i]
@@ -354,14 +355,6 @@ func (s *Simulator) finalizeReport() {
 	s.report.MeanAoTM = mathx.Mean(ages)
 	_, s.report.MaxAoTM = mathx.MinMax(ages)
 	s.report.MeanVMUUtility = mathx.Mean(utils)
-}
-
-// maxf returns the larger of two floats.
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // emit writes a trace event, disabling tracing on a broken sink.

@@ -49,6 +49,18 @@ type (
 	SimConfig = sim.Config
 	// SimReport aggregates one simulation run.
 	SimReport = sim.Report
+	// SimPricer is the simulator's MSP pricing-strategy interface.
+	SimPricer = sim.Pricer
+	// OnlinePricer is the online continual-learning DRL pricing strategy:
+	// a PPO agent that keeps training from live simulator rounds.
+	OnlinePricer = sim.OnlinePricer
+	// OnlinePricerConfig configures NewOnlinePricer.
+	OnlinePricerConfig = sim.OnlinePricerConfig
+	// OnlineStudyConfig parameterizes RunOnlineStudy.
+	OnlineStudyConfig = experiments.OnlineStudyConfig
+	// OnlineStudy compares the oracle, frozen-DRL, and online-DRL pricers
+	// on one fixed simulation scenario.
+	OnlineStudy = experiments.OnlineStudy
 )
 
 // NewGame constructs a validated Stackelberg game. Data sizes are in
@@ -117,4 +129,24 @@ func RunSimulation(cfg SimConfig) (SimReport, error) {
 		return SimReport{}, err
 	}
 	return s.Run(), nil
+}
+
+// NewOnlinePricer builds the simulator's online continual-learning DRL
+// pricer: warm-started from an offline TrainResult agent, or learning
+// from scratch when cfg.Agent is nil.
+func NewOnlinePricer(cfg OnlinePricerConfig) (*OnlinePricer, error) {
+	return sim.NewOnlinePricer(cfg)
+}
+
+// DefaultOnlineStudyConfig returns the frozen-vs-online comparison over
+// the default simulation scenario with a small offline budget.
+func DefaultOnlineStudyConfig() OnlineStudyConfig {
+	return experiments.DefaultOnlineStudyConfig()
+}
+
+// RunOnlineStudy runs the identical fixed-seed simulation scenario under
+// the oracle, frozen-DRL, warm-started online, and cold-started online
+// pricers and compares their leader economics.
+func RunOnlineStudy(cfg OnlineStudyConfig) (*OnlineStudy, error) {
+	return experiments.RunOnlineStudy(cfg)
 }
