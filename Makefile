@@ -25,11 +25,11 @@
 GO ?= go
 
 # BASE is the snapshot bench-compare measures against.
-BASE ?= BENCH_pr4.json
+BASE ?= BENCH_pr5.json
 # BENCH_HOT selects the hot-path benchmarks bench-compare re-measures.
-BENCH_HOT = PPOUpdate$$|PPOUpdateSharded|PPOSelectAction|MLPForward$$|Evaluate|SolveScratch|Collect|TrainerEpisode|StreamCollect|SimRoundOnline
+BENCH_HOT = PPOUpdate$$|PPOUpdateSharded|PPOSelectAction|MLPForward$$|Evaluate|SolveScratch|Collect|TrainerEpisode|StreamCollect|SimRoundOnline|Snapshot|Resume
 
-.PHONY: all vet fmt-check build test race race-sharded race-collect race-online bench-smoke bench bench-compare golden ci
+.PHONY: all vet fmt-check build test race race-sharded race-collect race-online race-resume bench-smoke bench bench-compare golden ci
 
 all: ci
 
@@ -78,10 +78,19 @@ race-collect:
 race-online:
 	$(GO) test -race -count=2 -run 'Online|Stream' ./internal/rl ./internal/sim
 
+# race-resume re-runs the checkpoint/resume determinism tests under the
+# race detector. The rule-6 resume-equality tables pin snapshot-at-K-
+# then-train-K against train-2K across CollectWorkers x shards x
+# GOMAXPROCS (with knobs that differ between the legs), so a race or a
+# missing piece of checkpointed state anywhere in the snapshot/restore
+# path fails here even on a single-core CI box.
+race-resume:
+	$(GO) test -race -count=2 -run 'Resume|Snapshot|Checkpoint|Clone|CountingSource' ./internal/rl ./internal/nn ./internal/pomdp ./internal/mathx ./internal/sim
+
 # bench-smoke exercises the PPO hot-path benchmarks just enough to catch
 # gross regressions and allocation reintroductions.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'PPOUpdate$$|PPOSelectAction|MLPForward|MatMul|Collect|StreamCollect|SimRoundOnline' -benchmem -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'PPOUpdate$$|PPOSelectAction|MLPForward|MatMul|Collect|StreamCollect|SimRoundOnline|Snapshot|Resume' -benchmem -benchtime 100x .
 
 # bench is the full benchmark suite used to fill BENCH_pr*.json.
 bench:
@@ -100,4 +109,4 @@ golden:
 	$(GO) test ./internal/experiments -run Golden -update
 	$(GO) test ./internal/sim -run Golden -update
 
-ci: vet fmt-check build race race-sharded race-collect race-online bench-smoke
+ci: vet fmt-check build race race-sharded race-collect race-online race-resume bench-smoke

@@ -369,9 +369,54 @@ func BenchmarkTrainerEpisode(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				trainer.Rewind() // each Run measures one full episode block
 				trainer.Run()
 			}
 		})
+	}
+}
+
+// BenchmarkSnapshot measures a full training snapshot — weights, Adam
+// moments, RNG positions, env streams — at the end of a short training
+// (the per-call cost of the online pricer's SnapshotEvery hook and of
+// TrainResult.Checkpoint).
+func BenchmarkSnapshot(b *testing.B) {
+	vec := newBenchVecEnv(b, 1)
+	lo, hi := vec.ActionBounds()
+	agent := rl.NewPPO(vec.ObsDim(), vec.ActDim(), lo, hi, rl.DefaultPPOConfig())
+	trainer := rl.NewVecTrainer(vec, agent, rl.TrainerConfig{
+		Episodes: 2, RoundsPerEpisode: 40, UpdateEvery: 20,
+	})
+	trainer.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainer.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResume measures a full restore into a freshly built trainer —
+// strict state application plus the RNG replay that fast-forwards the
+// counted streams to their checkpointed positions.
+func BenchmarkResume(b *testing.B) {
+	vec := newBenchVecEnv(b, 1)
+	lo, hi := vec.ActionBounds()
+	agent := rl.NewPPO(vec.ObsDim(), vec.ActDim(), lo, hi, rl.DefaultPPOConfig())
+	tcfg := rl.TrainerConfig{Episodes: 2, RoundsPerEpisode: 40, UpdateEvery: 20}
+	rl.NewVecTrainer(vec, agent, tcfg).Run()
+	ck, err := agent.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := rl.NewPPO(vec.ObsDim(), vec.ActDim(), lo, hi, rl.DefaultPPOConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := target.Restore(ck); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -10,11 +10,21 @@
 // scratch with `-warm-start=false`), running a sharded PPO optimization
 // phase every `-update-every` rounds.
 //
+// Instead of training in-process, `-warm-start-file ck.json` warm-starts
+// the online pricer from a checkpoint written by vtmig-train -checkpoint:
+// a full checkpoint restores the complete learner state (optimizer
+// moments and RNG stream included, so continued learning picks the
+// training stream up exactly); a legacy weights-only checkpoint restores
+// parameters around a fresh optimizer. The architecture flags must match
+// the checkpointed training (-history here ↔ -history there); a mismatch
+// fails loudly before the simulation starts.
+//
 // Usage:
 //
 //	vtmig-sim [-vehicles 6] [-rsus 8] [-duration 600]
 //	          [-pricer oracle|random|fixed|drl|online] [-price 25]
 //	          [-train-episodes 30] [-update-every 20] [-warm-start]
+//	          [-warm-start-file ck.json] [-history 4]
 //	          [-failure 0] [-seed 1] [-verbose]
 package main
 
@@ -24,6 +34,8 @@ import (
 	"os"
 
 	"vtmig/internal/experiments"
+	"vtmig/internal/nn"
+	"vtmig/internal/rl"
 	"vtmig/internal/sim"
 	"vtmig/internal/stackelberg"
 )
@@ -46,6 +58,9 @@ func run(args []string) error {
 		episodes    = fs.Int("train-episodes", 30, "offline training episodes for -pricer drl / warm-started online")
 		updateEvery = fs.Int("update-every", 20, "online optimization cadence in pricing rounds (-pricer online)")
 		warmStart   = fs.Bool("warm-start", true, "warm-start -pricer online from offline training (false: learn from scratch)")
+		warmFile    = fs.String("warm-start-file", "", "warm-start -pricer online from this checkpoint file instead of training in-process")
+		history     = fs.Int("history", 4, "observation history length L of a -warm-start-file checkpoint's training")
+		lr          = fs.Float64("lr", 3e-4, "Adam learning rate of a -warm-start-file checkpoint's training (must match vtmig-train -lr)")
 		failure     = fs.Float64("failure", 0, "pricing-round failure probability in [0, 1)")
 		seed        = fs.Int64("seed", 1, "random seed")
 		verbose     = fs.Bool("verbose", false, "print every migration record")
@@ -79,8 +94,9 @@ func run(args []string) error {
 		}
 		cfg.Pricer = frozen
 	case "online":
+		game := stackelberg.DefaultGame()
 		onlineCfg := sim.OnlinePricerConfig{
-			Game:        stackelberg.DefaultGame(),
+			Game:        game,
 			UpdateEvery: *updateEvery,
 			Seed:        *seed,
 		}
@@ -89,7 +105,20 @@ func run(args []string) error {
 		if err := onlineCfg.Validate(); err != nil {
 			return err
 		}
-		if *warmStart {
+		switch {
+		case *warmFile != "":
+			agent, full, err := warmStartFromFile(game, *warmFile, *history, *lr)
+			if err != nil {
+				return err
+			}
+			kind := "full training state"
+			if !full {
+				kind = "weights only (legacy checkpoint; optimizer and RNG start fresh)"
+			}
+			fmt.Printf("Warm-starting online pricer from %s: %s\n", *warmFile, kind)
+			onlineCfg.Agent = agent
+			onlineCfg.HistoryLen = *history
+		case *warmStart:
 			res, err := trainOffline(*episodes, *seed)
 			if err != nil {
 				return err
@@ -148,6 +177,27 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// warmStartFromFile rebuilds a deployable agent from a checkpoint file
+// written by vtmig-train -checkpoint, using the default training
+// architecture with the given history length and learning rate. A full
+// checkpoint carries its learner-hyper-parameter fingerprint, so a
+// mismatch (e.g. a different training -lr) fails loudly in the restore
+// instead of silently continuing under different hyper-parameters.
+func warmStartFromFile(game *stackelberg.Game, path string, historyLen int, lr float64) (*rl.PPO, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("opening warm-start checkpoint: %w", err)
+	}
+	defer f.Close()
+	ck, err := nn.LoadCheckpoint(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("loading %s: %w", path, err)
+	}
+	ppo := experiments.DefaultDRLConfig().PPO
+	ppo.LR = lr
+	return experiments.WarmStartAgent(game, historyLen, ppo, ck)
 }
 
 // trainOffline trains the MSP agent on the paper's benchmark game for the

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vtmig/internal/experiments"
+	"vtmig/internal/stackelberg"
+)
 
 func TestRunShortSimulation(t *testing.T) {
 	if err := run([]string{"-duration", "120", "-verbose"}); err != nil {
@@ -34,6 +41,53 @@ func TestRunOnlinePricer(t *testing.T) {
 	}
 	if err := run([]string{"-duration", "120", "-pricer", "online", "-warm-start=false", "-update-every", "5"}); err != nil {
 		t.Fatalf("online cold pricer: %v", err)
+	}
+}
+
+func TestRunOnlineWarmStartFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run skipped in -short mode")
+	}
+	// Write a full checkpoint with vtmig-train's exact format by training
+	// through the experiments harness (the same path vtmig-train takes).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	drlCfg := experiments.DefaultDRLConfig()
+	drlCfg.Episodes = 2
+	drlCfg.Rounds = 10
+	drlCfg.Restarts = 1
+	res, err := experiments.TrainAgent(stackelberg.DefaultGame(), drlCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Checkpoint.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run([]string{"-duration", "120", "-pricer", "online", "-warm-start-file", path,
+		"-history", "4", "-update-every", "5"}); err != nil {
+		t.Fatalf("online pricer with warm-start file: %v", err)
+	}
+	// Architecture mismatch (wrong history length) must fail loudly.
+	if err := run([]string{"-duration", "60", "-pricer", "online", "-warm-start-file", path,
+		"-history", "3"}); err == nil {
+		t.Fatal("mismatched -history accepted")
+	}
+	// Learner-hyper-parameter mismatch (different training -lr) must fail
+	// loudly instead of continuing the restored Adam moments under a
+	// different step size.
+	if err := run([]string{"-duration", "60", "-pricer", "online", "-warm-start-file", path,
+		"-history", "4", "-lr", "0.001"}); err == nil {
+		t.Fatal("mismatched -lr accepted")
+	}
+	if err := run([]string{"-duration", "60", "-pricer", "online",
+		"-warm-start-file", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("missing warm-start file accepted")
 	}
 }
 

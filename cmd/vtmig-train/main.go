@@ -7,13 +7,22 @@
 //
 //	vtmig-train [-episodes 500] [-rounds 100] [-history 4] [-lr 3e-4]
 //	            [-reward binary|shaped] [-seed 1] [-checkpoint out.json]
-//	            [-collect-envs 1] [-collect-workers 0]
+//	            [-resume ck.json] [-collect-envs 1] [-collect-workers 0]
 //
 // -collect-envs W ≥ 2 enables vectorized collection: episodes run in
 // lockstep blocks of W independently seeded environments with the policy
 // evaluated for all of them in one batched pass per round.
 // -collect-workers sets the environment-stepping goroutine count
 // (0 = automatic); any worker count produces bit-identical results.
+//
+// -checkpoint writes a FULL training checkpoint — weights, Adam state,
+// RNG stream positions, environment streams, episode count — and -resume
+// continues training from one: with -resume ck.json and -episodes E, the
+// run picks the stream up at the checkpointed episode and trains to E
+// total, bit-identical to a run that never stopped (the training flags
+// must match the checkpointed configuration; -seed is taken from the
+// checkpoint, and -restarts does not apply since a checkpoint pins one
+// training stream).
 package main
 
 import (
@@ -43,8 +52,9 @@ func run(args []string) error {
 		history    = fs.Int("history", 4, "observation history length L")
 		lr         = fs.Float64("lr", 3e-4, "Adam learning rate")
 		reward     = fs.String("reward", "binary", "reward signal: binary (Eq. 12) or shaped")
-		seed       = fs.Int64("seed", 1, "random seed")
-		checkpoint = fs.String("checkpoint", "", "write trained weights to this JSON file")
+		seed       = fs.Int64("seed", 1, "random seed (ignored under -resume: the checkpoint pins the stream seed)")
+		checkpoint = fs.String("checkpoint", "", "write the full training checkpoint (weights, optimizer, RNG, env streams) to this JSON file")
+		resume     = fs.String("resume", "", "resume training from this full checkpoint; -episodes is the TOTAL episode budget")
 
 		collectEnvs    = fs.Int("collect-envs", 1, "parallel training environments for vectorized collection (≥2 enables lockstep episode blocks)")
 		collectWorkers = fs.Int("collect-workers", 0, "environment-stepping goroutines during collection; 0 = auto, any value is bit-identical")
@@ -83,9 +93,26 @@ func run(args []string) error {
 		fmt.Printf("Vectorized collection: %d envs per episode block, collect-workers=%d (0 = auto)\n",
 			cfg.CollectEnvs, cfg.CollectWorkers)
 	}
-	res, err := experiments.TrainAgent(game, cfg)
+	var res *experiments.TrainResult
+	var err error
+	if *resume != "" {
+		ck, err2 := loadCheckpointFile(*resume)
+		if err2 != nil {
+			return err2
+		}
+		if ck.Meta == nil {
+			return fmt.Errorf("%s is not a full training checkpoint", *resume)
+		}
+		fmt.Printf("Resuming from %s at episode %d\n", *resume, ck.Meta.Episodes)
+		res, err = experiments.ResumeAgent(game, cfg, ck)
+	} else {
+		res, err = experiments.TrainAgent(game, cfg)
+	}
 	if err != nil {
 		return err
+	}
+	if len(res.Episodes) == 0 {
+		return fmt.Errorf("no episodes left to train (checkpoint already at the requested budget)")
 	}
 
 	// Print the learning curve at one-tenth resolution.
@@ -123,14 +150,25 @@ func run(args []string) error {
 			return fmt.Errorf("creating checkpoint: %w", err)
 		}
 		defer f.Close()
-		ck, err := nn.Snapshot(res.Agent.Params())
-		if err != nil {
+		if err := res.Checkpoint.Save(f); err != nil {
 			return err
 		}
-		if err := ck.Save(f); err != nil {
-			return err
-		}
-		fmt.Printf("Checkpoint written to %s\n", *checkpoint)
+		fmt.Printf("Full training checkpoint written to %s (episode %d; resume with -resume)\n",
+			*checkpoint, res.Checkpoint.Meta.Episodes)
 	}
 	return nil
+}
+
+// loadCheckpointFile reads and validates a checkpoint file.
+func loadCheckpointFile(path string) (*nn.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	ck, err := nn.LoadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", path, err)
+	}
+	return ck, nil
 }

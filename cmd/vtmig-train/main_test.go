@@ -58,3 +58,29 @@ func TestRunCheckpointBadPath(t *testing.T) {
 		t.Fatal("unwritable checkpoint path accepted")
 	}
 }
+
+func TestRunResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := run([]string{"-episodes", "2", "-rounds", "10", "-checkpoint", path}); err != nil {
+		t.Fatalf("run with checkpoint: %v", err)
+	}
+	if err := run([]string{"-episodes", "4", "-rounds", "10", "-resume", path}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+}
+
+func TestRunResumeRejectsMismatchedFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := run([]string{"-episodes", "2", "-rounds", "10", "-checkpoint", path}); err != nil {
+		t.Fatalf("run with checkpoint: %v", err)
+	}
+	if err := run([]string{"-episodes", "4", "-rounds", "15", "-resume", path}); err == nil {
+		t.Fatal("resume with mismatched -rounds accepted")
+	}
+	if err := run([]string{"-episodes", "2", "-rounds", "10", "-resume", path}); err == nil {
+		t.Fatal("resume with no episodes left accepted")
+	}
+	if err := run([]string{"-episodes", "4", "-resume", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Fatal("resume from missing file accepted")
+	}
+}

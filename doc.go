@@ -61,9 +61,28 @@
 // through a shared bounded, context-cancellable worker pool in
 // internal/experiments.
 //
+// # Checkpointing
+//
+// Training state persists through a versioned JSON checkpoint format
+// (nn.Checkpoint, version 1): parameter values, per-parameter Adam
+// moments and the optimizer step count, the policy RNG stream position as
+// a (seed, advance-count) pair over a counting source
+// (mathx.CountingSource), each training-environment stream's state (RNG
+// position plus the running-best reference of Eq. 12), and training
+// metadata (episode count, configuration fingerprint). Snapshots are
+// taken at episode-block boundaries (rl.PPO.Snapshot, rl.Trainer
+// .Snapshot, experiments.TrainResult.Checkpoint, the online pricer's
+// SnapshotEvery hook) and restores are strict: unknown, missing,
+// mis-sized, empty, or non-finite entries are rejected before anything is
+// applied, so a checkpoint from a different architecture or a hand-edited
+// file fails loudly. Legacy version-0 params-only files still load for
+// weight-only warm starts (rl.PPO.RestoreWeights). Resume entry points:
+// rl.ResumeTrainer, experiments.ResumeAgent, vtmig-train -resume,
+// vtmig-sim -warm-start-file.
+//
 // # Determinism contract
 //
-// The same seed yields the same figures, bit for bit. Five rules enforce
+// The same seed yields the same figures, bit for bit. Six rules enforce
 // it:
 //
 //  1. Batched kernels accumulate in exactly the order of the
@@ -95,13 +114,31 @@
 //     simulator seed yields a bit-identical sim.Report and bit-identical
 //     final network weights regardless of CollectWorkers (of the
 //     warm-start training), the learner's shard count, and GOMAXPROCS.
+//  6. Checkpoint/resume carries the COMPLETE training state — parameter
+//     values, per-parameter Adam moments and step count, the policy RNG
+//     stream position, and every environment stream's RNG position and
+//     running-best reference — with RNG streams restored by replaying a
+//     counted source to its recorded position. Training K episodes,
+//     snapshotting at an episode-block boundary, restoring into freshly
+//     built environments and learner, and training K more is then
+//     bit-identical to training 2K straight; the throughput knobs
+//     (CollectWorkers, shard count, GOMAXPROCS) may even change between
+//     the legs. A full restore requires every section — and a matching
+//     learner-hyper-parameter fingerprint — or fails before the agent is
+//     touched, so a partial state can never silently cold-start (the
+//     pre-PR-5 params-only restore did exactly that for the Adam moments
+//     and the policy RNG).
 //
 // The golden-file tests under internal/experiments/testdata pin the exact
 // fixed-seed outputs of every figure pipeline, those under
 // internal/sim/testdata the per-pricer simulator reports, and the
 // determinism tests in internal/rl, internal/pomdp, internal/sim, and
-// internal/stackelberg pin the rules at unit level. Regenerate the golden
-// files after an intentional numeric change with
+// internal/stackelberg pin the rules at unit level (rule 6 by the
+// resume-equality tables in internal/rl/resume_test.go,
+// internal/pomdp/resume_test.go, and
+// internal/experiments/resume_test.go; `make race-resume` runs them
+// under the race detector). Regenerate the golden files after an
+// intentional numeric change with
 //
 //	go test ./internal/experiments -run Golden -update
 //	go test ./internal/sim -run Golden -update

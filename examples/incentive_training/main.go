@@ -22,6 +22,10 @@ func main() {
 
 	cfg := vtmig.DefaultDRLConfig()
 	cfg.Episodes = 200
+	// One training stream, so the checkpoint/resume split below is
+	// bit-identical to a straight run end to end (with restarts, a
+	// checkpoint pins only the winning restart's stream).
+	cfg.Restarts = 1
 	// VTMIG_EPISODES overrides the episode budget — the smoke tests run
 	// this example with a handful of episodes to keep CI fast.
 	if s := os.Getenv("VTMIG_EPISODES"); s != "" {
@@ -32,17 +36,57 @@ func main() {
 		cfg.Episodes = n
 	}
 
-	fmt.Printf("Training PPO pricing agent for %d episodes × %d rounds...\n",
-		cfg.Episodes, cfg.Rounds)
-	res, err := vtmig.TrainAgent(game, cfg)
+	// Train in two legs through a full checkpoint to demonstrate
+	// bit-identical resume (determinism contract rule 6): the first leg
+	// stops halfway and persists its complete training state — weights,
+	// Adam moments, RNG positions, environment streams — and the second
+	// leg resumes it to the full budget. The combined run is bit-for-bit
+	// the run a single uninterrupted training would have produced.
+	half := cfg
+	half.Episodes = cfg.Episodes / 2
+	if half.Episodes < 1 {
+		half.Episodes = 1
+	}
+	fmt.Printf("Training PPO pricing agent: %d of %d episodes × %d rounds...\n",
+		half.Episodes, cfg.Episodes, cfg.Rounds)
+	firstLeg, err := vtmig.TrainAgent(game, half)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Learning curve, decimated.
+	ckFile, err := os.CreateTemp("", "vtmig-ck-*.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(ckFile.Name())
+	if err := firstLeg.Checkpoint.Save(ckFile); err != nil {
+		log.Fatal(err)
+	}
+	if err := ckFile.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	in, err := os.Open(ckFile.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ck, err := vtmig.LoadCheckpoint(in)
+	in.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Checkpoint saved at episode %d; resuming to %d episodes...\n",
+		ck.Meta.Episodes, cfg.Episodes)
+	res, err := vtmig.ResumeTraining(game, cfg, ck)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Learning curve across both legs, decimated.
+	curve := append(firstLeg.Episodes[:len(firstLeg.Episodes):len(firstLeg.Episodes)], res.Episodes...)
 	fmt.Println("\nepisode  return (max", cfg.Rounds, "= matching the best utility every round)")
-	for i := 0; i < len(res.Episodes); i += 25 {
-		e := res.Episodes[i]
+	for i := 0; i < len(curve); i += 25 {
+		e := curve[i]
 		fmt.Printf("%7d  %6.1f\n", e.Episode, e.Return)
 	}
 

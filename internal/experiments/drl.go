@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"vtmig/internal/nn"
 	"vtmig/internal/pomdp"
 	"vtmig/internal/rl"
 	"vtmig/internal/stackelberg"
@@ -65,11 +66,42 @@ func DefaultDRLConfig() DRLConfig {
 	}
 }
 
+// Fingerprint pins everything that determines the training stream bit
+// for bit — the game (followers, channel, price interval, bandwidth
+// cap), the episode schedule inputs (K, L, |I|, reward, CollectEnvs),
+// and the PPO hyper-parameters — while excluding the pure throughput
+// knobs (CollectWorkers, PPO.Shards, Restarts), the seed (carried by the
+// checkpoint's RNG states), and the episode budget (the resume point).
+// Training checkpoints embed it; ResumeAgent refuses a checkpoint whose
+// fingerprint does not match the requested game and configuration, so a
+// stream can never silently continue on a different game that happens to
+// share the observation layout.
+func (c DRLConfig) Fingerprint(game *stackelberg.Game) string {
+	collectEnvs := c.CollectEnvs
+	if collectEnvs < 2 {
+		collectEnvs = 1
+	}
+	gameDesc := "<nil>"
+	if game != nil {
+		gameDesc = fmt.Sprintf("%+v", *game)
+	}
+	return fmt.Sprintf("drl-v1|game=%s|K=%d|L=%d|I=%d|reward=%s|collect-envs=%d|%s",
+		gameDesc, c.Rounds, c.HistoryLen, c.UpdateEvery, c.Reward, collectEnvs, c.PPO.Fingerprint())
+}
+
 // TrainResult is a trained agent plus its learning history and final
 // evaluation.
 type TrainResult struct {
 	// Agent is the trained PPO learner.
 	Agent *rl.PPO
+	// Checkpoint is the full training checkpoint captured at the end of
+	// training, before the evaluation readout consumed any randomness:
+	// weights, Adam state, the policy RNG position, every environment
+	// stream's state, and Meta{Episodes, Fingerprint}. Save it with
+	// Checkpoint.Save; ResumeAgent continues the run from it
+	// bit-identically. With Restarts > 1 it belongs to the winning
+	// restart (its seed is recorded in Checkpoint.RNG.Seed).
+	Checkpoint *nn.Checkpoint
 	// Env is the training environment (with vectorized collection, the
 	// identically configured evaluation environment; training then runs
 	// on the CollectEnvs-instance bundle derived from it).
@@ -109,7 +141,7 @@ func TrainAgentCtx(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (
 		c := cfg
 		c.Seed = cfg.Seed + int64(r)
 		var err error
-		results[r], err = trainOnce(ctx, game, c)
+		results[r], err = trainOnce(ctx, game, c, nil)
 		return err
 	})
 	if err != nil {
@@ -125,8 +157,10 @@ func TrainAgentCtx(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (
 }
 
 // trainOnce runs a single training with one seed, stopping at the next
-// episode boundary when ctx is cancelled.
-func trainOnce(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (*TrainResult, error) {
+// episode boundary when ctx is cancelled. A non-nil resume checkpoint
+// rewinds the freshly built trainer to the checkpointed episode before
+// running (cfg.Episodes stays the TOTAL budget).
+func trainOnce(ctx context.Context, game *stackelberg.Game, cfg DRLConfig, resume *nn.Checkpoint) (*TrainResult, error) {
 	env, err := pomdp.NewGameEnv(pomdp.Config{
 		Game:       game,
 		HistoryLen: cfg.HistoryLen,
@@ -145,21 +179,68 @@ func trainOnce(ctx context.Context, game *stackelberg.Game, cfg DRLConfig) (*Tra
 	if err != nil {
 		return nil, err
 	}
+	trainer.Fingerprint = cfg.Fingerprint(game)
+	if resume != nil {
+		if err := trainer.Restore(resume); err != nil {
+			return nil, fmt.Errorf("experiments: restoring checkpoint: %w", err)
+		}
+	}
 	trainer.OnEpisode = func(rl.EpisodeStats) bool { return ctx.Err() == nil }
 	episodes := trainer.Run()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Snapshot the complete training state before the evaluation readout
+	// consumes env/agent randomness, so a resumed run continues the
+	// training stream exactly.
+	ck, err := trainer.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: snapshotting training state: %w", err)
+	}
 
 	price := EvaluateAgent(env, agent, 20)
 	return &TrainResult{
 		Agent:         agent,
+		Checkpoint:    ck,
 		Env:           env,
 		Episodes:      episodes,
 		EvalPrice:     price,
 		EvalOutcome:   game.Evaluate(price),
 		OracleOutcome: game.Solve(),
 	}, nil
+}
+
+// ResumeAgent continues a checkpointed training run: ck must be a full
+// training checkpoint (TrainResult.Checkpoint, or a file written by
+// vtmig-train -checkpoint), cfg describes the SAME training configured
+// with the TOTAL episode budget, and the returned result is bit-identical
+// to a run that never stopped — same final weights, same evaluation —
+// regardless of CollectWorkers, PPO.Shards, and GOMAXPROCS (determinism
+// contract rule 6). The configuration fingerprint is checked before
+// anything runs; cfg.Seed and cfg.Restarts are ignored (the checkpoint
+// pins the stream's seed, and a checkpoint always belongs to exactly one
+// training stream). Episodes of the result cover only the resumed leg.
+func ResumeAgent(game *stackelberg.Game, cfg DRLConfig, ck *nn.Checkpoint) (*TrainResult, error) {
+	return ResumeAgentCtx(context.Background(), game, cfg, ck)
+}
+
+// ResumeAgentCtx is ResumeAgent with cancellation at episode boundaries.
+func ResumeAgentCtx(ctx context.Context, game *stackelberg.Game, cfg DRLConfig, ck *nn.Checkpoint) (*TrainResult, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("experiments: nil checkpoint")
+	}
+	if ck.Meta == nil || ck.RNG == nil || ck.Opt == nil {
+		return nil, fmt.Errorf("experiments: checkpoint is weights-only; training cannot resume from it (write one with vtmig-train -checkpoint or TrainResult.Checkpoint)")
+	}
+	if got, want := ck.Meta.Fingerprint, cfg.Fingerprint(game); got != want {
+		return nil, fmt.Errorf("experiments: checkpoint was trained under a different configuration\n  checkpoint: %s\n  requested:  %s", got, want)
+	}
+	if ck.Meta.Episodes > cfg.Episodes {
+		return nil, fmt.Errorf("experiments: checkpoint already has %d episodes, beyond the requested total %d", ck.Meta.Episodes, cfg.Episodes)
+	}
+	cfg.Seed = ck.RNG.Seed
+	cfg.Restarts = 1
+	return trainOnce(ctx, game, cfg, ck)
 }
 
 // newTrainer builds the Algorithm 1 trainer for the given agent: the
@@ -184,6 +265,37 @@ func newTrainer(env *pomdp.GameEnv, agent *rl.PPO, cfg DRLConfig) (*rl.Trainer, 
 		return nil, fmt.Errorf("experiments: building vectorized envs: %w", err)
 	}
 	return rl.NewVecTrainer(vec, agent, tcfg), nil
+}
+
+// WarmStartAgent rebuilds a deployable PPO agent from a checkpoint for
+// the given reference game: the network architecture comes from ppo
+// (Hidden/Activation) and the observation layout from historyLen and the
+// game, exactly as training on a pomdp.GameEnv over game would have built
+// it — both must match the checkpoint, and the strict restore fails
+// loudly otherwise. A full training checkpoint restores the complete
+// learner state (full == true), so continued online training picks the
+// stream up where the checkpoint left it; a legacy weights-only
+// checkpoint restores parameters around a fresh optimizer and RNG
+// (full == false).
+func WarmStartAgent(game *stackelberg.Game, historyLen int, ppo rl.PPOConfig, ck *nn.Checkpoint) (agent *rl.PPO, full bool, err error) {
+	if ck == nil {
+		return nil, false, fmt.Errorf("experiments: nil checkpoint")
+	}
+	enc, err := pomdp.NewGameEncoder(historyLen, game)
+	if err != nil {
+		return nil, false, err
+	}
+	agent = rl.NewPPO(enc.ObsDim(), 1, []float64{game.Cost}, []float64{game.PMax}, ppo)
+	if ck.Opt != nil && ck.RNG != nil {
+		if err := agent.Restore(ck); err != nil {
+			return nil, false, err
+		}
+		return agent, true, nil
+	}
+	if err := agent.RestoreWeights(ck); err != nil {
+		return nil, false, err
+	}
+	return agent, false, nil
 }
 
 // EvaluateAgent estimates the learned deterministic price. It plays the

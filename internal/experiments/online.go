@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"vtmig/internal/pomdp"
+	"vtmig/internal/rl"
 	"vtmig/internal/sim"
 	"vtmig/internal/stackelberg"
 )
@@ -23,10 +24,12 @@ type OnlineStudyConfig struct {
 	// game. Nil selects stackelberg.DefaultGame().
 	Game *stackelberg.Game
 	// DRL is the offline training configuration behind the frozen and
-	// warm-started arms. The frozen and online-warm arms train
-	// independently with identical seeds — bit-identical agents by the
-	// determinism contract — so the frozen agent's weights are untouched
-	// by the online arm's continued updates.
+	// warm-started arms. The study trains it exactly ONCE and forks each
+	// arm's agent from the result via the full-checkpoint Clone path
+	// (weights, Adam moments, RNG position) — bit-identical to the
+	// historical independent per-arm trainings, at half the training
+	// cost, and the frozen agent's weights stay untouched by the online
+	// arm's continued updates.
 	DRL DRLConfig
 	// UpdateEvery is the online pricers' optimization cadence in live
 	// rounds. Zero selects DRL.UpdateEvery.
@@ -117,15 +120,22 @@ const deploymentBeliefRounds = 1 << 20
 // FrozenPricer deploys a trained agent as the simulator's frozen DRL
 // pricing strategy: a fresh long-horizon belief environment with the
 // agent's training configuration wraps it via sim.NewDRLPricer. The
-// study's frozen arm and vtmig-sim's `-pricer drl` share it.
+// study's frozen arm and vtmig-sim's `-pricer drl` share the underlying
+// construction (the study deploys a checkpoint-cloned copy instead of the
+// training result's own instance).
 func FrozenPricer(res *TrainResult) (sim.Pricer, error) {
-	beliefCfg := res.Env.Config()
+	return frozenPricer(res.Env.Config(), res.Agent)
+}
+
+// frozenPricer wraps an agent in a fresh long-horizon belief environment
+// derived from the training environment's configuration.
+func frozenPricer(beliefCfg pomdp.Config, agent *rl.PPO) (sim.Pricer, error) {
 	beliefCfg.Rounds = deploymentBeliefRounds
 	belief, err := pomdp.NewGameEnv(beliefCfg)
 	if err != nil {
 		return nil, err
 	}
-	return sim.NewDRLPricer(belief, res.Agent), nil
+	return sim.NewDRLPricer(belief, agent), nil
 }
 
 // DefaultOnlineStudyConfig returns a study over the default simulation
@@ -159,30 +169,39 @@ func RunOnlineStudyCtx(ctx context.Context, cfg OnlineStudyConfig) (*OnlineStudy
 		updateEvery = cfg.DRL.UpdateEvery
 	}
 
-	// Each arm builds its own pricer — including its own offline training
-	// where needed, so no agent instance is shared between a frozen and a
-	// learning deployment — and runs the identical fixed-seed scenario.
+	// Train the shared offline agent exactly once, before the arm
+	// fan-out. Each deployment arm forks an independent learner from the
+	// trained state via the checkpoint Clone path, so no agent instance
+	// is shared between the concurrently running frozen and learning
+	// deployments — and the fork is bit-identical to the agent an
+	// independent identically seeded training would have produced
+	// (determinism contract rules 2 and 6).
+	res, err := TrainAgentCtx(ctx, game, cfg.DRL)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training the study's shared agent: %w", err)
+	}
+	frozenAgent, err := res.Agent.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: forking the frozen arm's agent: %w", err)
+	}
+	warmAgent, err := res.Agent.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: forking the online-warm arm's agent: %w", err)
+	}
+
 	arms := []struct {
 		name  string
 		build func(ctx context.Context) (sim.Pricer, error)
 	}{
 		{"oracle", func(context.Context) (sim.Pricer, error) { return sim.NewOraclePricer(), nil }},
 		{"frozen-drl", func(ctx context.Context) (sim.Pricer, error) {
-			res, err := TrainAgentCtx(ctx, game, cfg.DRL)
-			if err != nil {
-				return nil, err
-			}
-			return FrozenPricer(res)
+			return frozenPricer(res.Env.Config(), frozenAgent)
 		}},
 		{"online-warm", func(ctx context.Context) (sim.Pricer, error) {
-			res, err := TrainAgentCtx(ctx, game, cfg.DRL)
-			if err != nil {
-				return nil, err
-			}
 			return sim.NewOnlinePricer(sim.OnlinePricerConfig{
 				Game:        game,
 				HistoryLen:  cfg.DRL.HistoryLen,
-				Agent:       res.Agent,
+				Agent:       warmAgent,
 				UpdateEvery: updateEvery,
 				Reward:      cfg.Reward,
 				Seed:        cfg.DRL.Seed,
@@ -205,7 +224,7 @@ func RunOnlineStudyCtx(ctx context.Context, cfg OnlineStudyConfig) (*OnlineStudy
 	}
 
 	study := &OnlineStudy{Arms: make([]OnlineArm, len(arms))}
-	err := defaultPool.Run(ctx, len(arms), func(ctx context.Context, i int) error {
+	err = defaultPool.Run(ctx, len(arms), func(ctx context.Context, i int) error {
 		pricer, err := arms[i].build(ctx)
 		if err != nil {
 			return fmt.Errorf("experiments: building %s arm: %w", arms[i].name, err)

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"vtmig/internal/pomdp"
+	"vtmig/internal/sim"
+	"vtmig/internal/stackelberg"
 )
 
 // onlineStudyCfg returns a test-sized study configuration.
@@ -96,6 +98,50 @@ func TestOnlineStudyOnlineBeatsFrozen(t *testing.T) {
 	if oracle.LeaderUtility < warm.LeaderUtility {
 		t.Fatalf("oracle %.4f below online-warm %.4f — oracle is the upper reference",
 			oracle.LeaderUtility, warm.LeaderUtility)
+	}
+}
+
+// TestOnlineStudySharedTrainingMatchesIndependent pins the PR-5 study
+// refactor: the study now trains the offline agent once and forks the
+// frozen and online-warm arms from it via the checkpoint Clone path. The
+// fork must be indistinguishable from the historical behavior — an
+// independent, identically seeded training deployed frozen produces the
+// exact same simulation report as the study's frozen arm.
+func TestOnlineStudySharedTrainingMatchesIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	cfg := onlineStudyCfg()
+	study, err := RunOnlineStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := TrainAgent(stackelberg.DefaultGame(), cfg.DRL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := FrozenPricer(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := cfg.Sim
+	simCfg.Pricer = frozen
+	s, err := sim.New(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run()
+
+	arm := study.Arm("frozen-drl")
+	if arm.Report.MSPRevenue != rep.MSPRevenue ||
+		arm.Report.PricingRounds != rep.PricingRounds ||
+		arm.Report.MeanAoTM != rep.MeanAoTM ||
+		arm.Report.MeanVMUUtility != rep.MeanVMUUtility ||
+		len(arm.Report.Migrations) != len(rep.Migrations) {
+		t.Fatalf("study frozen arm diverged from independent training:\n  study:       revenue=%v rounds=%d aotm=%v\n  independent: revenue=%v rounds=%d aotm=%v",
+			arm.Report.MSPRevenue, arm.Report.PricingRounds, arm.Report.MeanAoTM,
+			rep.MSPRevenue, rep.PricingRounds, rep.MeanAoTM)
 	}
 }
 

@@ -39,7 +39,7 @@ func RunSeedStudyCtx(ctx context.Context, game *stackelberg.Game, cfg DRLConfig,
 		c := cfg
 		c.Restarts = 1 // the study wants raw per-seed outcomes
 		c.Seed = cfg.Seed + int64(s)
-		res, err := trainOnce(ctx, game, c)
+		res, err := trainOnce(ctx, game, c, nil)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,79 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCountingSourceBitIdentical pins the transparency contract: a
+// rand.Rand over a CountingSource produces exactly the stream of one over
+// the bare standard source, across the draw kinds the learners use.
+func TestCountingSourceBitIdentical(t *testing.T) {
+	bare := rand.New(rand.NewSource(7))
+	counted := rand.New(NewCountingSource(7))
+	for i := 0; i < 200; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := bare.Float64(), counted.Float64(); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("draw %d: Float64 %v vs %v", i, a, b)
+			}
+		case 1:
+			if a, b := bare.NormFloat64(), counted.NormFloat64(); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("draw %d: NormFloat64 %v vs %v", i, a, b)
+			}
+		case 2:
+			if a, b := bare.Intn(97), counted.Intn(97); a != b {
+				t.Fatalf("draw %d: Intn %d vs %d", i, a, b)
+			}
+		case 3:
+			pa, pb := bare.Perm(5), counted.Perm(5)
+			for j := range pa {
+				if pa[j] != pb[j] {
+					t.Fatalf("draw %d: Perm %v vs %v", i, pa, pb)
+				}
+			}
+		}
+	}
+}
+
+// TestCountingSourceReplay pins the checkpoint contract: recreating a
+// source at (seed, calls) continues the original stream bit for bit.
+func TestCountingSourceReplay(t *testing.T) {
+	src := NewCountingSource(42)
+	rng := rand.New(src)
+	for i := 0; i < 137; i++ {
+		rng.NormFloat64()
+		rng.Float64()
+		rng.Shuffle(7, func(int, int) {})
+	}
+	calls := src.Calls()
+	if calls == 0 {
+		t.Fatal("no calls counted")
+	}
+
+	resumed := rand.New(NewCountingSourceAt(42, calls))
+	for i := 0; i < 100; i++ {
+		a, b := rng.NormFloat64(), resumed.NormFloat64()
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("resumed draw %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestCountingSourceSeedRewinds checks that Seed rewinds the counter so
+// the (seed, calls) pair stays meaningful.
+func TestCountingSourceSeedRewinds(t *testing.T) {
+	src := NewCountingSource(1)
+	rand.New(src).Float64()
+	if src.Calls() == 0 {
+		t.Fatal("Float64 did not advance the counter")
+	}
+	src.Seed(2)
+	if src.Calls() != 0 {
+		t.Fatalf("Seed left the counter at %d", src.Calls())
+	}
+	if got, want := rand.New(src).Float64(), rand.New(rand.NewSource(2)).Float64(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("after Seed(2): %v, want %v", got, want)
+	}
+}

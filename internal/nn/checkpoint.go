@@ -4,18 +4,112 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 )
 
-// Checkpoint is a serializable snapshot of named parameter values.
+// CheckpointVersion is the current checkpoint format version. Version 1
+// introduced the full training state (optimizer moments, RNG stream
+// positions, environment streams, training metadata); version 0 files —
+// the historical params-only JSON — still load, but can only warm-start
+// weights, not resume training.
+const CheckpointVersion = 1
+
+// Checkpoint is a versioned, serializable snapshot of a training state.
+// The parameter values are always present; the remaining sections are
+// optional and carried only by full training checkpoints:
+//
+//   - Opt holds the per-parameter optimizer state (Adam first/second
+//     moments and the global step count) so a restored run applies the
+//     exact updates a continued run would.
+//   - RNG is the policy RNG stream position as a (seed, calls) pair,
+//     restored by replaying the stream (mathx.NewCountingSourceAt).
+//   - Envs are the cross-episode states of the training-environment
+//     streams, in fixed env-index order.
+//   - Meta records the episode count at the snapshot and a fingerprint of
+//     the training configuration, checked on resume.
+//
+// A checkpoint with all sections restores training bit-identically:
+// train K episodes, snapshot, restore, train K more is the same run as
+// training 2K straight (determinism contract rule 6).
 type Checkpoint struct {
+	// Version is the format version (CheckpointVersion when written by
+	// this code; 0 in legacy params-only files).
+	Version int `json:"version"`
 	// Params maps parameter names to their flat values.
 	Params map[string][]float64 `json:"params"`
+	// Opt is the optimizer state (nil in weights-only checkpoints).
+	Opt *OptState `json:"opt,omitempty"`
+	// RNG is the policy RNG stream position (nil in weights-only
+	// checkpoints).
+	RNG *RNGState `json:"rng,omitempty"`
+	// Envs are the training-environment stream states, env-index
+	// ascending (empty for learners without trainer-owned environments,
+	// e.g. the simulator's online pricer).
+	Envs []EnvState `json:"envs,omitempty"`
+	// Meta is the training metadata (nil in weights-only checkpoints).
+	Meta *TrainMeta `json:"meta,omitempty"`
 }
 
-// Snapshot captures the current values of params into a Checkpoint.
-// Parameter names must be unique.
+// OptState is the serialized optimizer state of a checkpoint.
+type OptState struct {
+	// Algo names the optimizer; only "adam" is defined.
+	Algo string `json:"algo"`
+	// Step is the global step count t (drives Adam's bias correction).
+	Step int `json:"step"`
+	// M and V map parameter names to the first and second moment
+	// estimates, same length as the parameter.
+	M map[string][]float64 `json:"m"`
+	V map[string][]float64 `json:"v"`
+}
+
+// RNGState is a checkpointable RNG stream position: the stream's seed and
+// the number of generator advances consumed so far (see
+// mathx.CountingSource).
+type RNGState struct {
+	Seed  int64  `json:"seed"`
+	Calls uint64 `json:"calls"`
+}
+
+// EnvState is the cross-episode state of one training-environment stream
+// at an episode boundary: its RNG position plus the running-best
+// statistic behind the paper's binary reward (Eq. 12), which persists
+// across episodes.
+type EnvState struct {
+	// RNG is the environment's RNG stream position.
+	RNG RNGState `json:"rng"`
+	// Best is the running-best leader utility; meaningful only when
+	// BestSet (JSON cannot carry the -Inf that means "nothing observed
+	// yet").
+	Best float64 `json:"best"`
+	// BestSet reports whether Best holds an observed value.
+	BestSet bool `json:"best_set"`
+}
+
+// TrainMeta is the training metadata of a full checkpoint.
+type TrainMeta struct {
+	// Episodes is the number of training episodes completed at the
+	// snapshot.
+	Episodes int `json:"episodes"`
+	// Fingerprint pins the full training configuration the stream was
+	// produced under — game, episode schedule, and learner — as computed
+	// by experiments.DRLConfig.Fingerprint; resuming under a different
+	// configuration is rejected.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// PPO pins just the learner hyper-parameters
+	// (rl.PPOConfig.Fingerprint); every full agent restore — including
+	// deployment warm starts outside the experiments harness — rejects a
+	// mismatch, so e.g. restored Adam moments can never silently continue
+	// under a different learning rate.
+	PPO string `json:"ppo,omitempty"`
+}
+
+// Snapshot captures the current values of params into a weights-only
+// Checkpoint (callers add Opt/RNG/Envs/Meta for a full training
+// checkpoint; rl.PPO.Snapshot and rl.Trainer.Snapshot do). Parameter
+// names must be unique.
 func Snapshot(params []*Param) (*Checkpoint, error) {
-	ck := &Checkpoint{Params: make(map[string][]float64, len(params))}
+	ck := &Checkpoint{Version: CheckpointVersion, Params: make(map[string][]float64, len(params))}
 	for _, p := range params {
 		if _, dup := ck.Params[p.Name]; dup {
 			return nil, fmt.Errorf("nn: duplicate parameter name %q", p.Name)
@@ -27,10 +121,18 @@ func Snapshot(params []*Param) (*Checkpoint, error) {
 	return ck, nil
 }
 
-// Restore copies checkpointed values into the matching parameters. Every
-// parameter must be present in the checkpoint with the right length.
+// Restore copies checkpointed values into the matching parameters. The
+// match must be exact in both directions: every parameter must be present
+// in the checkpoint with the right length, and every checkpointed name
+// must correspond to a parameter — a checkpoint from a different
+// architecture fails loudly instead of partially applying.
 func (c *Checkpoint) Restore(params []*Param) error {
+	seen := make(map[string]bool, len(params))
 	for _, p := range params {
+		if seen[p.Name] {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
 		v, ok := c.Params[p.Name]
 		if !ok {
 			return fmt.Errorf("nn: checkpoint missing parameter %q", p.Name)
@@ -38,13 +140,110 @@ func (c *Checkpoint) Restore(params []*Param) error {
 		if len(v) != len(p.Value) {
 			return fmt.Errorf("nn: checkpoint parameter %q has length %d, want %d", p.Name, len(v), len(p.Value))
 		}
-		copy(p.Value, v)
+	}
+	if extra := extraNames(c.Params, seen); len(extra) > 0 {
+		return fmt.Errorf("nn: checkpoint carries unknown parameters %v — trained on a different architecture?", extra)
+	}
+	for _, p := range params {
+		copy(p.Value, c.Params[p.Name])
+	}
+	return nil
+}
+
+// extraNames returns the sorted keys of m not present in known.
+func extraNames(m map[string][]float64, known map[string]bool) []string {
+	var extra []string
+	for name := range m {
+		if !known[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	return extra
+}
+
+// Validate reports whether the checkpoint is structurally sound: a known
+// version, at least one parameter, no zero-length vectors, every value
+// finite, and internally consistent optimizer/environment sections.
+// LoadCheckpoint validates automatically; callers constructing
+// checkpoints by hand can validate explicitly.
+func (c *Checkpoint) Validate() error {
+	if c.Version < 0 || c.Version > CheckpointVersion {
+		return fmt.Errorf("nn: checkpoint version %d not supported (max %d)", c.Version, CheckpointVersion)
+	}
+	if len(c.Params) == 0 {
+		return fmt.Errorf("nn: checkpoint has no parameters")
+	}
+	for name, v := range c.Params {
+		if err := validateVector("parameter", name, v); err != nil {
+			return err
+		}
+	}
+	if c.Opt != nil {
+		if err := c.Opt.validate(c.Params); err != nil {
+			return err
+		}
+	}
+	for i, es := range c.Envs {
+		if es.BestSet && (math.IsNaN(es.Best) || math.IsInf(es.Best, 0)) {
+			return fmt.Errorf("nn: checkpoint env %d best value %v is not finite", i, es.Best)
+		}
+	}
+	if c.Meta != nil && c.Meta.Episodes < 0 {
+		return fmt.Errorf("nn: checkpoint episode count %d is negative", c.Meta.Episodes)
+	}
+	return nil
+}
+
+// validate checks the optimizer section against the parameter table: the
+// moment maps must cover exactly the checkpointed parameters with
+// matching lengths and finite values.
+func (s *OptState) validate(params map[string][]float64) error {
+	if s.Algo != "adam" {
+		return fmt.Errorf("nn: checkpoint optimizer %q unknown (want adam)", s.Algo)
+	}
+	if s.Step < 0 {
+		return fmt.Errorf("nn: checkpoint optimizer step %d is negative", s.Step)
+	}
+	for label, moments := range map[string]map[string][]float64{"m": s.M, "v": s.V} {
+		if len(moments) != len(params) {
+			return fmt.Errorf("nn: checkpoint optimizer %s covers %d parameters, want %d", label, len(moments), len(params))
+		}
+		for name, mv := range moments {
+			pv, ok := params[name]
+			if !ok {
+				return fmt.Errorf("nn: checkpoint optimizer %s carries unknown parameter %q", label, name)
+			}
+			if len(mv) != len(pv) {
+				return fmt.Errorf("nn: checkpoint optimizer %s for %q has length %d, want %d", label, name, len(mv), len(pv))
+			}
+			if err := validateVector("optimizer "+label, name, mv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validateVector rejects empty vectors and non-finite values with a
+// descriptive error.
+func validateVector(kind, name string, v []float64) error {
+	if len(v) == 0 {
+		return fmt.Errorf("nn: checkpoint %s %q is empty", kind, name)
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("nn: checkpoint %s %q element %d is %v", kind, name, i, x)
+		}
 	}
 	return nil
 }
 
 // Save writes the checkpoint as JSON.
 func (c *Checkpoint) Save(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(c); err != nil {
 		return fmt.Errorf("nn: encoding checkpoint: %w", err)
@@ -52,11 +251,20 @@ func (c *Checkpoint) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadCheckpoint reads a JSON checkpoint.
+// LoadCheckpoint reads and validates a JSON checkpoint. Unknown JSON
+// fields, unsupported versions, zero-length parameter vectors, and
+// non-finite values are rejected with a descriptive error, so a
+// hand-edited or truncated file fails loudly instead of training on
+// garbage.
 func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	var c Checkpoint
-	if err := json.NewDecoder(r).Decode(&c); err != nil {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
 		return nil, fmt.Errorf("nn: decoding checkpoint: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
 	}
 	return &c, nil
 }

@@ -159,3 +159,8 @@ func (t *BestTracker) Best() float64 { return t.best }
 
 // Reset forgets the running best.
 func (t *BestTracker) Reset() { t.best = math.Inf(-1) }
+
+// SetBest overwrites the running best with a checkpointed value —
+// restoring the Eq. (12) reference is part of resuming a training stream
+// bit-identically (GameEnv.EnvRestore).
+func (t *BestTracker) SetBest(best float64) { t.best = best }

@@ -7,8 +7,11 @@ package pomdp
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
+	"vtmig/internal/mathx"
+	"vtmig/internal/nn"
 	"vtmig/internal/rl"
 	"vtmig/internal/stackelberg"
 )
@@ -105,11 +108,19 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// GameEnv is the POMDP. It implements rl.Env.
+// GameEnv is the POMDP. It implements rl.Env and rl.SnapshotEnv: its
+// cross-episode state — the RNG stream position behind the random initial
+// histories and the running-best utility behind the binary reward — can
+// be checkpointed at an episode boundary and restored into a freshly
+// built, identically configured instance (everything else is rewritten by
+// the next Reset).
 type GameEnv struct {
 	cfg  Config
 	game *stackelberg.Game
-	rng  *rand.Rand
+	// rng draws from src, a counting source, so the environment stream is
+	// checkpointable as a (seed, calls) pair.
+	rng *rand.Rand
+	src *mathx.CountingSource
 
 	// enc holds the last L rounds as the normalized observation window
 	// (see Encoder); the encoding is shared with external belief-state
@@ -130,17 +141,22 @@ type GameEnv struct {
 	last stackelberg.Equilibrium
 }
 
-var _ rl.Env = (*GameEnv)(nil)
+var (
+	_ rl.Env         = (*GameEnv)(nil)
+	_ rl.SnapshotEnv = (*GameEnv)(nil)
+)
 
 // NewGameEnv builds the environment.
 func NewGameEnv(cfg Config) (*GameEnv, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	src := mathx.NewCountingSource(cfg.Seed)
 	env := &GameEnv{
 		cfg:      cfg,
 		game:     cfg.Game,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rng:      rand.New(src),
+		src:      src,
 		oracleUs: cfg.Game.Solve().MSPUtility,
 		best:     NewBestTracker(cfg.BestTolFrac),
 	}
@@ -220,6 +236,37 @@ func (e *GameEnv) Step(action []float64) ([]float64, float64, bool) {
 	e.round++
 	done := e.round >= e.cfg.Rounds
 	return e.enc.Obs(), reward, done
+}
+
+// EnvSnapshot implements rl.SnapshotEnv: it captures the environment's
+// cross-episode state at an episode boundary — the RNG stream position
+// and the running-best utility of Eq. (12), which persists across
+// episodes unless ResetBestPerEpisode is set.
+func (e *GameEnv) EnvSnapshot() nn.EnvState {
+	st := nn.EnvState{RNG: nn.RNGState{Seed: e.cfg.Seed, Calls: e.src.Calls()}}
+	if best := e.best.Best(); !math.IsInf(best, -1) {
+		st.Best, st.BestSet = best, true
+	}
+	return st
+}
+
+// EnvRestore implements rl.SnapshotEnv: it rewinds a freshly built
+// environment to a captured state. The configured seed must match the
+// snapshot's — a mismatch means the checkpoint belongs to a different
+// environment stream.
+func (e *GameEnv) EnvRestore(st nn.EnvState) error {
+	if st.RNG.Seed != e.cfg.Seed {
+		return fmt.Errorf("pomdp: checkpoint stream seed %d, environment configured with %d", st.RNG.Seed, e.cfg.Seed)
+	}
+	e.src = mathx.NewCountingSourceAt(st.RNG.Seed, st.RNG.Calls)
+	e.rng = rand.New(e.src)
+	if st.BestSet {
+		e.best.SetBest(st.Best)
+	} else {
+		e.best.Reset()
+	}
+	e.round = 0
+	return nil
 }
 
 // LastOutcome returns the full equilibrium report of the most recent round

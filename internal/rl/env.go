@@ -8,7 +8,11 @@
 // no external deep-learning framework is used.
 package rl
 
-import "fmt"
+import (
+	"fmt"
+
+	"vtmig/internal/nn"
+)
 
 // Env is a (possibly partially observable) environment with continuous
 // observations and actions. The POMDP of the paper (internal/pomdp) is the
@@ -27,6 +31,25 @@ type Env interface {
 	// [lo[i], hi[i]] that Step accepts. Policies clamp sampled actions to
 	// these bounds before stepping.
 	ActionBounds() (lo, hi []float64)
+}
+
+// SnapshotEnv is an Env whose cross-episode state can be checkpointed at
+// an episode boundary and restored into a freshly constructed,
+// identically configured instance — the environment half of resume
+// bit-identity (determinism contract rule 6). The paper's POMDP
+// (pomdp.GameEnv) is the canonical implementation: its state is the RNG
+// stream position plus the running-best utility behind the binary reward;
+// everything else is rewritten by the next Reset.
+type SnapshotEnv interface {
+	Env
+	// EnvSnapshot captures the environment's cross-episode state. Valid
+	// only at an episode boundary (after the final Step of an episode or
+	// before a Reset).
+	EnvSnapshot() nn.EnvState
+	// EnvRestore rewinds a fresh, identically configured instance to a
+	// captured state. The next Reset then starts the episode the original
+	// environment would have started.
+	EnvRestore(st nn.EnvState) error
 }
 
 // VecEnv is a fixed set of independently seeded environment instances with

@@ -89,6 +89,19 @@ func DefaultPPOConfig() PPOConfig {
 	}
 }
 
+// Fingerprint pins the learner hyper-parameters that determine the
+// training stream bit for bit, normalizing the pure throughput knob
+// (Shards) and the seed (checkpoints carry the seed separately in their
+// RNG states). PPO.Snapshot embeds it in the checkpoint metadata and
+// every full Restore checks it, so a checkpoint cannot silently continue
+// under different hyper-parameters (e.g. another learning rate applied
+// to restored Adam moments).
+func (c PPOConfig) Fingerprint() string {
+	c.Shards = 0
+	c.Seed = 0
+	return fmt.Sprintf("ppo-v1|%+v", c)
+}
+
 // validate panics on nonsensical settings; every violation is a
 // programming error in the caller.
 func (c PPOConfig) validate() {
@@ -119,7 +132,14 @@ type PPO struct {
 	cfg PPOConfig
 	net *ActorCritic
 	opt *nn.Adam
+	// rng draws exclusively from src, a counting source, so the whole
+	// policy RNG stream — weight initialization, action sampling,
+	// minibatch shuffles — is checkpointable as a (seed, calls) pair.
 	rng *rand.Rand
+	src *mathx.CountingSource
+	// rngSeed is the seed src started from: cfg.Seed at construction,
+	// the checkpointed seed after a Restore.
+	rngSeed int64
 
 	actLo, actHi []float64
 
@@ -159,17 +179,20 @@ func NewPPO(obsDim, actDim int, actLo, actHi []float64, cfg PPOConfig) *PPO {
 			panic(fmt.Sprintf("rl: action bound %d inverted: [%g, %g]", i, actLo[i], actHi[i]))
 		}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := mathx.NewCountingSource(cfg.Seed)
+	rng := rand.New(src)
 	return &PPO{
-		cfg:    cfg,
-		net:    NewActorCritic(obsDim, actDim, cfg.Hidden, cfg.Activation, cfg.InitLogStd, rng),
-		opt:    nn.NewAdam(cfg.LR),
-		rng:    rng,
-		actLo:  append([]float64(nil), actLo...),
-		actHi:  append([]float64(nil), actHi...),
-		sample: make([]float64, actDim),
-		rawBuf: make([]float64, actDim),
-		envBuf: make([]float64, actDim),
+		cfg:     cfg,
+		net:     NewActorCritic(obsDim, actDim, cfg.Hidden, cfg.Activation, cfg.InitLogStd, rng),
+		opt:     nn.NewAdam(cfg.LR),
+		rng:     rng,
+		src:     src,
+		rngSeed: cfg.Seed,
+		actLo:   append([]float64(nil), actLo...),
+		actHi:   append([]float64(nil), actHi...),
+		sample:  make([]float64, actDim),
+		rawBuf:  make([]float64, actDim),
+		envBuf:  make([]float64, actDim),
 	}
 }
 
@@ -178,6 +201,87 @@ func (p *PPO) Config() PPOConfig { return p.cfg }
 
 // Params exposes the network parameters (for checkpointing).
 func (p *PPO) Params() []*nn.Param { return p.net.Params() }
+
+// Snapshot captures the learner's complete training state as a versioned
+// checkpoint: parameter values, the per-parameter Adam moments and step
+// count, and the policy RNG stream position. A learner restored from it
+// continues training bit-identically to one that never stopped
+// (determinism contract rule 6). Trainer.Snapshot adds the environment
+// streams and training metadata on top.
+func (p *PPO) Snapshot() (*nn.Checkpoint, error) {
+	ck, err := nn.Snapshot(p.net.Params())
+	if err != nil {
+		return nil, err
+	}
+	if ck.Opt, err = p.opt.StateSnapshot(p.net.Params()); err != nil {
+		return nil, err
+	}
+	ck.RNG = &nn.RNGState{Seed: p.rngSeed, Calls: p.src.Calls()}
+	ck.Meta = &nn.TrainMeta{PPO: p.cfg.Fingerprint()}
+	return ck, nil
+}
+
+// Restore replaces the learner's full training state with a checkpointed
+// one. The checkpoint must carry the optimizer and RNG sections (use
+// RestoreWeights for a params-only warm start) and must match the
+// network's architecture exactly — unknown, missing, or mis-sized entries
+// are rejected before anything is applied. The RNG stream is restored by
+// replaying the checkpointed (seed, calls) pair, so subsequent draws
+// continue the snapshotted stream exactly.
+func (p *PPO) Restore(ck *nn.Checkpoint) error {
+	if ck == nil {
+		return fmt.Errorf("rl: nil checkpoint")
+	}
+	if err := ck.Validate(); err != nil {
+		return err
+	}
+	if ck.Opt == nil || ck.RNG == nil {
+		return fmt.Errorf("rl: checkpoint lacks optimizer/RNG state (weights-only?); use RestoreWeights to warm-start parameters alone")
+	}
+	if ck.Meta != nil && ck.Meta.PPO != "" && ck.Meta.PPO != p.cfg.Fingerprint() {
+		return fmt.Errorf("rl: checkpoint was trained under different learner hyper-parameters\n  checkpoint: %s\n  learner:    %s", ck.Meta.PPO, p.cfg.Fingerprint())
+	}
+	// Validate the optimizer section against the live parameters before
+	// touching them, so a failed restore leaves the learner unchanged.
+	if err := p.opt.RestoreState(p.net.Params(), ck.Opt); err != nil {
+		return err
+	}
+	if err := ck.Restore(p.net.Params()); err != nil {
+		return err
+	}
+	p.rngSeed = ck.RNG.Seed
+	p.src = mathx.NewCountingSourceAt(ck.RNG.Seed, ck.RNG.Calls)
+	p.rng = rand.New(p.src)
+	return nil
+}
+
+// RestoreWeights applies only the checkpoint's parameter values — a
+// deployment warm start that keeps the learner's own optimizer state and
+// RNG stream. Resuming training from it is NOT bit-identical to continued
+// training; use Restore with a full checkpoint for that.
+func (p *PPO) RestoreWeights(ck *nn.Checkpoint) error {
+	if ck == nil {
+		return fmt.Errorf("rl: nil checkpoint")
+	}
+	return ck.Restore(p.net.Params())
+}
+
+// Clone returns an independent learner in exactly the receiver's training
+// state — same weights, optimizer moments, and RNG stream position — via
+// an in-memory Snapshot/Restore round trip. The clone shares nothing
+// mutable with the receiver, so e.g. a frozen deployment and a continuing
+// learner can fork from one trained agent.
+func (p *PPO) Clone() (*PPO, error) {
+	ck, err := p.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	q := NewPPO(p.net.ObsDim(), p.net.ActDim(), p.actLo, p.actHi, p.cfg)
+	if err := q.Restore(ck); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
 
 // Denormalize maps a raw normalized action (clamped to [-1, 1]) onto the
 // environment's action interval. The result is freshly allocated; the hot

@@ -26,8 +26,8 @@ import (
 // is ever reduced in worker order, so ANY worker count — and any
 // GOMAXPROCS — produces a rollout, and therefore a training run,
 // bit-identical to serial (workers=1) collection. With a single
-// environment the collector reproduces the classic serial collect loop
-// (SelectAction/Step/Add) bit for bit.
+// environment the collector reproduces the serial collect loop
+// (SelectAction / pre-step-obs Add / Step) bit for bit.
 
 const (
 	// autoCollectWorkerCap bounds the automatic worker count: environment
@@ -48,15 +48,15 @@ type VecCollector struct {
 
 	// per-env state, sized to NumEnvs.
 	//
-	// obs[e] is env e's observation slice exactly as the serial loop's
-	// obs variable holds it: the slice returned by the env's last
-	// Reset/Step, which in-place environments (the paper's POMDP, whose
-	// Step rewrites its history window) mutate under us. The batched
-	// policy evaluation reads its values before the step; the staged
-	// transition records its contents at Add time — after the step, like
-	// the serial loop's buf.Add — which keeps the vectorized path
-	// bit-identical to serial collection for every environment, aliasing
-	// or not.
+	// obs[e] is env e's observation slice: the slice returned by the
+	// env's last Reset/Step, which in-place environments (the paper's
+	// POMDP, whose Step rewrites its history window) mutate under us.
+	// Each round therefore snapshots the live observations into obsB
+	// BEFORE the policy pass and the step; the staged transition records
+	// that pre-step copy — the s_t of Algorithm 1's (s_t, a_t, r_t,
+	// s_{t+1}) — never the slice the step just mutated. (The pre-PR-5
+	// collector inherited the seed's aliasing quirk and stored the
+	// post-step contents; see the ROADMAP history.)
 	obs     [][]float64
 	staged  []*Rollout // per-env staging buffers, merged env-ascending
 	returns []float64  // per-env accumulated episode return
@@ -248,17 +248,18 @@ func (c *VecCollector) workerAt(s int) *stepWorker {
 // work steps the worker's env range for the current round: apply the
 // sampled action, stage the transition in the env's private buffer, and
 // take over the returned observation slice. Strictly per-env state is
-// touched, so workers never contend. The Add runs after the Step with
-// the env's observation slice — the serial loop's exact sequence, so the
-// staged bytes match serial collection even for environments that rewrite
-// the observation in place.
+// touched, so workers never contend (obsB is only read during the
+// fan-out, and each staged buffer belongs to one env). The Add records
+// the pre-step observation copy from obsB — the observation the action
+// was selected at — so the stored s_t is correct even for environments
+// that rewrite their observation slice in place during Step.
 func (w *stepWorker) work() {
 	c := w.c
 	for r := w.lo; r < w.hi; r++ {
 		e := c.live[r]
 		next, reward, done := c.vec.EnvAt(e).Step(c.envActB.Row(r))
 		terminal := done || c.forceTerminal
-		c.staged[e].Add(c.obs[e], c.rawB.Row(r), c.logP[r], reward, c.values[r], terminal)
+		c.staged[e].Add(c.obsB.Row(r), c.rawB.Row(r), c.logP[r], reward, c.values[r], terminal)
 		c.returns[e] += reward
 		c.done[e] = done
 		c.obs[e] = next

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"vtmig/internal/mat"
+	"vtmig/internal/mathx"
+	"vtmig/internal/nn"
 )
 
 // The tests in this file pin the fourth rule of the determinism contract:
@@ -18,16 +20,33 @@ import (
 
 // vecTestEnv is a seeded deterministic environment that mutates its
 // observation buffer in place (like the paper's POMDP) and terminates
-// after horizon steps.
+// after horizon steps. Its RNG runs over a counting source and its
+// observation window is fully rewritten by Reset, so it supports the
+// SnapshotEnv episode-boundary checkpoint contract.
 type vecTestEnv struct {
 	rng        *rand.Rand
+	src        *mathx.CountingSource
 	seed       int64
 	obs        []float64
 	t, horizon int
 }
 
 func newVecTestEnv(obsDim int, seed int64, horizon int) *vecTestEnv {
-	return &vecTestEnv{rng: rand.New(rand.NewSource(seed)), seed: seed, obs: make([]float64, obsDim), horizon: horizon}
+	src := mathx.NewCountingSource(seed)
+	return &vecTestEnv{rng: rand.New(src), src: src, seed: seed, obs: make([]float64, obsDim), horizon: horizon}
+}
+
+func (e *vecTestEnv) EnvSnapshot() nn.EnvState {
+	return nn.EnvState{RNG: nn.RNGState{Seed: e.seed, Calls: e.src.Calls()}}
+}
+
+func (e *vecTestEnv) EnvRestore(st nn.EnvState) error {
+	if st.RNG.Seed != e.seed {
+		return fmt.Errorf("seed %d, want %d", st.RNG.Seed, e.seed)
+	}
+	e.src = mathx.NewCountingSourceAt(st.RNG.Seed, st.RNG.Calls)
+	e.rng = rand.New(e.src)
+	return nil
 }
 
 func (e *vecTestEnv) Reset() []float64 {
@@ -143,11 +162,17 @@ func TestVecAutoWorkersBitIdentical(t *testing.T) {
 	}
 }
 
-// oldSerialLoop replays the pre-vectorization serial trainer body
-// (Algorithm 1, lines 4–14) exactly as it was written, anchoring what
-// "serial collection" means for rule 4.
-func oldSerialLoop(env Env, agent *PPO, cfg TrainerConfig) []float64 {
+// serialLoop replays the classic serial trainer body (Algorithm 1, lines
+// 4–14) with the corrected transition semantics, anchoring what "serial
+// collection" means for rule 4: the stored observation is a PRE-step
+// snapshot — the s_t the action was selected at — because in-place
+// environments mutate their observation slice during Step. (The seed's
+// loop passed the aliased slice to Add after the step and therefore
+// stored s_{t+1} in the Obs field; PR 5 fixed the collector, and this
+// replica pins the corrected behavior.)
+func serialLoop(env Env, agent *PPO, cfg TrainerConfig) []float64 {
 	buf := NewRollout(cfg.RoundsPerEpisode)
+	preObs := make([]float64, env.ObsDim())
 	var rets []float64
 	for e := 0; e < cfg.Episodes; e++ {
 		obs := env.Reset()
@@ -156,9 +181,10 @@ func oldSerialLoop(env Env, agent *PPO, cfg TrainerConfig) []float64 {
 		sinceUpdate := 0
 		for k := 0; k < cfg.RoundsPerEpisode; k++ {
 			raw, envAct, logP, value := agent.SelectAction(obs)
+			copy(preObs, obs)
 			next, reward, done := env.Step(envAct)
 			terminal := done || k == cfg.RoundsPerEpisode-1
-			buf.Add(obs, raw, logP, reward, value, terminal)
+			buf.Add(preObs, raw, logP, reward, value, terminal)
 			ret += reward
 			obs = next
 			sinceUpdate++
@@ -182,7 +208,7 @@ func oldSerialLoop(env Env, agent *PPO, cfg TrainerConfig) []float64 {
 
 // TestSingleEnvTrainerMatchesSerialLoop pins the rule-4 anchor: a
 // single-env Trainer (which routes through the VecCollector) reproduces
-// the classic serial collect loop bit for bit — including when |I| does
+// the corrected serial collect loop bit for bit — including when |I| does
 // not divide K, when |I| exceeds K, and when the episode terminates
 // before the round bound.
 func TestSingleEnvTrainerMatchesSerialLoop(t *testing.T) {
@@ -201,7 +227,7 @@ func TestSingleEnvTrainerMatchesSerialLoop(t *testing.T) {
 			pcfg.Seed = 5
 
 			oldAgent := NewPPO(6, 1, []float64{0}, []float64{1}, pcfg)
-			oldRets := oldSerialLoop(newVecTestEnv(6, 21, tc.horizon), oldAgent, tc.cfg)
+			oldRets := serialLoop(newVecTestEnv(6, 21, tc.horizon), oldAgent, tc.cfg)
 
 			newAgent := NewPPO(6, 1, []float64{0}, []float64{1}, pcfg)
 			stats := NewTrainer(newVecTestEnv(6, 21, tc.horizon), newAgent, tc.cfg).Run()

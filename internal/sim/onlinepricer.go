@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"vtmig/internal/mathx"
+	"vtmig/internal/nn"
 	"vtmig/internal/pomdp"
 	"vtmig/internal/rl"
 	"vtmig/internal/stackelberg"
@@ -50,6 +51,18 @@ type OnlinePricerConfig struct {
 	// Seed drives the random initial history and the cold-start learner.
 	// Zero selects 1.
 	Seed int64
+	// SnapshotEvery, when positive, captures a full learner checkpoint —
+	// weights, Adam moments, RNG stream position (rl.PPO.Snapshot) —
+	// after every SnapshotEvery-th completed optimization phase and hands
+	// it to OnSnapshot. Snapshots land exactly on phase boundaries, where
+	// the learning buffer is empty, so an agent restored from one resumes
+	// training bit-identically (determinism contract rule 6). Zero
+	// disables mid-run snapshots.
+	SnapshotEvery int
+	// OnSnapshot receives the mid-run checkpoints; required when
+	// SnapshotEvery is positive. It runs synchronously on the pricing
+	// path — defer heavy persistence work out of the callback.
+	OnSnapshot func(*nn.Checkpoint)
 }
 
 // withDefaults resolves the zero-value conveniences.
@@ -95,6 +108,12 @@ func (c OnlinePricerConfig) Validate() error {
 	default:
 		return fmt.Errorf("sim: online pricer reward kind %d unknown", int(c.Reward))
 	}
+	if c.SnapshotEvery < 0 {
+		return fmt.Errorf("sim: online pricer snapshot cadence %d must be non-negative", c.SnapshotEvery)
+	}
+	if c.SnapshotEvery > 0 && c.OnSnapshot == nil {
+		return fmt.Errorf("sim: online pricer SnapshotEvery=%d needs an OnSnapshot callback", c.SnapshotEvery)
+	}
 	return nil
 }
 
@@ -128,6 +147,11 @@ type OnlinePricer struct {
 	tracker *pomdp.BestTracker
 	reward  pomdp.RewardKind
 
+	// mid-run snapshot hooks (see OnlinePricerConfig).
+	snapshotEvery int
+	onSnapshot    func(*nn.Checkpoint)
+	snapshots     int
+
 	obs []float64 // current observation (copy; encoder rows rotate under it)
 
 	evalScratch  stackelberg.EvalScratch
@@ -153,12 +177,14 @@ func NewOnlinePricer(cfg OnlinePricerConfig) (*OnlinePricer, error) {
 		agent = rl.NewPPO(enc.ObsDim(), 1, []float64{cfg.Game.Cost}, []float64{cfg.Game.PMax}, ppoCfg)
 	}
 	p := &OnlinePricer{
-		agent:   agent,
-		col:     rl.NewStreamCollector(agent, cfg.UpdateEvery),
-		enc:     enc,
-		tracker: pomdp.NewBestTracker(cfg.BestTolFrac),
-		reward:  cfg.Reward,
-		obs:     make([]float64, enc.ObsDim()),
+		agent:         agent,
+		col:           rl.NewStreamCollector(agent, cfg.UpdateEvery),
+		enc:           enc,
+		tracker:       pomdp.NewBestTracker(cfg.BestTolFrac),
+		reward:        cfg.Reward,
+		snapshotEvery: cfg.SnapshotEvery,
+		onSnapshot:    cfg.OnSnapshot,
+		obs:           make([]float64, enc.ObsDim()),
 	}
 	if err := p.checkAgent(cfg); err != nil {
 		return nil, err
@@ -228,9 +254,29 @@ func (p *OnlinePricer) PriceFor(g *stackelberg.Game) float64 {
 
 	p.enc.Record(eq.Price, eq.Demands)
 	next := p.enc.Obs()
-	p.col.Add(p.obs, raw, logP, reward, value, false, next)
+	_, ran := p.col.Add(p.obs, raw, logP, reward, value, false, next)
 	copy(p.obs, next)
+	if ran {
+		p.maybeSnapshot()
+	}
 	return price
+}
+
+// maybeSnapshot fires the mid-run snapshot hook when an optimization
+// phase just completed and the cadence hits. The learning buffer is empty
+// here, so the checkpoint restores training bit-identically.
+func (p *OnlinePricer) maybeSnapshot() {
+	if p.snapshotEvery <= 0 || p.col.Updates()%p.snapshotEvery != 0 {
+		return
+	}
+	ck, err := p.agent.Snapshot()
+	if err != nil {
+		// Snapshot only fails on duplicate parameter names — a
+		// programming error in the network construction.
+		panic(fmt.Sprintf("sim: online pricer snapshot: %v", err))
+	}
+	p.snapshots++
+	p.onSnapshot(ck)
 }
 
 // Flush closes the current partial learning segment with one final
@@ -240,9 +286,19 @@ func (p *OnlinePricer) PriceFor(g *stackelberg.Game) float64 {
 // rounds complete the segment — appropriate while the pricer keeps
 // serving; call Flush when a deployment ends and the trailing experience
 // would be discarded with the pricer (RunOnlineStudy and vtmig-sim do).
+// A flush that runs a phase counts toward the snapshot cadence like any
+// other optimization phase.
 func (p *OnlinePricer) Flush() (rl.UpdateStats, bool) {
-	return p.col.Flush(false, p.obs)
+	stats, ran := p.col.Flush(false, p.obs)
+	if ran {
+		p.maybeSnapshot()
+	}
+	return stats, ran
 }
+
+// Snapshots returns the number of mid-run checkpoints handed to
+// OnSnapshot so far.
+func (p *OnlinePricer) Snapshots() int { return p.snapshots }
 
 // Agent exposes the (continually trained) learner, e.g. to snapshot its
 // weights after a run.

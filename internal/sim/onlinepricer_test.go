@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"vtmig/internal/nn"
 	"vtmig/internal/pomdp"
 	"vtmig/internal/rl"
 	"vtmig/internal/stackelberg"
@@ -119,6 +120,71 @@ func TestOnlinePricerWarmStart(t *testing.T) {
 	}
 }
 
+// TestOnlinePricerSnapshotHook pins the mid-run snapshot cadence: with
+// SnapshotEvery=2, OnSnapshot fires after every second optimization phase
+// with a full checkpoint whose restore reproduces the learner's state at
+// that phase boundary — the last snapshot's weights match the live
+// agent's current weights when the final phase was a snapshot phase.
+func TestOnlinePricerSnapshotHook(t *testing.T) {
+	var snaps []*nn.Checkpoint
+	cfg := onlineCfg()
+	cfg.SnapshotEvery = 2
+	cfg.OnSnapshot = func(ck *nn.Checkpoint) { snaps = append(snaps, ck) }
+	pricer, err := NewOnlinePricer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	game := stackelberg.DefaultGame()
+	const rounds = 60 // 6 phases at UpdateEvery=10 → snapshots after phases 2, 4, 6
+	for k := 0; k < rounds; k++ {
+		pricer.PriceFor(game)
+	}
+	if pricer.Updates() != 6 {
+		t.Fatalf("ran %d phases, want 6", pricer.Updates())
+	}
+	if len(snaps) != 3 || pricer.Snapshots() != 3 {
+		t.Fatalf("took %d snapshots (%d reported), want 3", len(snaps), pricer.Snapshots())
+	}
+	for i, ck := range snaps {
+		if ck.Opt == nil || ck.RNG == nil {
+			t.Fatalf("snapshot %d is not a full checkpoint", i)
+		}
+	}
+
+	// The last phase (6) was a snapshot phase and no rounds followed, so
+	// restoring the last snapshot must reproduce the live agent exactly.
+	restored := rl.NewPPO(cfg.HistoryLen*(1+game.N()), 1, []float64{game.Cost}, []float64{game.PMax}, cfg.PPO)
+	if err := restored.Restore(snaps[2]); err != nil {
+		t.Fatal(err)
+	}
+	live, got := pricer.Agent().Params(), restored.Params()
+	for i := range live {
+		for j := range live[i].Value {
+			if math.Float64bits(live[i].Value[j]) != math.Float64bits(got[i].Value[j]) {
+				t.Fatalf("restored snapshot param %q[%d] differs from live agent", live[i].Name, j)
+			}
+		}
+	}
+
+	// A Flush that runs a phase counts toward the cadence.
+	pricer.PriceFor(game)
+	pricer.PriceFor(game) // phase 7 pending after 2 rounds
+	for k := 0; k < 8; k++ {
+		pricer.PriceFor(game)
+	}
+	if _, ran := pricer.Flush(); ran {
+		t.Fatal("nothing pending but Flush ran a phase")
+	}
+	pricer.PriceFor(game)
+	if _, ran := pricer.Flush(); !ran {
+		t.Fatal("Flush did not close the partial segment")
+	}
+	if pricer.Updates() != 8 || pricer.Snapshots() != 4 {
+		t.Fatalf("after flush: %d phases, %d snapshots; want 8 and 4", pricer.Updates(), pricer.Snapshots())
+	}
+}
+
 // TestOnlinePricerConfigValidation pins that broken configurations error
 // rather than panic.
 func TestOnlinePricerConfigValidation(t *testing.T) {
@@ -128,6 +194,8 @@ func TestOnlinePricerConfigValidation(t *testing.T) {
 		{Game: stackelberg.DefaultGame(), HistoryLen: -1},               // bad L
 		{Game: stackelberg.DefaultGame(), UpdateEvery: -5},              // bad |I|
 		{Game: stackelberg.DefaultGame(), Reward: pomdp.RewardKind(99)}, // bad reward
+		{Game: stackelberg.DefaultGame(), SnapshotEvery: -1},            // bad cadence
+		{Game: stackelberg.DefaultGame(), SnapshotEvery: 3},             // cadence without callback
 	}
 	for i, cfg := range bad {
 		if _, err := NewOnlinePricer(cfg); err == nil {

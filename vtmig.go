@@ -1,10 +1,13 @@
 package vtmig
 
 import (
+	"io"
+
 	"vtmig/internal/aotm"
 	"vtmig/internal/baselines"
 	"vtmig/internal/channel"
 	"vtmig/internal/experiments"
+	"vtmig/internal/nn"
 	"vtmig/internal/pomdp"
 	"vtmig/internal/rl"
 	"vtmig/internal/sim"
@@ -41,6 +44,13 @@ type (
 	PPO = rl.PPO
 	// GameEnv is the pricing game as a POMDP.
 	GameEnv = pomdp.GameEnv
+	// Checkpoint is a versioned training checkpoint. A full one —
+	// TrainResult.Checkpoint, or a file written by vtmig-train
+	// -checkpoint — carries weights, per-parameter Adam moments and step
+	// count, the policy RNG stream position, every training-environment
+	// stream's state, and the episode count, so ResumeTraining continues
+	// the run bit-identically (determinism contract rule 6).
+	Checkpoint = nn.Checkpoint
 )
 
 // Simulation types.
@@ -92,8 +102,28 @@ func DefaultDRLConfig() DRLConfig { return experiments.DefaultDRLConfig() }
 
 // TrainAgent trains the MSP's PPO pricing agent on a game under
 // incomplete information (Algorithm 1) and evaluates the learned policy.
+// The result carries a full training checkpoint (TrainResult.Checkpoint)
+// for persistence and resume.
 func TrainAgent(game *Game, cfg DRLConfig) (*TrainResult, error) {
 	return experiments.TrainAgent(game, cfg)
+}
+
+// ResumeTraining continues a checkpointed training run to cfg.Episodes
+// total episodes. The configuration must match the checkpointed training
+// (checked via its fingerprint; cfg.Seed is taken from the checkpoint),
+// and the result is bit-identical to a run that never stopped — same
+// final weights and evaluation — regardless of CollectWorkers, shard
+// count, and GOMAXPROCS (determinism contract rule 6).
+func ResumeTraining(game *Game, cfg DRLConfig, ck *Checkpoint) (*TrainResult, error) {
+	return experiments.ResumeAgent(game, cfg, ck)
+}
+
+// LoadCheckpoint reads and strictly validates a JSON checkpoint (e.g. one
+// written by vtmig-train -checkpoint or Checkpoint.Save): unknown fields,
+// mis-sized or empty parameter vectors, and non-finite values are
+// rejected with a descriptive error.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	return nn.LoadCheckpoint(r)
 }
 
 // RunBaseline plays one K-round pricing episode with the named baseline
