@@ -25,11 +25,11 @@
 GO ?= go
 
 # BASE is the snapshot bench-compare measures against.
-BASE ?= BENCH_pr5.json
+BASE ?= BENCH_pr6.json
 # BENCH_HOT selects the hot-path benchmarks bench-compare re-measures.
-BENCH_HOT = PPOUpdate$$|PPOUpdateSharded|PPOSelectAction|MLPForward$$|Evaluate|SolveScratch|Collect|TrainerEpisode|StreamCollect|SimRoundOnline|Snapshot|Resume
+BENCH_HOT = PPOUpdate$$|PPOUpdateSharded|PPOSelectAction|MLPForward$$|Evaluate|SolveScratch|Collect|TrainerEpisode|StreamCollect|SimRoundOnline|Snapshot|Resume|CheckpointJSON|CheckpointBinary
 
-.PHONY: all vet fmt-check build test race race-sharded race-collect race-online race-resume bench-smoke bench bench-compare golden ci
+.PHONY: all vet fmt-check build test race race-sharded race-collect race-online race-resume bench-smoke bench bench-compare bench-multicore golden ci
 
 all: ci
 
@@ -88,9 +88,11 @@ race-resume:
 	$(GO) test -race -count=2 -run 'Resume|Snapshot|Checkpoint|Clone|CountingSource' ./internal/rl ./internal/nn ./internal/pomdp ./internal/mathx ./internal/sim
 
 # bench-smoke exercises the PPO hot-path benchmarks just enough to catch
-# gross regressions and allocation reintroductions.
+# gross regressions and allocation reintroductions. The checkpoint
+# encode/decode pair keeps the binary format's size and speed advantage
+# over JSON visible in every smoke pass.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'PPOUpdate$$|PPOSelectAction|MLPForward|MatMul|Collect|StreamCollect|SimRoundOnline|Snapshot|Resume' -benchmem -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'PPOUpdate$$|PPOSelectAction|MLPForward|MatMul|Collect|StreamCollect|SimRoundOnline|Snapshot|Resume|CheckpointJSON|CheckpointBinary' -benchmem -benchtime 100x .
 
 # bench is the full benchmark suite used to fill BENCH_pr*.json.
 bench:
@@ -101,6 +103,15 @@ bench:
 bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -benchtime 1s . > bench-current.txt
 	$(GO) run ./tools/benchdiff -threshold 0.15 $(BASE) bench-current.txt
+
+# bench-multicore records the hot-path benchmarks with parallelism
+# enabled (-cpu 2,4, i.e. GOMAXPROCS > 1) — an advisory recording for the
+# sharded/vectorized paths whose single-core numbers hide contention and
+# scheduling effects. CI runs it continue-on-error; benchdiff strips the
+# -N GOMAXPROCS suffix, so the recording diffs against any snapshot.
+bench-multicore:
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -benchtime 100x -cpu 2,4 . > bench-multicore.txt
+	@cat bench-multicore.txt
 
 # golden regenerates the fixed-seed golden files after an intentional
 # numeric change: the experiment figure pipelines and the per-pricer

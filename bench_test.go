@@ -8,6 +8,7 @@
 package vtmig_test
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -398,8 +399,9 @@ func BenchmarkSnapshot(b *testing.B) {
 }
 
 // BenchmarkResume measures a full restore into a freshly built trainer —
-// strict state application plus the RNG replay that fast-forwards the
-// counted streams to their checkpointed positions.
+// strict state application plus the O(1) reconstruction of the counted
+// RNG streams from their captured generator state (legacy checkpoints
+// without the state replay the stream instead).
 func BenchmarkResume(b *testing.B) {
 	vec := newBenchVecEnv(b, 1)
 	lo, hi := vec.ActionBounds()
@@ -418,6 +420,82 @@ func BenchmarkResume(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchCheckpoint builds a full training checkpoint (weights, optimizer,
+// RNG state, meta) for the encoding benchmarks.
+func benchCheckpoint(b *testing.B) *nn.Checkpoint {
+	b.Helper()
+	vec := newBenchVecEnv(b, 1)
+	lo, hi := vec.ActionBounds()
+	agent := rl.NewPPO(vec.ObsDim(), vec.ActDim(), lo, hi, rl.DefaultPPOConfig())
+	rl.NewVecTrainer(vec, agent, rl.TrainerConfig{
+		Episodes: 2, RoundsPerEpisode: 40, UpdateEvery: 20,
+	}).Run()
+	ck, err := agent.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ck
+}
+
+// BenchmarkCheckpointJSON measures encoding and decoding a full training
+// checkpoint in the JSON format, reporting the encoded size.
+func BenchmarkCheckpointJSON(b *testing.B) {
+	ck := benchCheckpoint(b)
+	var buf bytes.Buffer
+	if err := ck.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(data)), "bytes")
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := ck.Save(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nn.LoadCheckpoint(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCheckpointBinary measures the same checkpoint through the
+// compact binary encoding — the size and decode-time advantage over JSON
+// is the point of the format (see BENCH_pr6.json for recorded numbers).
+func BenchmarkCheckpointBinary(b *testing.B) {
+	ck := benchCheckpoint(b)
+	var buf bytes.Buffer
+	if err := ck.SaveBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(data)), "bytes")
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := ck.SaveBinary(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nn.LoadCheckpoint(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkEvaluate measures one equilibrium report for a posted price —

@@ -11,20 +11,30 @@
 // phase every `-update-every` rounds.
 //
 // Instead of training in-process, `-warm-start-file ck.json` warm-starts
-// the online pricer from a checkpoint written by vtmig-train -checkpoint:
-// a full checkpoint restores the complete learner state (optimizer
-// moments and RNG stream included, so continued learning picks the
-// training stream up exactly); a legacy weights-only checkpoint restores
-// parameters around a fresh optimizer. The architecture flags must match
-// the checkpointed training (-history here ↔ -history there); a mismatch
-// fails loudly before the simulation starts.
+// the online pricer from a checkpoint written by vtmig-train -checkpoint
+// (JSON or the compact binary encoding — the loader auto-detects). A
+// full checkpoint restores the complete learner state (optimizer moments
+// and RNG stream included, so continued learning picks the training
+// stream up exactly) and carries its own architecture metadata: the
+// history length and learning rate are read from the checkpoint, and
+// explicitly passed -history/-lr flags are only checked against it — a
+// conflict fails loudly before the simulation starts. A legacy
+// weights-only checkpoint has no metadata and keeps using the flags. A
+// mid-run pricer checkpoint (written by -snapshot-out) additionally
+// restores the belief window, best tracker, and stream counters, so the
+// online run resumes exactly where it stopped.
+//
+// `-snapshot-every N -snapshot-out ck.bin` writes such a resume
+// checkpoint after every Nth online optimization phase (binary when the
+// name ends in .bin, JSON otherwise).
 //
 // Usage:
 //
 //	vtmig-sim [-vehicles 6] [-rsus 8] [-duration 600]
 //	          [-pricer oracle|random|fixed|drl|online] [-price 25]
 //	          [-train-episodes 30] [-update-every 20] [-warm-start]
-//	          [-warm-start-file ck.json] [-history 4]
+//	          [-warm-start-file ck.json] [-history 4] [-lr 3e-4]
+//	          [-snapshot-every 0] [-snapshot-out ck.bin]
 //	          [-failure 0] [-seed 1] [-verbose]
 package main
 
@@ -32,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"vtmig/internal/experiments"
 	"vtmig/internal/nn"
@@ -59,8 +70,10 @@ func run(args []string) error {
 		updateEvery = fs.Int("update-every", 20, "online optimization cadence in pricing rounds (-pricer online)")
 		warmStart   = fs.Bool("warm-start", true, "warm-start -pricer online from offline training (false: learn from scratch)")
 		warmFile    = fs.String("warm-start-file", "", "warm-start -pricer online from this checkpoint file instead of training in-process")
-		history     = fs.Int("history", 4, "observation history length L of a -warm-start-file checkpoint's training")
-		lr          = fs.Float64("lr", 3e-4, "Adam learning rate of a -warm-start-file checkpoint's training (must match vtmig-train -lr)")
+		history     = fs.Int("history", 4, "observation history length L of a legacy weights-only -warm-start-file checkpoint (full checkpoints carry it themselves)")
+		lr          = fs.Float64("lr", 3e-4, "Adam learning rate of a legacy weights-only -warm-start-file checkpoint's training (full checkpoints carry it themselves)")
+		snapEvery   = fs.Int("snapshot-every", 0, "write a resume checkpoint after every Nth online optimization phase (-pricer online; 0 disables)")
+		snapOut     = fs.String("snapshot-out", "", "file the mid-run resume checkpoints go to (binary when the name ends in .bin; required with -snapshot-every)")
 		failure     = fs.Float64("failure", 0, "pricing-round failure probability in [0, 1)")
 		seed        = fs.Int64("seed", 1, "random seed")
 		verbose     = fs.Bool("verbose", false, "print every migration record")
@@ -69,6 +82,8 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	cfg := sim.DefaultConfig()
 	cfg.Vehicles = *vehicles
@@ -100,24 +115,84 @@ func run(args []string) error {
 			UpdateEvery: *updateEvery,
 			Seed:        *seed,
 		}
+		if *snapEvery > 0 {
+			if *snapOut == "" {
+				return fmt.Errorf("-snapshot-every %d needs -snapshot-out", *snapEvery)
+			}
+			out := *snapOut
+			onlineCfg.SnapshotEvery = *snapEvery
+			onlineCfg.OnSnapshot = func(ck *nn.Checkpoint) {
+				if err := writeCheckpointFile(out, ck); err != nil {
+					fmt.Fprintf(os.Stderr, "vtmig-sim: writing resume checkpoint: %v\n", err)
+				}
+			}
+		}
 		// Reject a broken configuration before spending the offline
 		// training budget on it.
 		if err := onlineCfg.Validate(); err != nil {
 			return err
 		}
+		var online *sim.OnlinePricer
 		switch {
 		case *warmFile != "":
-			agent, full, err := warmStartFromFile(game, *warmFile, *history, *lr)
+			ck, err := loadCheckpointFile(*warmFile)
 			if err != nil {
 				return err
 			}
-			kind := "full training state"
+			full := ck.Opt != nil && ck.RNG != nil
+			historyLen, lrEff := *history, *lr
+			if full {
+				// A full checkpoint carries its own architecture metadata;
+				// the flags may only confirm it.
+				historyLen, err = experiments.HistoryLenFromCheckpoint(ck, game)
+				if err != nil {
+					return err
+				}
+				if explicit["history"] && *history != historyLen {
+					return fmt.Errorf("-history %d conflicts with %s, which was trained with history length %d (drop the flag to adopt it)",
+						*history, *warmFile, historyLen)
+				}
+				if ck.Meta != nil {
+					if v, ok := rl.LRFromFingerprint(ck.Meta.PPO); ok {
+						if explicit["lr"] && *lr != v {
+							return fmt.Errorf("-lr %g conflicts with %s, which was trained with learning rate %g (drop the flag to adopt it)",
+								*lr, *warmFile, v)
+						}
+						lrEff = v
+					}
+				}
+			}
+			ppo := experiments.DefaultDRLConfig().PPO
+			ppo.LR = lrEff
+			if ck.Pricer != nil {
+				// Mid-run pricer checkpoint: resume the online run exactly
+				// (belief window, best tracker, stream counters, learner).
+				onlineCfg.PPO = ppo
+				onlineCfg.HistoryLen = 0
+				if explicit["history"] {
+					onlineCfg.HistoryLen = *history
+				}
+				if !explicit["update-every"] {
+					onlineCfg.UpdateEvery = 0 // adopt the checkpointed cadence
+				}
+				fmt.Printf("Resuming online pricer from %s at round %d (update %d)\n",
+					*warmFile, ck.Pricer.Rounds, ck.Pricer.Updates)
+				if online, err = sim.NewOnlinePricerFromCheckpoint(onlineCfg, ck); err != nil {
+					return err
+				}
+				break
+			}
+			agent, _, err := experiments.WarmStartAgent(game, historyLen, ppo, ck)
+			if err != nil {
+				return err
+			}
+			kind := fmt.Sprintf("full training state (history %d, lr %g)", historyLen, lrEff)
 			if !full {
-				kind = "weights only (legacy checkpoint; optimizer and RNG start fresh)"
+				kind = "weights only (legacy checkpoint; optimizer and RNG start fresh, -history/-lr flags apply)"
 			}
 			fmt.Printf("Warm-starting online pricer from %s: %s\n", *warmFile, kind)
 			onlineCfg.Agent = agent
-			onlineCfg.HistoryLen = *history
+			onlineCfg.HistoryLen = historyLen
 		case *warmStart:
 			res, err := trainOffline(*episodes, *seed)
 			if err != nil {
@@ -126,9 +201,11 @@ func run(args []string) error {
 			onlineCfg.Agent = res.Agent
 			onlineCfg.HistoryLen = res.Env.Config().HistoryLen
 		}
-		online, err := sim.NewOnlinePricer(onlineCfg)
-		if err != nil {
-			return err
+		if online == nil {
+			var err error
+			if online, err = sim.NewOnlinePricer(onlineCfg); err != nil {
+				return err
+			}
 		}
 		cfg.Pricer = online
 	default:
@@ -179,25 +256,43 @@ func run(args []string) error {
 	return nil
 }
 
-// warmStartFromFile rebuilds a deployable agent from a checkpoint file
-// written by vtmig-train -checkpoint, using the default training
-// architecture with the given history length and learning rate. A full
-// checkpoint carries its learner-hyper-parameter fingerprint, so a
-// mismatch (e.g. a different training -lr) fails loudly in the restore
-// instead of silently continuing under different hyper-parameters.
-func warmStartFromFile(game *stackelberg.Game, path string, historyLen int, lr float64) (*rl.PPO, bool, error) {
+// loadCheckpointFile reads a checkpoint file in either encoding (the
+// loader auto-detects the binary format by its magic).
+func loadCheckpointFile(path string) (*nn.Checkpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, false, fmt.Errorf("opening warm-start checkpoint: %w", err)
+		return nil, fmt.Errorf("opening checkpoint: %w", err)
 	}
 	defer f.Close()
 	ck, err := nn.LoadCheckpoint(f)
 	if err != nil {
-		return nil, false, fmt.Errorf("loading %s: %w", path, err)
+		return nil, fmt.Errorf("loading %s: %w", path, err)
 	}
-	ppo := experiments.DefaultDRLConfig().PPO
-	ppo.LR = lr
-	return experiments.WarmStartAgent(game, historyLen, ppo, ck)
+	return ck, nil
+}
+
+// writeCheckpointFile writes a checkpoint atomically (temp file + rename)
+// so a crash mid-write never leaves a truncated checkpoint behind, in the
+// compact binary encoding when the name ends in .bin and JSON otherwise.
+func writeCheckpointFile(path string, ck *nn.Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".bin") {
+		err = ck.SaveBinary(f)
+	} else {
+		err = ck.Save(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // trainOffline trains the MSP agent on the paper's benchmark game for the

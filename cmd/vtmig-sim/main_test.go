@@ -91,6 +91,67 @@ func TestRunOnlineWarmStartFile(t *testing.T) {
 	}
 }
 
+func TestRunOnlineWarmStartFileDerivesFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run skipped in -short mode")
+	}
+	// A full checkpoint carries its architecture metadata, so the run
+	// works with no -history/-lr flags at all.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	drlCfg := experiments.DefaultDRLConfig()
+	drlCfg.Episodes = 2
+	drlCfg.Rounds = 10
+	drlCfg.HistoryLen = 3 // differs from the -history flag default of 4
+	drlCfg.Restarts = 1
+	res, err := experiments.TrainAgent(stackelberg.DefaultGame(), drlCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Checkpoint.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run([]string{"-duration", "120", "-pricer", "online", "-warm-start-file", path,
+		"-update-every", "5"}); err != nil {
+		t.Fatalf("online pricer with derived flags: %v", err)
+	}
+}
+
+func TestRunOnlineSnapshotResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "resume.bin")
+	// Cold-start online run writing binary mid-run resume checkpoints.
+	if err := run([]string{"-duration", "120", "-pricer", "online", "-warm-start=false",
+		"-update-every", "5", "-snapshot-every", "1", "-snapshot-out", snap}); err != nil {
+		t.Fatalf("snapshotting run: %v", err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("no resume checkpoint written: %v", err)
+	}
+	// Resume it: cadence and architecture are adopted from the file.
+	if err := run([]string{"-duration", "60", "-pricer", "online", "-warm-start-file", snap}); err != nil {
+		t.Fatalf("resuming run: %v", err)
+	}
+	// An explicitly conflicting cadence must fail loudly.
+	if err := run([]string{"-duration", "60", "-pricer", "online", "-warm-start-file", snap,
+		"-update-every", "7"}); err == nil {
+		t.Fatal("conflicting -update-every accepted")
+	}
+	if err := run([]string{"-duration", "60", "-pricer", "online", "-warm-start=false",
+		"-snapshot-every", "1"}); err == nil {
+		t.Fatal("-snapshot-every without -snapshot-out accepted")
+	}
+}
+
 func TestRunOnlineInvalidUpdateEvery(t *testing.T) {
 	if err := run([]string{"-pricer", "online", "-warm-start=false", "-update-every", "-3"}); err == nil {
 		t.Fatal("negative update interval accepted")

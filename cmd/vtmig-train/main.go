@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"vtmig/internal/baselines"
 	"vtmig/internal/experiments"
@@ -53,8 +54,8 @@ func run(args []string) error {
 		lr         = fs.Float64("lr", 3e-4, "Adam learning rate")
 		reward     = fs.String("reward", "binary", "reward signal: binary (Eq. 12) or shaped")
 		seed       = fs.Int64("seed", 1, "random seed (ignored under -resume: the checkpoint pins the stream seed)")
-		checkpoint = fs.String("checkpoint", "", "write the full training checkpoint (weights, optimizer, RNG, env streams) to this JSON file")
-		resume     = fs.String("resume", "", "resume training from this full checkpoint; -episodes is the TOTAL episode budget")
+		checkpoint = fs.String("checkpoint", "", "write the full training checkpoint (weights, optimizer, RNG, env streams) to this file — compact binary when the name ends in .bin, JSON otherwise")
+		resume     = fs.String("resume", "", "resume training from this full checkpoint (either encoding; -episodes is the TOTAL episode budget)")
 
 		collectEnvs    = fs.Int("collect-envs", 1, "parallel training environments for vectorized collection (≥2 enables lockstep episode blocks)")
 		collectWorkers = fs.Int("collect-workers", 0, "environment-stepping goroutines during collection; 0 = auto, any value is bit-identical")
@@ -150,11 +151,15 @@ func run(args []string) error {
 			return fmt.Errorf("creating checkpoint: %w", err)
 		}
 		defer f.Close()
-		if err := res.Checkpoint.Save(f); err != nil {
+		save, encoding := res.Checkpoint.Save, "JSON"
+		if strings.HasSuffix(*checkpoint, ".bin") {
+			save, encoding = res.Checkpoint.SaveBinary, "binary"
+		}
+		if err := save(f); err != nil {
 			return err
 		}
-		fmt.Printf("Full training checkpoint written to %s (episode %d; resume with -resume)\n",
-			*checkpoint, res.Checkpoint.Meta.Episodes)
+		fmt.Printf("Full training checkpoint written to %s (%s, episode %d; resume with -resume)\n",
+			*checkpoint, encoding, res.Checkpoint.Meta.Episodes)
 	}
 	return nil
 }

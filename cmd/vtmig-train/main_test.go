@@ -84,3 +84,26 @@ func TestRunResumeRejectsMismatchedFlags(t *testing.T) {
 		t.Fatal("resume from missing file accepted")
 	}
 }
+
+func TestRunBinaryCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	if err := run([]string{"-episodes", "2", "-rounds", "10", "-checkpoint", path}); err != nil {
+		t.Fatalf("run with binary checkpoint: %v", err)
+	}
+	// The file must actually be the binary encoding, not JSON.
+	head := make([]byte, 4)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(head); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if string(head) != "vtck" {
+		t.Fatalf("checkpoint head %q, want the binary magic", head)
+	}
+	if err := run([]string{"-episodes", "4", "-rounds", "10", "-resume", path}); err != nil {
+		t.Fatalf("resume from binary checkpoint: %v", err)
+	}
+}

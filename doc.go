@@ -63,22 +63,45 @@
 //
 // # Checkpointing
 //
-// Training state persists through a versioned JSON checkpoint format
-// (nn.Checkpoint, version 1): parameter values, per-parameter Adam
-// moments and the optimizer step count, the policy RNG stream position as
-// a (seed, advance-count) pair over a counting source
-// (mathx.CountingSource), each training-environment stream's state (RNG
-// position plus the running-best reference of Eq. 12), and training
-// metadata (episode count, configuration fingerprint). Snapshots are
-// taken at episode-block boundaries (rl.PPO.Snapshot, rl.Trainer
-// .Snapshot, experiments.TrainResult.Checkpoint, the online pricer's
-// SnapshotEvery hook) and restores are strict: unknown, missing,
-// mis-sized, empty, or non-finite entries are rejected before anything is
-// applied, so a checkpoint from a different architecture or a hand-edited
-// file fails loudly. Legacy version-0 params-only files still load for
-// weight-only warm starts (rl.PPO.RestoreWeights). Resume entry points:
-// rl.ResumeTrainer, experiments.ResumeAgent, vtmig-train -resume,
-// vtmig-sim -warm-start-file.
+// Training state persists through a versioned checkpoint format
+// (nn.Checkpoint, version 2): parameter values, per-parameter Adam
+// moments and the optimizer step count, the policy RNG stream — as a
+// (seed, advance-count) pair over a counting source
+// (mathx.CountingSource) plus, since version 2, the generator's captured
+// lagged-Fibonacci state vector, so restore is an O(1) reconstruction
+// instead of an O(calls) replay — each training-environment stream's
+// state (RNG position plus the running-best reference of Eq. 12), and
+// training metadata (episode count, configuration fingerprint). A
+// checkpoint written by sim.OnlinePricer.Snapshot additionally carries
+// the version-2 pricer section: the POMDP encoder's belief window, the
+// current observation, the best-price tracker, the stream-collector
+// round/update counters, and the pricer hyper-parameters — everything
+// sim.NewOnlinePricerFromCheckpoint needs to continue the same
+// simulation stream bit-identically. Snapshots are taken at
+// episode-block boundaries (rl.PPO.Snapshot, rl.Trainer.Snapshot,
+// experiments.TrainResult.Checkpoint) and at online update boundaries
+// (sim.OnlinePricer.Snapshot, its SnapshotEvery hook), and restores are
+// strict: unknown, missing, mis-sized, empty, or non-finite entries are
+// rejected before anything is applied, so a checkpoint from a different
+// architecture or a hand-edited file fails loudly. Version negotiation
+// is checked in both directions: version-2-only sections (RNG state
+// vectors, the pricer section) are rejected on older versions, while
+// legacy version-0 params-only files still load for weight-only warm
+// starts (rl.PPO.RestoreWeights) and version-1 files restore through
+// counted replay.
+//
+// Checkpoints serialize as JSON (Checkpoint.Save) or as a compact binary
+// encoding (Checkpoint.SaveBinary) — "vtck" magic, little-endian version,
+// tagged sections in fixed order (params, optimizer, RNG, envs, meta,
+// pricer), uvarint lengths with hard caps against hostile inputs, and a
+// CRC-32 trailer so truncation and bit corruption fail loudly. The
+// binary form is ~2.7x smaller and an order of magnitude faster to
+// encode and decode than the JSON form; nn.LoadCheckpoint auto-detects
+// either encoding by the leading magic. Resume entry points:
+// rl.ResumeTrainer, experiments.ResumeAgent,
+// sim.NewOnlinePricerFromCheckpoint, vtmig-train -resume, vtmig-sim
+// -warm-start-file (with -snapshot-every/-snapshot-out writing mid-run
+// resume checkpoints).
 //
 // # Determinism contract
 //
@@ -117,17 +140,25 @@
 //  6. Checkpoint/resume carries the COMPLETE training state — parameter
 //     values, per-parameter Adam moments and step count, the policy RNG
 //     stream position, and every environment stream's RNG position and
-//     running-best reference — with RNG streams restored by replaying a
-//     counted source to its recorded position. Training K episodes,
-//     snapshotting at an episode-block boundary, restoring into freshly
-//     built environments and learner, and training K more is then
-//     bit-identical to training 2K straight; the throughput knobs
-//     (CollectWorkers, shard count, GOMAXPROCS) may even change between
-//     the legs. A full restore requires every section — and a matching
-//     learner-hyper-parameter fingerprint — or fails before the agent is
-//     touched, so a partial state can never silently cold-start (the
-//     pre-PR-5 params-only restore did exactly that for the Adam moments
-//     and the policy RNG).
+//     running-best reference — with RNG streams restored from their
+//     captured generator state in O(1) (version-1 files fall back to
+//     replaying a counted source to its recorded position). Training K
+//     episodes, snapshotting at an episode-block boundary, restoring
+//     into freshly built environments and learner, and training K more
+//     is then bit-identical to training 2K straight; the throughput
+//     knobs (CollectWorkers, shard count, GOMAXPROCS) may even change
+//     between the legs. The same holds at simulator level: an online
+//     pricer snapshot additionally carries the encoder belief window,
+//     current observation, best tracker, and stream counters, so running
+//     a simulation to an update boundary, snapshotting, restoring with
+//     NewOnlinePricerFromCheckpoint, and finishing the run is
+//     bit-identical — same sim.Report, same final weights — to never
+//     having stopped. A full restore requires every section — and a
+//     matching learner-hyper-parameter fingerprint — or fails before the
+//     agent is touched, so a partial state can never silently cold-start
+//     (the pre-PR-5 params-only restore did exactly that for the Adam
+//     moments and the policy RNG, and the pre-PR-6 online snapshot
+//     dropped the pricer-side state the same way).
 //
 // The golden-file tests under internal/experiments/testdata pin the exact
 // fixed-seed outputs of every figure pipeline, those under
@@ -135,9 +166,9 @@
 // determinism tests in internal/rl, internal/pomdp, internal/sim, and
 // internal/stackelberg pin the rules at unit level (rule 6 by the
 // resume-equality tables in internal/rl/resume_test.go,
-// internal/pomdp/resume_test.go, and
-// internal/experiments/resume_test.go; `make race-resume` runs them
-// under the race detector). Regenerate the golden files after an
+// internal/pomdp/resume_test.go, internal/experiments/resume_test.go,
+// and — at simulator level — internal/sim/online_resume_test.go;
+// `make race-resume` runs them under the race detector). Regenerate the golden files after an
 // intentional numeric change with
 //
 //	go test ./internal/experiments -run Golden -update

@@ -298,6 +298,32 @@ func WarmStartAgent(game *stackelberg.Game, historyLen int, ppo rl.PPOConfig, ck
 	return agent, false, nil
 }
 
+// HistoryLenFromCheckpoint derives the observation history length L a
+// checkpointed agent was trained with over the given reference game from
+// the input layer's parameter shapes: the observation dimension is
+// len(trunk.l0.W)/len(trunk.l0.b), and every encoder row over an N-VMU
+// game is 1+N wide. Tooling uses it to rebuild a matching agent from a
+// checkpoint without the user repeating the -history flag.
+func HistoryLenFromCheckpoint(ck *nn.Checkpoint, game *stackelberg.Game) (int, error) {
+	if ck == nil {
+		return 0, fmt.Errorf("experiments: nil checkpoint")
+	}
+	w, okW := ck.Params["trunk.l0.W"]
+	b, okB := ck.Params["trunk.l0.b"]
+	if !okW || !okB || len(b) == 0 {
+		return 0, fmt.Errorf("experiments: checkpoint lacks the trunk.l0 input layer; cannot derive its history length")
+	}
+	if len(w)%len(b) != 0 {
+		return 0, fmt.Errorf("experiments: checkpoint input layer is inconsistent (%d weights over %d biases)", len(w), len(b))
+	}
+	obsDim := len(w) / len(b)
+	width := 1 + game.N()
+	if obsDim%width != 0 || obsDim == 0 {
+		return 0, fmt.Errorf("experiments: checkpoint observation dim %d does not tile into rows of 1+N=%d over this game — was it trained on a different game size?", obsDim, width)
+	}
+	return obsDim / width, nil
+}
+
 // EvaluateAgent estimates the learned deterministic price. It plays the
 // stochastic policy for the given number of rounds — keeping the
 // observation history on the training distribution — and averages the

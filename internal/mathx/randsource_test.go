@@ -77,3 +77,139 @@ func TestCountingSourceSeedRewinds(t *testing.T) {
 		t.Fatalf("after Seed(2): %v, want %v", got, want)
 	}
 }
+
+// TestCountingSourceStateSnapshotContinues pins the direct-state restore
+// contract: a source rebuilt from StateSnapshot continues the original
+// stream bit for bit without replaying it — across the draw kinds the
+// learners use, and at stream positions that wrap the internal ring more
+// than once.
+func TestCountingSourceStateSnapshotContinues(t *testing.T) {
+	for _, warm := range []int{StateLen, StateLen + 1, 3*StateLen + 17, 5000} {
+		src := NewCountingSource(9)
+		rng := rand.New(src)
+		for i := 0; i < warm; i++ {
+			rng.NormFloat64()
+		}
+		calls := src.Calls()
+		state := src.StateSnapshot()
+		if len(state) != StateLen {
+			t.Fatalf("warm=%d: state has %d words, want %d", warm, len(state), StateLen)
+		}
+
+		restored, err := NewCountingSourceFromState(9, calls, state)
+		if err != nil {
+			t.Fatalf("warm=%d: %v", warm, err)
+		}
+		if restored.Calls() != calls {
+			t.Fatalf("warm=%d: restored counter %d, want %d", warm, restored.Calls(), calls)
+		}
+		resumed := rand.New(restored)
+		for i := 0; i < 3*StateLen; i++ {
+			var a, b float64
+			switch i % 3 {
+			case 0:
+				a, b = rng.Float64(), resumed.Float64()
+			case 1:
+				a, b = rng.NormFloat64(), resumed.NormFloat64()
+			case 2:
+				a, b = float64(rng.Intn(1000)), float64(resumed.Intn(1000))
+			}
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("warm=%d draw %d: %v vs %v", warm, i, a, b)
+			}
+		}
+	}
+}
+
+// TestCountingSourceStateSnapshotRoundTrip checks that a restored source
+// snapshots back to the identical state and keeps its ring consistent
+// through further draws.
+func TestCountingSourceStateSnapshotRoundTrip(t *testing.T) {
+	src := NewCountingSource(5)
+	for i := 0; i < 2*StateLen+13; i++ {
+		src.Uint64()
+	}
+	state := src.StateSnapshot()
+	restored, err := NewCountingSourceFromState(5, src.Calls(), state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := restored.StateSnapshot()
+	for i := range state {
+		if state[i] != again[i] {
+			t.Fatalf("state word %d: %d vs %d", i, again[i], state[i])
+		}
+	}
+	// Advance both and re-snapshot: the restored source's ring must track
+	// the live one's.
+	for i := 0; i < StateLen/2; i++ {
+		if a, b := src.Uint64(), restored.Uint64(); a != b {
+			t.Fatalf("draw %d after round trip: %d vs %d", i, b, a)
+		}
+	}
+	a, b := src.StateSnapshot(), restored.StateSnapshot()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("post-advance state word %d: %d vs %d", i, b[i], a[i])
+		}
+	}
+}
+
+// TestCountingSourceStateSnapshotYoung pins the young-stream behavior:
+// no state before StateLen draws (replay covers that cheaply), and the
+// from-state constructor falls back to replay on an empty state.
+func TestCountingSourceStateSnapshotYoung(t *testing.T) {
+	src := NewCountingSource(3)
+	for i := 0; i < StateLen-1; i++ {
+		src.Uint64()
+	}
+	if st := src.StateSnapshot(); st != nil {
+		t.Fatalf("young stream returned a %d-word state", len(st))
+	}
+	src.Uint64()
+	if st := src.StateSnapshot(); len(st) != StateLen {
+		t.Fatalf("at %d calls: state has %d words, want %d", src.Calls(), len(st), StateLen)
+	}
+
+	fallback, err := NewCountingSourceFromState(3, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewCountingSourceAt(3, 100)
+	for i := 0; i < 50; i++ {
+		if a, b := want.Uint64(), fallback.Uint64(); a != b {
+			t.Fatalf("fallback draw %d: %d vs %d", i, b, a)
+		}
+	}
+}
+
+// TestCountingSourceFromStateRejects pins the validation: wrong state
+// length and an impossible calls count fail loudly.
+func TestCountingSourceFromStateRejects(t *testing.T) {
+	if _, err := NewCountingSourceFromState(1, uint64(StateLen), make([]uint64, StateLen-1)); err == nil {
+		t.Fatal("short state accepted")
+	}
+	if _, err := NewCountingSourceFromState(1, uint64(StateLen-1), make([]uint64, StateLen)); err == nil {
+		t.Fatal("full state with too few calls accepted")
+	}
+}
+
+// TestCountingSourceSeedAfterStateRestore checks that Seed on a
+// state-restored source swaps back to a fresh standard stream.
+func TestCountingSourceSeedAfterStateRestore(t *testing.T) {
+	src := NewCountingSource(2)
+	for i := 0; i < StateLen+5; i++ {
+		src.Uint64()
+	}
+	restored, err := NewCountingSourceFromState(2, src.Calls(), src.StateSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Seed(11)
+	if restored.Calls() != 0 {
+		t.Fatalf("Seed left the counter at %d", restored.Calls())
+	}
+	if got, want := restored.Uint64(), NewCountingSource(11).Uint64(); got != want {
+		t.Fatalf("after Seed(11): %d, want %d", got, want)
+	}
+}

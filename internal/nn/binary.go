@@ -1,0 +1,440 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+)
+
+// This file implements the compact binary checkpoint encoding. JSON stays
+// the human-readable default; the binary form exists because JSON float
+// text is the known size/decode bottleneck once checkpoints are written
+// on a serving cadence (ROADMAP items 1–2). Both encodings carry exactly
+// the same Checkpoint value, bit for bit — floats are stored as their
+// IEEE-754 bits, and Go's JSON encoder round-trips float64 exactly — so
+// converting between them is lossless.
+//
+// Layout (all integers little-endian):
+//
+//	"vtck"                magic
+//	uint16                format version (Checkpoint.Version)
+//	sections              tagged, fixed order, optional ones omitted:
+//	  'P' params          uvarint count, then per sorted name:
+//	                      string, vec
+//	  'O' optimizer       string algo, uvarint step, param-table m,
+//	                      param-table v
+//	  'R' rng             rngstate
+//	  'E' envs            uvarint count, then per env:
+//	                      rngstate, f64 best, bool bestSet
+//	  'M' meta            uvarint episodes, string fingerprint, string ppo
+//	  'p' pricer          uvarint rows, uvarint width, rows×width f64,
+//	                      vec obs, f64 best, bool bestSet,
+//	                      uvarint rounds/updates/snapshots/updateEvery/
+//	                      reward, f64 bestTolFrac
+//	  'Z'                 end of sections
+//	uint32                IEEE CRC-32 of everything above
+//
+// where string = uvarint length + bytes, vec = uvarint length + length
+// f64 words, f64 = 8-byte Float64bits, u64 = 8 bytes, rngstate = u64
+// seed-bits + u64 calls + uvarint state length + state u64 words, and a
+// param-table repeats the 'P' section payload. The trailing checksum
+// makes truncation and bit flips fail loudly; the decoder additionally
+// rejects trailing bytes, unknown or out-of-order tags, and implausible
+// lengths before allocating for them.
+const binaryMagic = "vtck"
+
+// Decoder sanity caps: reject implausible lengths before allocating.
+// They bound a hostile or corrupted header, not legitimate checkpoints —
+// the largest real sections here are a few thousand floats.
+const (
+	binMaxName  = 1 << 12 // parameter-name / string bytes
+	binMaxVec   = 1 << 26 // float64 words per vector
+	binMaxCount = 1 << 20 // table entries (params, envs)
+)
+
+// SaveBinary writes the checkpoint in the compact binary encoding (see
+// the format comment above). LoadCheckpoint auto-detects it by the
+// leading magic.
+func (c *Checkpoint) SaveBinary(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	e := binWriter{buf: &buf}
+	buf.WriteString(binaryMagic)
+	var ver [2]byte
+	binary.LittleEndian.PutUint16(ver[:], uint16(c.Version))
+	buf.Write(ver[:])
+
+	e.tag('P')
+	e.paramTable(c.Params)
+	if c.Opt != nil {
+		e.tag('O')
+		e.str(c.Opt.Algo)
+		e.uvarint(uint64(c.Opt.Step))
+		e.paramTable(c.Opt.M)
+		e.paramTable(c.Opt.V)
+	}
+	if c.RNG != nil {
+		e.tag('R')
+		e.rngState(c.RNG)
+	}
+	if len(c.Envs) > 0 {
+		e.tag('E')
+		e.uvarint(uint64(len(c.Envs)))
+		for i := range c.Envs {
+			es := &c.Envs[i]
+			e.rngState(&es.RNG)
+			e.f64(es.Best)
+			e.bool(es.BestSet)
+		}
+	}
+	if c.Meta != nil {
+		e.tag('M')
+		e.uvarint(uint64(c.Meta.Episodes))
+		e.str(c.Meta.Fingerprint)
+		e.str(c.Meta.PPO)
+	}
+	if c.Pricer != nil {
+		p := c.Pricer
+		e.tag('p')
+		e.uvarint(uint64(len(p.History)))
+		e.uvarint(uint64(len(p.History[0])))
+		for _, row := range p.History {
+			for _, x := range row {
+				e.f64(x)
+			}
+		}
+		e.vec(p.Obs)
+		e.f64(p.Best)
+		e.bool(p.BestSet)
+		e.uvarint(uint64(p.Rounds))
+		e.uvarint(uint64(p.Updates))
+		e.uvarint(uint64(p.Snapshots))
+		e.uvarint(uint64(p.UpdateEvery))
+		e.uvarint(uint64(p.Reward))
+		e.f64(p.BestTolFrac)
+	}
+	e.tag('Z')
+
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(sum[:])
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("nn: writing binary checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadBinaryCheckpoint decodes a binary checkpoint (the magic has been
+// peeked, not consumed) and validates it like the JSON path.
+func loadBinaryCheckpoint(r io.Reader) (*Checkpoint, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("nn: reading binary checkpoint: %w", err)
+	}
+	// magic + version + 'P' tag + empty table + 'Z' + checksum is the
+	// structural minimum.
+	if len(data) < len(binaryMagic)+2+1+1+1+4 {
+		return nil, fmt.Errorf("nn: binary checkpoint truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(binaryMagic)]) != binaryMagic {
+		return nil, fmt.Errorf("nn: binary checkpoint magic mismatch")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("nn: binary checkpoint checksum mismatch (file %08x, computed %08x) — truncated or corrupted", want, got)
+	}
+
+	d := &binReader{data: body, pos: len(binaryMagic)}
+	c := &Checkpoint{Version: int(binary.LittleEndian.Uint16(body[len(binaryMagic):]))}
+	d.pos += 2
+
+	if tag := d.tag(); tag != 'P' {
+		return nil, d.fail("want params section 'P', got %q", tag)
+	}
+	c.Params = d.paramTable()
+	tag := d.tag()
+	if tag == 'O' {
+		c.Opt = &OptState{Algo: d.str(), Step: int(d.uvarint(binMaxCount))}
+		c.Opt.M = d.paramTable()
+		c.Opt.V = d.paramTable()
+		tag = d.tag()
+	}
+	if tag == 'R' {
+		c.RNG = d.rngState()
+		tag = d.tag()
+	}
+	if tag == 'E' {
+		n := int(d.uvarint(binMaxCount))
+		if d.err == nil {
+			c.Envs = make([]EnvState, n)
+			for i := range c.Envs {
+				rng := d.rngState()
+				if rng != nil {
+					c.Envs[i].RNG = *rng
+				}
+				c.Envs[i].Best = d.f64()
+				c.Envs[i].BestSet = d.bool()
+			}
+		}
+		tag = d.tag()
+	}
+	if tag == 'M' {
+		c.Meta = &TrainMeta{Episodes: int(d.uvarint(binMaxCount)), Fingerprint: d.str(), PPO: d.str()}
+		tag = d.tag()
+	}
+	if tag == 'p' {
+		p := &PricerState{}
+		rows := int(d.uvarint(binMaxCount))
+		width := int(d.uvarint(binMaxCount))
+		if d.err == nil && rows*width > binMaxVec {
+			d.fail("pricer window %d×%d implausibly large", rows, width)
+		}
+		if d.err == nil {
+			p.History = make([][]float64, rows)
+			flat := make([]float64, rows*width)
+			for i := range p.History {
+				p.History[i] = flat[i*width : (i+1)*width]
+				for j := range p.History[i] {
+					p.History[i][j] = d.f64()
+				}
+			}
+		}
+		p.Obs = d.vec()
+		p.Best = d.f64()
+		p.BestSet = d.bool()
+		p.Rounds = int(d.uvarint(binMaxVec))
+		p.Updates = int(d.uvarint(binMaxVec))
+		p.Snapshots = int(d.uvarint(binMaxVec))
+		p.UpdateEvery = int(d.uvarint(binMaxVec))
+		p.Reward = int(d.uvarint(binMaxCount))
+		p.BestTolFrac = d.f64()
+		c.Pricer = p
+		tag = d.tag()
+	}
+	if d.err == nil && tag != 'Z' {
+		d.fail("unknown or out-of-order section %q", tag)
+	}
+	if d.err == nil && d.pos != len(d.data) {
+		d.fail("%d trailing bytes after end of sections", len(d.data)-d.pos)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// binWriter appends the format's primitives to a buffer. Buffer writes
+// cannot fail, so the encoder carries no error state.
+type binWriter struct {
+	buf     *bytes.Buffer
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (e *binWriter) tag(t byte) { e.buf.WriteByte(t) }
+
+func (e *binWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.buf.Write(e.scratch[:n])
+}
+
+func (e *binWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.scratch[:8], v)
+	e.buf.Write(e.scratch[:8])
+}
+
+func (e *binWriter) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *binWriter) bool(v bool) {
+	if v {
+		e.buf.WriteByte(1)
+	} else {
+		e.buf.WriteByte(0)
+	}
+}
+
+func (e *binWriter) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf.WriteString(s)
+}
+
+func (e *binWriter) vec(v []float64) {
+	e.uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+// paramTable writes a name→vector table sorted by name, so the encoding
+// of a checkpoint is deterministic.
+func (e *binWriter) paramTable(m map[string][]float64) {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	e.uvarint(uint64(len(names)))
+	for _, name := range names {
+		e.str(name)
+		e.vec(m[name])
+	}
+}
+
+func (e *binWriter) rngState(r *RNGState) {
+	e.u64(uint64(r.Seed))
+	e.u64(r.Calls)
+	e.uvarint(uint64(len(r.State)))
+	for _, x := range r.State {
+		e.u64(x)
+	}
+}
+
+// binReader is a cursor over the checksummed body. The first failure
+// sticks: every later read returns zero values and the original error
+// surfaces once at the end, keeping the section parsing linear.
+type binReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *binReader) fail(format string, args ...any) error {
+	if d.err == nil {
+		d.err = fmt.Errorf("nn: binary checkpoint at byte %d: %s", d.pos, fmt.Sprintf(format, args...))
+	}
+	return d.err
+}
+
+func (d *binReader) tag() byte {
+	if d.err != nil || d.pos >= len(d.data) {
+		d.fail("truncated section tag")
+		return 0
+	}
+	t := d.data[d.pos]
+	d.pos++
+	return t
+}
+
+func (d *binReader) uvarint(max uint64) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.pos += n
+	if v > max {
+		d.fail("length %d exceeds the format cap %d", v, max)
+		return 0
+	}
+	return v
+}
+
+func (d *binReader) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.data) {
+		d.fail("truncated 64-bit word")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *binReader) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *binReader) bool() bool {
+	if d.err != nil || d.pos >= len(d.data) {
+		d.fail("truncated bool")
+		return false
+	}
+	b := d.data[d.pos]
+	d.pos++
+	if b > 1 {
+		d.fail("bool byte %d", b)
+		return false
+	}
+	return b == 1
+}
+
+func (d *binReader) str() string {
+	n := int(d.uvarint(binMaxName))
+	if d.err != nil {
+		return ""
+	}
+	if d.pos+n > len(d.data) {
+		d.fail("truncated %d-byte string", n)
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *binReader) vec() []float64 {
+	n := int(d.uvarint(binMaxVec))
+	if d.err != nil {
+		return nil
+	}
+	if d.pos+8*n > len(d.data) {
+		d.fail("truncated %d-word vector", n)
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = d.f64()
+	}
+	return v
+}
+
+func (d *binReader) paramTable() map[string][]float64 {
+	n := int(d.uvarint(binMaxCount))
+	if d.err != nil {
+		return nil
+	}
+	m := make(map[string][]float64, n)
+	for i := 0; i < n; i++ {
+		name := d.str()
+		vec := d.vec()
+		if d.err != nil {
+			return nil
+		}
+		if _, dup := m[name]; dup {
+			d.fail("duplicate table entry %q", name)
+			return nil
+		}
+		m[name] = vec
+	}
+	return m
+}
+
+func (d *binReader) rngState() *RNGState {
+	r := &RNGState{Seed: int64(d.u64()), Calls: d.u64()}
+	n := int(d.uvarint(binMaxVec))
+	if d.err != nil {
+		return nil
+	}
+	if n > 0 {
+		if d.pos+8*n > len(d.data) {
+			d.fail("truncated %d-word RNG state", n)
+			return nil
+		}
+		r.State = make([]uint64, n)
+		for i := range r.State {
+			r.State[i] = d.u64()
+		}
+	}
+	return r
+}

@@ -1,19 +1,25 @@
 package nn
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+
+	"vtmig/internal/mathx"
 )
 
 // CheckpointVersion is the current checkpoint format version. Version 1
 // introduced the full training state (optimizer moments, RNG stream
-// positions, environment streams, training metadata); version 0 files —
-// the historical params-only JSON — still load, but can only warm-start
-// weights, not resume training.
-const CheckpointVersion = 1
+// positions, environment streams, training metadata); version 2 adds the
+// directly captured RNG generator state (RNGState.State) and the online
+// pricer section (Pricer), plus the binary encoding (SaveBinary). Version
+// 0 files — the historical params-only JSON — still load, but can only
+// warm-start weights, not resume training; version 1 files load and
+// resume exactly as before (their RNG streams restore by replay).
+const CheckpointVersion = 2
 
 // Checkpoint is a versioned, serializable snapshot of a training state.
 // The parameter values are always present; the remaining sections are
@@ -22,12 +28,19 @@ const CheckpointVersion = 1
 //   - Opt holds the per-parameter optimizer state (Adam first/second
 //     moments and the global step count) so a restored run applies the
 //     exact updates a continued run would.
-//   - RNG is the policy RNG stream position as a (seed, calls) pair,
-//     restored by replaying the stream (mathx.NewCountingSourceAt).
+//   - RNG is the policy RNG stream position: a (seed, calls) pair plus —
+//     in version 2 checkpoints of streams at least mathx.StateLen draws
+//     old — the directly captured generator state, restored in constant
+//     time (mathx.NewCountingSourceFromState); without the state the
+//     stream is replayed (mathx.NewCountingSourceAt).
 //   - Envs are the cross-episode states of the training-environment
 //     streams, in fixed env-index order.
 //   - Meta records the episode count at the snapshot and a fingerprint of
 //     the training configuration, checked on resume.
+//   - Pricer is the simulator-embedded online pricer's deployment state —
+//     the encoder belief window, current observation, running-best
+//     utility, and stream-collector counters (version 2;
+//     sim.OnlinePricer.Snapshot writes it).
 //
 // A checkpoint with all sections restores training bit-identically:
 // train K episodes, snapshot, restore, train K more is the same run as
@@ -49,6 +62,9 @@ type Checkpoint struct {
 	Envs []EnvState `json:"envs,omitempty"`
 	// Meta is the training metadata (nil in weights-only checkpoints).
 	Meta *TrainMeta `json:"meta,omitempty"`
+	// Pricer is the online pricer's deployment state (nil outside pricer
+	// checkpoints; version 2).
+	Pricer *PricerState `json:"pricer,omitempty"`
 }
 
 // OptState is the serialized optimizer state of a checkpoint.
@@ -65,10 +81,15 @@ type OptState struct {
 
 // RNGState is a checkpointable RNG stream position: the stream's seed and
 // the number of generator advances consumed so far (see
-// mathx.CountingSource).
+// mathx.CountingSource). Version 2 checkpoints additionally carry the
+// directly captured generator state — the stream's last mathx.StateLen
+// raw outputs (mathx.CountingSource.StateSnapshot) — so restore costs
+// O(StateLen) instead of replaying calls draws; State is empty for
+// streams younger than StateLen draws, where replay is just as fast.
 type RNGState struct {
-	Seed  int64  `json:"seed"`
-	Calls uint64 `json:"calls"`
+	Seed  int64    `json:"seed"`
+	Calls uint64   `json:"calls"`
+	State []uint64 `json:"state,omitempty"`
 }
 
 // EnvState is the cross-episode state of one training-environment stream
@@ -102,6 +123,45 @@ type TrainMeta struct {
 	// mismatch, so e.g. restored Adam moments can never silently continue
 	// under a different learning rate.
 	PPO string `json:"ppo,omitempty"`
+}
+
+// PricerState is the deployment state of the simulator-embedded online
+// pricer (sim.OnlinePricer) at an optimization-phase boundary — exactly
+// the state that, together with the learner sections, makes a restored
+// pricer continue pricing and training bit-identically. The package
+// stores only plain data here: the reward kind is the integer value of
+// pomdp.RewardKind (this package cannot import pomdp).
+type PricerState struct {
+	// History is the encoder belief window, one row per remembered round,
+	// oldest first; all rows have the same positive width (1 + demand
+	// slots).
+	History [][]float64 `json:"history"`
+	// Obs is the pricer's current observation — the flattened window the
+	// next action will be selected at (len(History)×row-width values).
+	Obs []float64 `json:"obs"`
+	// Best is the running-best live leader utility behind the Eq. (12)
+	// binary reward; meaningful only when BestSet (JSON cannot carry the
+	// -Inf that means "nothing observed yet").
+	Best float64 `json:"best"`
+	// BestSet reports whether Best holds an observed value.
+	BestSet bool `json:"best_set"`
+	// Rounds is the number of live rounds learned from so far.
+	Rounds int `json:"rounds"`
+	// Updates is the number of optimization phases run so far; it drives
+	// both reward accounting and the snapshot cadence.
+	Updates int `json:"updates"`
+	// Snapshots is the number of mid-run checkpoints delivered so far,
+	// this one included.
+	Snapshots int `json:"snapshots"`
+	// UpdateEvery is the optimization cadence |I| in live rounds.
+	UpdateEvery int `json:"update_every"`
+	// Reward is the configured reward kind as the integer value of
+	// pomdp.RewardKind.
+	Reward int `json:"reward"`
+	// BestTolFrac is the RewardBinary tolerance band configuration
+	// (pomdp.Config.BestTolFrac semantics: 0 default band, negative
+	// exact).
+	BestTolFrac float64 `json:"best_tol_frac"`
 }
 
 // Snapshot captures the current values of params into a weights-only
@@ -184,13 +244,94 @@ func (c *Checkpoint) Validate() error {
 			return err
 		}
 	}
+	if c.RNG != nil {
+		if err := c.RNG.validate(c.Version, "rng"); err != nil {
+			return err
+		}
+	}
 	for i, es := range c.Envs {
 		if es.BestSet && (math.IsNaN(es.Best) || math.IsInf(es.Best, 0)) {
 			return fmt.Errorf("nn: checkpoint env %d best value %v is not finite", i, es.Best)
 		}
+		if err := es.RNG.validate(c.Version, fmt.Sprintf("env %d rng", i)); err != nil {
+			return err
+		}
 	}
 	if c.Meta != nil && c.Meta.Episodes < 0 {
 		return fmt.Errorf("nn: checkpoint episode count %d is negative", c.Meta.Episodes)
+	}
+	if c.Pricer != nil {
+		if c.Version < 2 {
+			return fmt.Errorf("nn: checkpoint version %d cannot carry a pricer section (introduced in version 2)", c.Version)
+		}
+		if err := c.Pricer.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks one RNG stream position: a captured generator state is
+// a version-2 feature, must be exactly mathx.StateLen words, and is only
+// possible on a stream at least that many draws old.
+func (r *RNGState) validate(version int, label string) error {
+	if len(r.State) == 0 {
+		return nil
+	}
+	if version < 2 {
+		return fmt.Errorf("nn: checkpoint version %d cannot carry a captured %s generator state (introduced in version 2)", version, label)
+	}
+	if len(r.State) != mathx.StateLen {
+		return fmt.Errorf("nn: checkpoint %s state has %d words, want %d", label, len(r.State), mathx.StateLen)
+	}
+	if r.Calls < mathx.StateLen {
+		return fmt.Errorf("nn: checkpoint %s state with only %d calls is impossible (a full state needs at least %d draws)", label, r.Calls, mathx.StateLen)
+	}
+	return nil
+}
+
+// validate checks the pricer section's internal consistency.
+func (p *PricerState) validate() error {
+	if len(p.History) == 0 {
+		return fmt.Errorf("nn: checkpoint pricer section has an empty belief window")
+	}
+	width := len(p.History[0])
+	for i, row := range p.History {
+		if len(row) == 0 || len(row) != width {
+			return fmt.Errorf("nn: checkpoint pricer history row %d has width %d, want %d", i, len(row), width)
+		}
+		for j, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("nn: checkpoint pricer history[%d][%d] is %v", i, j, x)
+			}
+		}
+	}
+	if len(p.Obs) != len(p.History)*width {
+		return fmt.Errorf("nn: checkpoint pricer observation has %d values, want %d (%d rows × width %d)",
+			len(p.Obs), len(p.History)*width, len(p.History), width)
+	}
+	for i, x := range p.Obs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("nn: checkpoint pricer observation element %d is %v", i, x)
+		}
+	}
+	if p.BestSet && (math.IsNaN(p.Best) || math.IsInf(p.Best, 0)) {
+		return fmt.Errorf("nn: checkpoint pricer best value %v is not finite", p.Best)
+	}
+	if p.Rounds < 0 || p.Updates < 0 || p.Snapshots < 0 {
+		return fmt.Errorf("nn: checkpoint pricer counters negative (rounds=%d updates=%d snapshots=%d)", p.Rounds, p.Updates, p.Snapshots)
+	}
+	if p.UpdateEvery <= 0 {
+		return fmt.Errorf("nn: checkpoint pricer update cadence %d must be positive", p.UpdateEvery)
+	}
+	if p.Updates > p.Rounds {
+		return fmt.Errorf("nn: checkpoint pricer ran %d updates over only %d rounds", p.Updates, p.Rounds)
+	}
+	if p.Reward <= 0 {
+		return fmt.Errorf("nn: checkpoint pricer reward kind %d unknown", p.Reward)
+	}
+	if math.IsNaN(p.BestTolFrac) || math.IsInf(p.BestTolFrac, 0) {
+		return fmt.Errorf("nn: checkpoint pricer tolerance %v is not finite", p.BestTolFrac)
 	}
 	return nil
 }
@@ -239,7 +380,9 @@ func validateVector(kind, name string, v []float64) error {
 	return nil
 }
 
-// Save writes the checkpoint as JSON.
+// Save writes the checkpoint as JSON (the human-readable encoding; see
+// SaveBinary for the compact one). Both encodings round-trip every
+// float64 bit-exactly.
 func (c *Checkpoint) Save(w io.Writer) error {
 	if err := c.Validate(); err != nil {
 		return err
@@ -251,14 +394,21 @@ func (c *Checkpoint) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadCheckpoint reads and validates a JSON checkpoint. Unknown JSON
-// fields, unsupported versions, zero-length parameter vectors, and
-// non-finite values are rejected with a descriptive error, so a
-// hand-edited or truncated file fails loudly instead of training on
-// garbage.
+// LoadCheckpoint reads and validates a checkpoint in either encoding,
+// auto-detected from the leading bytes: files starting with the binary
+// magic decode through the binary reader (see SaveBinary), everything
+// else parses as JSON. Unknown JSON fields, unsupported versions,
+// zero-length parameter vectors, non-finite values, and — for binary
+// files — truncation, trailing garbage, or any bit flip (checksummed)
+// are rejected with a descriptive error, so a hand-edited or corrupted
+// file fails loudly instead of training on garbage.
 func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(binaryMagic)); err == nil && string(magic) == binaryMagic {
+		return loadBinaryCheckpoint(br)
+	}
 	var c Checkpoint
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(br)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&c); err != nil {
 		return nil, fmt.Errorf("nn: decoding checkpoint: %w", err)

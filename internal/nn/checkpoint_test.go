@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -109,7 +110,7 @@ func TestFullCheckpointRoundTrip(t *testing.T) {
 	if fresh.t != opt.t {
 		t.Fatalf("restored step %d, want %d", fresh.t, opt.t)
 	}
-	if *loaded.RNG != *ck.RNG || *loaded.Meta != *ck.Meta || len(loaded.Envs) != 2 || loaded.Envs[0] != ck.Envs[0] || loaded.Envs[1] != ck.Envs[1] {
+	if !reflect.DeepEqual(loaded.RNG, ck.RNG) || *loaded.Meta != *ck.Meta || !reflect.DeepEqual(loaded.Envs, ck.Envs) {
 		t.Fatal("auxiliary sections did not round-trip")
 	}
 }
@@ -263,9 +264,10 @@ func TestLegacyParamsOnlyCheckpointLoads(t *testing.T) {
 	}
 }
 
-// FuzzLoadCheckpoint feeds arbitrary bytes through the loader: it must
-// never panic — malformed, truncated, or hostile input returns an error
-// (or a checkpoint that passed validation).
+// FuzzLoadCheckpoint feeds arbitrary bytes through the loader — both the
+// JSON path and, via the leading magic, the binary decoder: it must never
+// panic — malformed, truncated, or hostile input returns an error (or a
+// checkpoint that passed validation).
 func FuzzLoadCheckpoint(f *testing.F) {
 	f.Add(`{"params":{"w":[1,2]}}`)
 	f.Add(`{"version":1,"params":{"w":[1]},"opt":{"algo":"adam","step":3,"m":{"w":[0]},"v":{"w":[0]}},"rng":{"seed":1,"calls":10},"envs":[{"rng":{"seed":2,"calls":5},"best":1.5,"best_set":true}],"meta":{"episodes":4,"fingerprint":"x"}}`)
@@ -276,17 +278,60 @@ func FuzzLoadCheckpoint(f *testing.F) {
 	f.Add(`null`)
 	f.Add(``)
 	f.Add(`[1,2,3]`)
+	// Binary seeds: a valid encoding, truncations, a bit flip, trailing
+	// garbage, and a bare/hostile header.
+	bin := fuzzBinarySeed(f)
+	f.Add(string(bin))
+	f.Add(string(bin[:len(bin)/2]))
+	f.Add(string(bin[:len(bin)-2]))
+	flipped := append([]byte(nil), bin...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(string(flipped))
+	f.Add(string(bin) + "tail")
+	f.Add(binaryMagic)
+	f.Add(binaryMagic + "\x02\x00P\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01Z")
 	f.Fuzz(func(t *testing.T, in string) {
 		ck, err := LoadCheckpoint(strings.NewReader(in))
 		if err != nil {
 			return
 		}
-		// Whatever loads must re-validate and re-save cleanly.
+		// Whatever loads must re-validate and re-save cleanly in both
+		// encodings, and the binary re-encoding must load back.
 		if err := ck.Validate(); err != nil {
 			t.Fatalf("loaded checkpoint fails validation: %v", err)
 		}
 		if err := ck.Save(&bytes.Buffer{}); err != nil {
 			t.Fatalf("loaded checkpoint fails to save: %v", err)
 		}
+		var buf bytes.Buffer
+		if err := ck.SaveBinary(&buf); err != nil {
+			t.Fatalf("loaded checkpoint fails to save as binary: %v", err)
+		}
+		if _, err := LoadCheckpoint(&buf); err != nil {
+			t.Fatalf("binary re-encoding fails to load: %v", err)
+		}
 	})
+}
+
+// fuzzBinarySeed builds a small valid binary checkpoint for the fuzz
+// corpus.
+func fuzzBinarySeed(f *testing.F) []byte {
+	f.Helper()
+	ck := &Checkpoint{
+		Version: CheckpointVersion,
+		Params:  map[string][]float64{"w": {1, 2}, "b": {3}},
+		Opt:     &OptState{Algo: "adam", Step: 3, M: map[string][]float64{"w": {0, 0}, "b": {0}}, V: map[string][]float64{"w": {0, 0}, "b": {0}}},
+		RNG:     &RNGState{Seed: 1, Calls: 10},
+		Envs:    []EnvState{{RNG: RNGState{Seed: 2, Calls: 5}, Best: 1.5, BestSet: true}},
+		Meta:    &TrainMeta{Episodes: 4, Fingerprint: "x", PPO: "y"},
+		Pricer: &PricerState{
+			History: [][]float64{{0.1, 0.2}, {0.3, 0.4}}, Obs: []float64{0.1, 0.2, 0.3, 0.4},
+			Best: 2, BestSet: true, Rounds: 40, Updates: 2, Snapshots: 1, UpdateEvery: 20, Reward: 1,
+		},
+	}
+	var buf bytes.Buffer
+	if err := ck.SaveBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
 }

@@ -94,6 +94,43 @@ func (e *Encoder) Obs() []float64 {
 	return e.obs
 }
 
+// HistoryLen returns the number of rounds the window holds.
+func (e *Encoder) HistoryLen() int { return len(e.history) }
+
+// Snapshot deep-copies the belief window, oldest round first, in the
+// normalized row layout Record writes. The rows go into a checkpoint's
+// pricer section so a restored holder resumes with the exact belief the
+// snapshotted one had (determinism contract rule 6).
+func (e *Encoder) Snapshot() [][]float64 {
+	rows := make([][]float64, len(e.history))
+	flat := make([]float64, len(e.obs))
+	width := len(e.obs) / len(e.history)
+	for i, row := range e.history {
+		rows[i] = flat[i*width : (i+1)*width]
+		copy(rows[i], row)
+	}
+	return rows
+}
+
+// Restore overwrites the belief window with checkpointed rows (oldest
+// first, as produced by Snapshot). The rows must match the encoder's
+// window exactly; values are copied, the caller keeps ownership.
+func (e *Encoder) Restore(rows [][]float64) error {
+	if len(rows) != len(e.history) {
+		return fmt.Errorf("pomdp: restoring encoder window: got %d rows, want %d", len(rows), len(e.history))
+	}
+	width := len(e.obs) / len(e.history)
+	for i, row := range rows {
+		if len(row) != width {
+			return fmt.Errorf("pomdp: restoring encoder window: row %d has width %d, want %d", i, len(row), width)
+		}
+	}
+	for i, row := range rows {
+		copy(e.history[i], row)
+	}
+	return nil
+}
+
 // Reset zeroes the window (a fresh belief with no recorded rounds).
 func (e *Encoder) Reset() {
 	for _, row := range e.history {

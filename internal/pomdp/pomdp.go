@@ -243,7 +243,7 @@ func (e *GameEnv) Step(action []float64) ([]float64, float64, bool) {
 // and the running-best utility of Eq. (12), which persists across
 // episodes unless ResetBestPerEpisode is set.
 func (e *GameEnv) EnvSnapshot() nn.EnvState {
-	st := nn.EnvState{RNG: nn.RNGState{Seed: e.cfg.Seed, Calls: e.src.Calls()}}
+	st := nn.EnvState{RNG: nn.RNGState{Seed: e.cfg.Seed, Calls: e.src.Calls(), State: e.src.StateSnapshot()}}
 	if best := e.best.Best(); !math.IsInf(best, -1) {
 		st.Best, st.BestSet = best, true
 	}
@@ -258,7 +258,11 @@ func (e *GameEnv) EnvRestore(st nn.EnvState) error {
 	if st.RNG.Seed != e.cfg.Seed {
 		return fmt.Errorf("pomdp: checkpoint stream seed %d, environment configured with %d", st.RNG.Seed, e.cfg.Seed)
 	}
-	e.src = mathx.NewCountingSourceAt(st.RNG.Seed, st.RNG.Calls)
+	src, err := mathx.NewCountingSourceFromState(st.RNG.Seed, st.RNG.Calls, st.RNG.State)
+	if err != nil {
+		return fmt.Errorf("pomdp: restoring environment RNG: %w", err)
+	}
+	e.src = src
 	e.rng = rand.New(e.src)
 	if st.BestSet {
 		e.best.SetBest(st.Best)

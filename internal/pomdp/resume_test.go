@@ -3,6 +3,7 @@ package pomdp
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"testing"
 
 	"vtmig/internal/nn"
@@ -163,7 +164,7 @@ func TestGameEnvTrainerResumeBitIdentity(t *testing.T) {
 			for e := 0; e < envs; e++ {
 				a := refVec.EnvAt(e).(*GameEnv).EnvSnapshot()
 				b := resVec.EnvAt(e).(*GameEnv).EnvSnapshot()
-				if a != b {
+				if !reflect.DeepEqual(a, b) {
 					t.Fatalf("env %d stream state %+v, want %+v", e, b, a)
 				}
 			}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync"
 
 	"vtmig/internal/mat"
@@ -100,6 +102,28 @@ func (c PPOConfig) Fingerprint() string {
 	c.Shards = 0
 	c.Seed = 0
 	return fmt.Sprintf("ppo-v1|%+v", c)
+}
+
+// LRFromFingerprint extracts the Adam learning rate recorded in a
+// PPOConfig fingerprint (Checkpoint.Meta.PPO), so tooling can rebuild a
+// matching learner from a full checkpoint without the user repeating the
+// training flags. It returns false when the string carries no parseable
+// LR token (e.g. a legacy or foreign fingerprint).
+func LRFromFingerprint(fp string) (float64, bool) {
+	const key = " LR:"
+	i := strings.Index(fp, key)
+	if i < 0 {
+		return 0, false
+	}
+	rest := fp[i+len(key):]
+	if j := strings.IndexAny(rest, " }"); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil || !(v > 0) {
+		return 0, false
+	}
+	return v, true
 }
 
 // validate panics on nonsensical settings; every violation is a
@@ -199,6 +223,12 @@ func NewPPO(obsDim, actDim int, actLo, actHi []float64, cfg PPOConfig) *PPO {
 // Config returns the learner's configuration.
 func (p *PPO) Config() PPOConfig { return p.cfg }
 
+// ObsDim returns the observation dimension the network was built for.
+func (p *PPO) ObsDim() int { return p.net.ObsDim() }
+
+// ActDim returns the action dimension the network was built for.
+func (p *PPO) ActDim() int { return p.net.ActDim() }
+
 // Params exposes the network parameters (for checkpointing).
 func (p *PPO) Params() []*nn.Param { return p.net.Params() }
 
@@ -216,7 +246,7 @@ func (p *PPO) Snapshot() (*nn.Checkpoint, error) {
 	if ck.Opt, err = p.opt.StateSnapshot(p.net.Params()); err != nil {
 		return nil, err
 	}
-	ck.RNG = &nn.RNGState{Seed: p.rngSeed, Calls: p.src.Calls()}
+	ck.RNG = &nn.RNGState{Seed: p.rngSeed, Calls: p.src.Calls(), State: p.src.StateSnapshot()}
 	ck.Meta = &nn.TrainMeta{PPO: p.cfg.Fingerprint()}
 	return ck, nil
 }
@@ -225,9 +255,10 @@ func (p *PPO) Snapshot() (*nn.Checkpoint, error) {
 // one. The checkpoint must carry the optimizer and RNG sections (use
 // RestoreWeights for a params-only warm start) and must match the
 // network's architecture exactly — unknown, missing, or mis-sized entries
-// are rejected before anything is applied. The RNG stream is restored by
-// replaying the checkpointed (seed, calls) pair, so subsequent draws
-// continue the snapshotted stream exactly.
+// are rejected before anything is applied. The RNG stream continues the
+// snapshotted stream exactly: version-2 checkpoints carry the captured
+// generator state and restore in constant time; older ones replay the
+// (seed, calls) pair.
 func (p *PPO) Restore(ck *nn.Checkpoint) error {
 	if ck == nil {
 		return fmt.Errorf("rl: nil checkpoint")
@@ -249,8 +280,12 @@ func (p *PPO) Restore(ck *nn.Checkpoint) error {
 	if err := ck.Restore(p.net.Params()); err != nil {
 		return err
 	}
+	src, err := mathx.NewCountingSourceFromState(ck.RNG.Seed, ck.RNG.Calls, ck.RNG.State)
+	if err != nil {
+		return fmt.Errorf("rl: restoring policy RNG: %w", err)
+	}
 	p.rngSeed = ck.RNG.Seed
-	p.src = mathx.NewCountingSourceAt(ck.RNG.Seed, ck.RNG.Calls)
+	p.src = src
 	p.rng = rand.New(p.src)
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"reflect"
 	"runtime"
 	"testing"
 
@@ -126,7 +127,7 @@ func TestResumeBitIdentity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if *ckA.RNG != *ckB.RNG {
+			if !reflect.DeepEqual(ckA.RNG, ckB.RNG) {
 				t.Fatalf("policy RNG position %+v, want %+v", ckB.RNG, ckA.RNG)
 			}
 			if ckA.Opt.Step != ckB.Opt.Step {
@@ -222,7 +223,7 @@ func TestAgentClone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *after.RNG != *before.RNG {
+	if !reflect.DeepEqual(after.RNG, before.RNG) {
 		t.Fatal("training the clone moved the original's RNG")
 	}
 	if diff, ok := paramsEqualBits(agent.Params(), clone.Params()); ok {

@@ -98,6 +98,36 @@ func (c *StreamCollector) update(done bool, nextObs []float64) UpdateStats {
 	return c.last
 }
 
+// Snapshot returns the stream counters — transitions ever added and
+// optimization phases run — for a checkpoint's pricer section. A
+// snapshot is only valid at a phase boundary: mid-segment transitions
+// live in the on-policy rollout buffer, are discarded by the next
+// update, and cannot be replayed on restore, so Snapshot errors while
+// transitions are pending.
+func (c *StreamCollector) Snapshot() (total, updates int, err error) {
+	if c.since != 0 {
+		return 0, 0, fmt.Errorf("rl: stream collector has %d pending transitions; snapshot only at a phase boundary", c.since)
+	}
+	return c.total, c.updates, nil
+}
+
+// Restore overwrites the stream counters with checkpointed values, so a
+// collector rebuilt from a checkpoint reports the same Total/Updates
+// the snapshotted one did. The collector must be fresh (no transitions
+// staged or counted) and the counters must be consistent: every
+// optimization phase consumes at least one transition.
+func (c *StreamCollector) Restore(total, updates int) error {
+	if c.since != 0 || c.total != 0 || c.updates != 0 {
+		return fmt.Errorf("rl: restoring stream counters into a used collector (since=%d total=%d updates=%d)", c.since, c.total, c.updates)
+	}
+	if total < 0 || updates < 0 || updates > total {
+		return fmt.Errorf("rl: restoring impossible stream counters (total=%d updates=%d)", total, updates)
+	}
+	c.total = total
+	c.updates = updates
+	return nil
+}
+
 // Pending returns the number of transitions staged since the last
 // optimization phase.
 func (c *StreamCollector) Pending() int { return c.since }

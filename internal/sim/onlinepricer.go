@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"vtmig/internal/mathx"
@@ -51,15 +52,19 @@ type OnlinePricerConfig struct {
 	// Seed drives the random initial history and the cold-start learner.
 	// Zero selects 1.
 	Seed int64
-	// SnapshotEvery, when positive, captures a full learner checkpoint —
-	// weights, Adam moments, RNG stream position (rl.PPO.Snapshot) —
+	// SnapshotEvery, when positive, captures a full resume checkpoint
 	// after every SnapshotEvery-th completed optimization phase and hands
-	// it to OnSnapshot. Snapshots land exactly on phase boundaries, where
-	// the learning buffer is empty, so an agent restored from one resumes
-	// training bit-identically (determinism contract rule 6). Zero
-	// disables mid-run snapshots.
+	// it to OnSnapshot. The checkpoint is exactly what
+	// OnlinePricer.Snapshot produces: the learner's weights, Adam moments,
+	// and captured RNG generator state, plus the pricer section — the
+	// encoder's belief window, the current observation, the running-best
+	// reward reference, and the stream counters — so
+	// NewOnlinePricerFromCheckpoint resumes the online run bit-identically
+	// (determinism contract rule 6). Snapshots land exactly on phase
+	// boundaries, where the learning buffer is empty. Zero disables
+	// mid-run snapshots.
 	SnapshotEvery int
-	// OnSnapshot receives the mid-run checkpoints; required when
+	// OnSnapshot receives the mid-run resume checkpoints; required when
 	// SnapshotEvery is positive. It runs synchronously on the pricing
 	// path — defer heavy persistence work out of the callback.
 	OnSnapshot func(*nn.Checkpoint)
@@ -98,10 +103,12 @@ func (c OnlinePricerConfig) Validate() error {
 		return err
 	}
 	if c.HistoryLen < 0 {
-		return fmt.Errorf("sim: online pricer history length %d must be positive", c.HistoryLen)
+		// Zero already defaulted to the paper's value above, so only
+		// negatives reach this check.
+		return fmt.Errorf("sim: online pricer history length %d must not be negative", c.HistoryLen)
 	}
 	if c.UpdateEvery < 0 {
-		return fmt.Errorf("sim: online pricer update interval %d must be positive", c.UpdateEvery)
+		return fmt.Errorf("sim: online pricer update interval %d must not be negative", c.UpdateEvery)
 	}
 	switch c.Reward {
 	case pomdp.RewardBinary, pomdp.RewardShaped:
@@ -141,11 +148,12 @@ func (c OnlinePricerConfig) Validate() error {
 // bit-identical sim.Report and bit-identical final weights for any
 // CollectWorkers, shard count, and GOMAXPROCS.
 type OnlinePricer struct {
-	agent   *rl.PPO
-	col     *rl.StreamCollector
-	enc     *pomdp.Encoder
-	tracker *pomdp.BestTracker
-	reward  pomdp.RewardKind
+	agent       *rl.PPO
+	col         *rl.StreamCollector
+	enc         *pomdp.Encoder
+	tracker     *pomdp.BestTracker
+	reward      pomdp.RewardKind
+	bestTolFrac float64
 
 	// mid-run snapshot hooks (see OnlinePricerConfig).
 	snapshotEvery int
@@ -182,6 +190,7 @@ func NewOnlinePricer(cfg OnlinePricerConfig) (*OnlinePricer, error) {
 		enc:           enc,
 		tracker:       pomdp.NewBestTracker(cfg.BestTolFrac),
 		reward:        cfg.Reward,
+		bestTolFrac:   cfg.BestTolFrac,
 		snapshotEvery: cfg.SnapshotEvery,
 		onSnapshot:    cfg.OnSnapshot,
 		obs:           make([]float64, enc.ObsDim()),
@@ -193,11 +202,110 @@ func NewOnlinePricer(cfg OnlinePricerConfig) (*OnlinePricer, error) {
 	return p, nil
 }
 
+// NewOnlinePricerFromCheckpoint resumes an online pricer from a
+// checkpoint written by OnlinePricer.Snapshot (directly or through the
+// OnSnapshot hook): the learner's full training state is restored and
+// the belief window, current observation, running-best reward
+// reference, and stream counters pick up exactly where the snapshotted
+// pricer left off, so continuing the same simulation stream is
+// bit-identical to never having stopped (determinism contract rule 6).
+//
+// cfg.Agent must be nil — the agent is rebuilt from the checkpoint.
+// Zero-valued HistoryLen, UpdateEvery, Reward, and BestTolFrac adopt
+// the checkpointed values; explicitly set ones must match them. Seed
+// only matters for a restored pricer through PPO cold-start defaults
+// and is otherwise ignored: the warm-history stage is skipped and the
+// learner RNG continues the checkpointed stream.
+func NewOnlinePricerFromCheckpoint(cfg OnlinePricerConfig, ck *nn.Checkpoint) (*OnlinePricer, error) {
+	if ck == nil || ck.Pricer == nil {
+		return nil, fmt.Errorf("sim: checkpoint carries no pricer section; only checkpoints written by OnlinePricer.Snapshot can resume an online run")
+	}
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	if ck.Opt == nil || ck.RNG == nil {
+		return nil, fmt.Errorf("sim: pricer checkpoint lacks optimizer/RNG state; cannot resume training from it")
+	}
+	if cfg.Agent != nil {
+		return nil, fmt.Errorf("sim: OnlinePricerConfig.Agent must be nil when resuming from a checkpoint")
+	}
+	ps := ck.Pricer
+	if cfg.HistoryLen == 0 {
+		cfg.HistoryLen = len(ps.History)
+	} else if cfg.HistoryLen != len(ps.History) {
+		return nil, fmt.Errorf("sim: config history length %d, checkpoint belief window has %d rounds", cfg.HistoryLen, len(ps.History))
+	}
+	if cfg.UpdateEvery == 0 {
+		cfg.UpdateEvery = ps.UpdateEvery
+	} else if cfg.UpdateEvery != ps.UpdateEvery {
+		return nil, fmt.Errorf("sim: config update interval %d, checkpoint ran with %d", cfg.UpdateEvery, ps.UpdateEvery)
+	}
+	if cfg.Reward == 0 {
+		cfg.Reward = pomdp.RewardKind(ps.Reward)
+	} else if int(cfg.Reward) != ps.Reward {
+		return nil, fmt.Errorf("sim: config reward kind %d, checkpoint ran with %d", int(cfg.Reward), ps.Reward)
+	}
+	if cfg.BestTolFrac == 0 {
+		cfg.BestTolFrac = ps.BestTolFrac
+	} else if cfg.BestTolFrac != ps.BestTolFrac {
+		return nil, fmt.Errorf("sim: config best tolerance %g, checkpoint ran with %g", cfg.BestTolFrac, ps.BestTolFrac)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	enc, err := pomdp.NewGameEncoder(cfg.HistoryLen, cfg.Game)
+	if err != nil {
+		return nil, err
+	}
+	if width := len(ps.History[0]); width != 1+cfg.Game.N() {
+		return nil, fmt.Errorf("sim: checkpoint belief rows have width %d, the reference game needs %d (1 price + %d demand slots) — was the checkpoint written over a different game size?",
+			width, 1+cfg.Game.N(), cfg.Game.N())
+	}
+	ppoCfg := cfg.PPO
+	ppoCfg.Seed = cfg.Seed
+	agent := rl.NewPPO(enc.ObsDim(), 1, []float64{cfg.Game.Cost}, []float64{cfg.Game.PMax}, ppoCfg)
+	if err := agent.Restore(ck); err != nil {
+		return nil, err
+	}
+	p := &OnlinePricer{
+		agent:         agent,
+		col:           rl.NewStreamCollector(agent, cfg.UpdateEvery),
+		enc:           enc,
+		tracker:       pomdp.NewBestTracker(cfg.BestTolFrac),
+		reward:        cfg.Reward,
+		bestTolFrac:   cfg.BestTolFrac,
+		snapshotEvery: cfg.SnapshotEvery,
+		onSnapshot:    cfg.OnSnapshot,
+		snapshots:     ps.Snapshots,
+		obs:           make([]float64, enc.ObsDim()),
+	}
+	if err := p.enc.Restore(ps.History); err != nil {
+		return nil, err
+	}
+	copy(p.obs, ps.Obs)
+	if ps.BestSet {
+		p.tracker.SetBest(ps.Best)
+	}
+	if err := p.col.Restore(ps.Rounds, ps.Updates); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // checkAgent verifies a warm-start agent against the reference
-// interface. A dimension mismatch would panic deep inside the first
-// forward pass; probe once up front and surface it as a construction
-// error instead (the probe consumes no learner RNG).
+// interface. The dimension mismatches have named errors pointing at the
+// configuration knob that causes them; the recovering probe remains as a
+// backstop for anything else the first forward pass would panic on (the
+// probe consumes no learner RNG).
 func (p *OnlinePricer) checkAgent(cfg OnlinePricerConfig) (err error) {
+	if got, want := p.agent.ObsDim(), p.enc.ObsDim(); got != want {
+		return fmt.Errorf("sim: warm-start agent expects observation dim %d, but history length %d over the reference game gives %d — HistoryLen (or the game size) differs from the agent's training configuration",
+			got, cfg.HistoryLen, want)
+	}
+	if got := p.agent.ActDim(); got != 1 {
+		return fmt.Errorf("sim: online pricer needs a 1-dimensional price action, agent has %d", got)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("sim: online pricer agent does not fit the reference game interface (obs dim %d, 1 action): %v",
@@ -264,19 +372,61 @@ func (p *OnlinePricer) PriceFor(g *stackelberg.Game) float64 {
 
 // maybeSnapshot fires the mid-run snapshot hook when an optimization
 // phase just completed and the cadence hits. The learning buffer is empty
-// here, so the checkpoint restores training bit-identically.
+// here, so the checkpoint resumes the run bit-identically.
 func (p *OnlinePricer) maybeSnapshot() {
 	if p.snapshotEvery <= 0 || p.col.Updates()%p.snapshotEvery != 0 {
 		return
 	}
-	ck, err := p.agent.Snapshot()
+	// Count the snapshot before capturing it, so the checkpoint records a
+	// counter that includes itself and a resumed pricer continues the
+	// numbering exactly.
+	p.snapshots++
+	ck, err := p.Snapshot()
 	if err != nil {
-		// Snapshot only fails on duplicate parameter names — a
-		// programming error in the network construction.
+		// Snapshot only fails mid-segment (impossible here — a phase just
+		// completed) or on duplicate parameter names — a programming error
+		// in the network construction.
 		panic(fmt.Sprintf("sim: online pricer snapshot: %v", err))
 	}
-	p.snapshots++
 	p.onSnapshot(ck)
+}
+
+// Snapshot captures the pricer's complete resume state: the learner's
+// full training checkpoint (weights, Adam moments, captured RNG
+// generator state) plus the pricer section — the encoder's belief
+// window (oldest round first), the current observation, the
+// running-best reward reference, and the stream counters.
+// NewOnlinePricerFromCheckpoint rebuilds a pricer from it that continues
+// the run bit-identically (determinism contract rule 6).
+//
+// Snapshots are only valid on optimization-phase boundaries: pending
+// transitions live in the on-policy learning buffer and cannot be
+// checkpointed, so Snapshot errors while any are staged (Flush first,
+// or snapshot through the SnapshotEvery hook, which always lands on a
+// boundary).
+func (p *OnlinePricer) Snapshot() (*nn.Checkpoint, error) {
+	total, updates, err := p.col.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("sim: online pricer snapshot: %w", err)
+	}
+	ck, err := p.agent.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	ck.Pricer = &nn.PricerState{
+		History:     p.enc.Snapshot(),
+		Obs:         append([]float64(nil), p.obs...),
+		Rounds:      total,
+		Updates:     updates,
+		Snapshots:   p.snapshots,
+		UpdateEvery: p.col.UpdateEvery(),
+		Reward:      int(p.reward),
+		BestTolFrac: p.bestTolFrac,
+	}
+	if best := p.tracker.Best(); !math.IsInf(best, -1) {
+		ck.Pricer.Best, ck.Pricer.BestSet = best, true
+	}
+	return ck, nil
 }
 
 // Flush closes the current partial learning segment with one final

@@ -105,23 +105,66 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
-// Run executes the simulation and returns the aggregated report.
+// Run executes the full configured duration and returns the aggregated
+// report. It is exactly RunFor(DurationS) followed by Finish — callers
+// that need to pause mid-run (e.g. to snapshot and swap an online
+// pricer) drive those pieces themselves.
 func (s *Simulator) Run() Report {
-	steps := int(s.cfg.DurationS / s.cfg.TimeStepS)
-	for step := 0; step < steps; step++ {
-		s.now += s.cfg.TimeStepS
-		s.drainCompletions()
-		s.moveVehicles()
-		s.deliverSensingUpdates()
-		s.collectHandovers()
-		s.runPricingRound()
+	s.RunFor(s.cfg.DurationS)
+	return s.Finish()
+}
+
+// Step advances the simulation by one time step: completions drain,
+// vehicles move, sensing updates deliver, handovers queue, and at most
+// one pricing round runs.
+func (s *Simulator) Step() {
+	s.now += s.cfg.TimeStepS
+	s.drainCompletions()
+	s.moveVehicles()
+	s.deliverSensingUpdates()
+	s.collectHandovers()
+	s.runPricingRound()
+}
+
+// RunFor advances the simulation by the given span of simulated time,
+// rounded down to whole steps. Splitting a run into several RunFor calls
+// whose spans are individually whole multiples of TimeStepS is
+// bit-identical to one call over the total.
+func (s *Simulator) RunFor(seconds float64) {
+	steps := int(seconds / s.cfg.TimeStepS)
+	for i := 0; i < steps; i++ {
+		s.Step()
 	}
-	// Flush migrations still in flight at the horizon.
+}
+
+// Finish flushes migrations still in flight at the horizon, finalizes
+// the aggregate statistics, and returns the report. Call it once, after
+// the last Step/RunFor.
+func (s *Simulator) Finish() Report {
 	for s.completions.Len() > 0 {
 		s.finish(heap.Pop(&s.completions).(completion))
 	}
 	s.finalizeReport()
 	return s.report
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// SetPricer swaps the pricing strategy between steps — the hook behind
+// simulation-level resume: snapshot an online pricer at an
+// optimization-phase boundary, rebuild it from the checkpoint
+// (NewOnlinePricerFromCheckpoint), swap it in, and the remaining steps
+// are bit-identical to never having swapped (determinism contract
+// rule 6). The report keeps counting across the swap; only the pricer
+// name is refreshed.
+func (s *Simulator) SetPricer(p Pricer) error {
+	if p == nil {
+		return fmt.Errorf("sim: cannot swap in a nil pricer")
+	}
+	s.cfg.Pricer = p
+	s.report.PricerName = p.Name()
+	return nil
 }
 
 // drainCompletions completes every migration whose finish time has passed.

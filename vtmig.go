@@ -47,9 +47,16 @@ type (
 	// Checkpoint is a versioned training checkpoint. A full one —
 	// TrainResult.Checkpoint, or a file written by vtmig-train
 	// -checkpoint — carries weights, per-parameter Adam moments and step
-	// count, the policy RNG stream position, every training-environment
-	// stream's state, and the episode count, so ResumeTraining continues
-	// the run bit-identically (determinism contract rule 6).
+	// count, the policy RNG stream (version 2 captures the generator
+	// state itself, so restore is exact and O(1) regardless of stream
+	// length), every training-environment stream's state, and the episode
+	// count, so ResumeTraining continues the run bit-identically
+	// (determinism contract rule 6). A checkpoint written by
+	// OnlinePricer.Snapshot additionally carries the pricer section —
+	// belief window, current observation, best tracker, stream counters —
+	// for NewOnlinePricerFromCheckpoint. Checkpoints serialize as JSON
+	// (Save) or as the compact CRC-checked binary format (SaveBinary);
+	// LoadCheckpoint auto-detects either.
 	Checkpoint = nn.Checkpoint
 )
 
@@ -118,10 +125,12 @@ func ResumeTraining(game *Game, cfg DRLConfig, ck *Checkpoint) (*TrainResult, er
 	return experiments.ResumeAgent(game, cfg, ck)
 }
 
-// LoadCheckpoint reads and strictly validates a JSON checkpoint (e.g. one
-// written by vtmig-train -checkpoint or Checkpoint.Save): unknown fields,
-// mis-sized or empty parameter vectors, and non-finite values are
-// rejected with a descriptive error.
+// LoadCheckpoint reads and strictly validates a checkpoint in either
+// encoding — JSON (Checkpoint.Save) or the compact binary format
+// (Checkpoint.SaveBinary), auto-detected by the leading magic. Unknown
+// fields, mis-sized or empty parameter vectors, non-finite values,
+// truncation, and bit corruption (binary: CRC-checked) are rejected with
+// a descriptive error.
 func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return nn.LoadCheckpoint(r)
 }
@@ -166,6 +175,18 @@ func RunSimulation(cfg SimConfig) (SimReport, error) {
 // from scratch when cfg.Agent is nil.
 func NewOnlinePricer(cfg OnlinePricerConfig) (*OnlinePricer, error) {
 	return sim.NewOnlinePricer(cfg)
+}
+
+// NewOnlinePricerFromCheckpoint resumes an online pricer from a
+// checkpoint written by OnlinePricer.Snapshot (or its SnapshotEvery
+// hook): the learner's full training state plus the belief window,
+// current observation, best tracker, and stream counters are restored,
+// so continuing the same simulation stream is bit-identical to never
+// having stopped (determinism contract rule 6). Zero-valued config
+// fields adopt the checkpointed hyper-parameters; explicitly set ones
+// must match them.
+func NewOnlinePricerFromCheckpoint(cfg OnlinePricerConfig, ck *Checkpoint) (*OnlinePricer, error) {
+	return sim.NewOnlinePricerFromCheckpoint(cfg, ck)
 }
 
 // DefaultOnlineStudyConfig returns the frozen-vs-online comparison over
