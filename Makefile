@@ -4,7 +4,8 @@
 # gofmt cleanliness, build, race-enabled tests (which exercise the
 # experiment worker pool under the race detector), the sharded-update,
 # vectorized-collection, and online-learning determinism suites under
-# -race, and a short benchmark smoke pass over the PPO hot path.
+# -race, the serving crash-recovery smoke (serve-smoke), and a short
+# benchmark smoke pass over the PPO hot path.
 #
 # Benchmark regressions are gated by tools/benchdiff, which diffs two
 # recordings — BENCH_*.json snapshots or raw `go test -bench -benchmem`
@@ -25,11 +26,11 @@
 GO ?= go
 
 # BASE is the snapshot bench-compare measures against.
-BASE ?= BENCH_pr6.json
+BASE ?= BENCH_pr7.json
 # BENCH_HOT selects the hot-path benchmarks bench-compare re-measures.
-BENCH_HOT = PPOUpdate$$|PPOUpdateSharded|PPOSelectAction|MLPForward$$|Evaluate|SolveScratch|Collect|TrainerEpisode|StreamCollect|SimRoundOnline|Snapshot|Resume|CheckpointJSON|CheckpointBinary
+BENCH_HOT = PPOUpdate$$|PPOUpdateSharded|PPOSelectAction|MLPForward$$|Evaluate|SolveScratch|Collect|TrainerEpisode|StreamCollect|SimRoundOnline|Snapshot|Resume|CheckpointJSON|CheckpointBinary|ServeQuote
 
-.PHONY: all vet fmt-check build test race race-sharded race-collect race-online race-resume bench-smoke bench bench-compare bench-multicore golden ci
+.PHONY: all vet fmt-check build test race race-sharded race-collect race-online race-resume serve-smoke bench-smoke bench bench-compare bench-multicore golden ci
 
 all: ci
 
@@ -87,12 +88,22 @@ race-online:
 race-resume:
 	$(GO) test -race -count=2 -run 'Resume|Snapshot|Checkpoint|Clone|CountingSource' ./internal/rl ./internal/nn ./internal/pomdp ./internal/mathx ./internal/sim
 
+# serve-smoke pins the serving layer's crash-recovery story under the
+# race detector: quote against a live daemon, kill it mid-run, reopen the
+# state directory (checkpoint restore + journal replay), and assert the
+# recovered quotes and learner weights are bit-identical to an
+# uninterrupted run — plus the journal edge cases (torn trailing line,
+# rotated-away checkpoint, mid-file corruption) and the daemon-level
+# restart-resume flow.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'Serve|Journal|Quote|Loadgen|HTTP' ./internal/serve ./cmd/vtmig-serve ./cmd/vtmig-loadgen
+
 # bench-smoke exercises the PPO hot-path benchmarks just enough to catch
 # gross regressions and allocation reintroductions. The checkpoint
 # encode/decode pair keeps the binary format's size and speed advantage
 # over JSON visible in every smoke pass.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'PPOUpdate$$|PPOSelectAction|MLPForward|MatMul|Collect|StreamCollect|SimRoundOnline|Snapshot|Resume|CheckpointJSON|CheckpointBinary' -benchmem -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'PPOUpdate$$|PPOSelectAction|MLPForward|MatMul|Collect|StreamCollect|SimRoundOnline|Snapshot|Resume|CheckpointJSON|CheckpointBinary|ServeQuote' -benchmem -benchtime 100x .
 
 # bench is the full benchmark suite used to fill BENCH_pr*.json.
 bench:
@@ -120,4 +131,4 @@ golden:
 	$(GO) test ./internal/experiments -run Golden -update
 	$(GO) test ./internal/sim -run Golden -update
 
-ci: vet fmt-check build race race-sharded race-collect race-online race-resume bench-smoke
+ci: vet fmt-check build race race-sharded race-collect race-online race-resume serve-smoke bench-smoke

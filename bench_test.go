@@ -9,6 +9,7 @@ package vtmig_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"vtmig/internal/nn"
 	"vtmig/internal/pomdp"
 	"vtmig/internal/rl"
+	"vtmig/internal/serve"
 	"vtmig/internal/sim"
 	"vtmig/internal/stackelberg"
 )
@@ -755,4 +757,35 @@ func newBenchEnv(b *testing.B) *pomdp.GameEnv {
 		b.Fatal(err)
 	}
 	return env
+}
+
+// BenchmarkServeQuote measures the serving path end to end inside the
+// process: request validation, the write-ahead journal append, the
+// intake-goroutine handoff, and the pricing round itself — with the
+// periodic PPO optimization phases and checkpoint rotations amortized in,
+// exactly as a live vtmig-serve daemon pays them.
+func BenchmarkServeQuote(b *testing.B) {
+	s, err := serve.Open(serve.Config{
+		Dir:         b.TempDir(),
+		UpdateEvery: 20,
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	req := serve.QuoteRequest{
+		VMUs: []serve.QuoteVMU{
+			{ID: 0, Alpha: 5, DataMB: 200},
+			{ID: 1, Alpha: 5, DataMB: 100},
+		},
+		DistanceM: 500,
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Quote(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

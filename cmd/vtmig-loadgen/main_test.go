@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vtmig/internal/rl"
+	"vtmig/internal/serve"
+)
+
+func TestLoadgenAgainstServeHandler(t *testing.T) {
+	ppo := rl.DefaultPPOConfig()
+	ppo.Hidden = []int{8, 8}
+	ppo.Epochs = 2
+	ppo.MiniBatch = 5
+	s, err := serve.Open(serve.Config{
+		Dir:         t.TempDir(),
+		UpdateEvery: 10,
+		Seed:        3,
+		PPO:         ppo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "loadgen.json")
+	var stdout bytes.Buffer
+	if err := run([]string{
+		"-addr", ts.URL, "-clients", "8", "-requests", "120", "-out", out,
+	}, &stdout); err != nil {
+		t.Fatalf("run: %v (output %q)", err, stdout.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Requests != 120 || rep.RPS <= 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.P50Ms <= 0 || rep.P95Ms < rep.P50Ms || rep.P99Ms < rep.P95Ms {
+		t.Fatalf("percentiles not monotone: %+v", rep)
+	}
+	// Every request reached the learner, in some serial order.
+	if st := s.Stats(); st.Rounds != 120 {
+		t.Fatalf("server rounds = %d, want 120", st.Rounds)
+	}
+}
+
+func TestLoadgenFlagValidation(t *testing.T) {
+	if err := run([]string{"-clients", "0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("run with -clients 0 succeeded")
+	}
+}

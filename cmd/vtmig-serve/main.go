@@ -1,0 +1,186 @@
+// Command vtmig-serve runs the journaled online-pricing daemon: an HTTP
+// server answering price-quote requests from the online continual-learning
+// pricer, with audit-grade durability in a state directory. Every
+// accepted quote is journaled before it is applied, full resume
+// checkpoints rotate at optimization-phase boundaries, and restarting the
+// daemon over the same directory — cleanly or after a crash — rebuilds the
+// exact serving state by checkpoint restore + journal replay (same
+// quotes, same learner weights, bit for bit).
+//
+// The learner hyper-parameters (-lr and the fixed PPO defaults) and the
+// reference game are pinned into the state: restarting with different
+// ones fails loudly instead of silently continuing a different learner.
+//
+// Usage:
+//
+//	vtmig-serve -dir state/ [-addr :8080] [-update-every 20]
+//	            [-snapshot-every 1] [-keep 2] [-history 4] [-seed 1]
+//	            [-lr 3e-4] [-warm-start-file ck.bin]
+//
+// API:
+//
+//	POST /v1/quote  {"vmus":[{"id":0,"alpha":5,"data_mb":200}],
+//	                 "distance_m":500,"available_mhz":0.5}
+//	GET  /v1/stats
+//	GET  /healthz
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vtmig/internal/experiments"
+	"vtmig/internal/nn"
+	"vtmig/internal/rl"
+	"vtmig/internal/serve"
+	"vtmig/internal/stackelberg"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "vtmig-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until SIGINT/SIGTERM (or stop closes),
+// then shuts down gracefully: in-flight quotes finish, the journal
+// closes, and the state directory is left ready for the next start. When
+// ready is non-nil it receives the bound listen address once the server
+// accepts connections (tests listen on :0 through it).
+func run(args []string, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("vtmig-serve", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "HTTP listen address")
+		dir       = fs.String("dir", "", "durable state directory (journal + rotated checkpoints); required")
+		updEvery  = fs.Int("update-every", 20, "online optimization cadence in quoted rounds")
+		snapEvery = fs.Int("snapshot-every", 1, "checkpoint-rotation cadence in optimization phases")
+		keep      = fs.Int("keep", 2, "rotated checkpoints to retain besides the bound one")
+		history   = fs.Int("history", 0, "observation history length L (0: the paper's 4, or the warm-start checkpoint's)")
+		seed      = fs.Int64("seed", 1, "seed for the cold-start learner and initial history")
+		lr        = fs.Float64("lr", experiments.DefaultDRLConfig().PPO.LR, "Adam learning rate (keep it identical across restarts of one state dir)")
+		warmFile  = fs.String("warm-start-file", "", "warm-start a FRESH state dir from a vtmig-train checkpoint (ignored rule: resuming an existing dir must not pass this)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+
+	game := stackelberg.DefaultGame()
+	ppo := experiments.DefaultDRLConfig().PPO
+	ppo.LR = *lr
+	cfg := serve.Config{
+		Dir:             *dir,
+		Game:            game,
+		HistoryLen:      *history,
+		UpdateEvery:     *updEvery,
+		Seed:            *seed,
+		PPO:             ppo,
+		SnapshotEvery:   *snapEvery,
+		KeepCheckpoints: *keep,
+	}
+	if *warmFile != "" {
+		agent, historyLen, err := warmStartAgent(*warmFile, game, ppo, *history, explicit["lr"], *lr)
+		if err != nil {
+			return err
+		}
+		cfg.Agent = agent
+		cfg.HistoryLen = historyLen
+	}
+
+	s, err := serve.Open(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vtmig-serve: state dir %s: %d rounds, %d updates, %d snapshots (replayed %d journaled rounds)\n",
+		*dir, s.Stats().Rounds, s.Stats().Updates, s.Stats().Snapshots, s.Stats().ReplayedRounds)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		s.Close()
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Printf("vtmig-serve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case <-sig:
+	case <-stop:
+	case err := <-serveErr:
+		s.Close()
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "vtmig-serve: HTTP shutdown: %v\n", err)
+	}
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("closing server state: %w", err)
+	}
+	fmt.Printf("vtmig-serve: shut down cleanly; %s resumes from checkpoint + journal\n", *dir)
+	return nil
+}
+
+// warmStartAgent loads a vtmig-train checkpoint for a fresh state
+// directory, adopting the checkpoint's history length and learning rate
+// like vtmig-sim -warm-start-file does (explicit conflicting flags fail).
+func warmStartAgent(path string, game *stackelberg.Game, ppo rl.PPOConfig, history int, lrExplicit bool, lrFlag float64) (*rl.PPO, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	ck, err := nn.LoadCheckpoint(bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, fmt.Errorf("loading %s: %w", path, err)
+	}
+	if ck.Pricer != nil {
+		return nil, 0, fmt.Errorf("%s is a mid-run pricer checkpoint; vtmig-serve resumes serving state from its own -dir, not from pricer checkpoints", path)
+	}
+	historyLen := history
+	if historyLen == 0 {
+		historyLen = 4
+	}
+	if ck.Opt != nil && ck.RNG != nil {
+		if historyLen, err = experiments.HistoryLenFromCheckpoint(ck, game); err != nil {
+			return nil, 0, err
+		}
+		if history != 0 && history != historyLen {
+			return nil, 0, fmt.Errorf("-history %d conflicts with %s, which was trained with history length %d", history, path, historyLen)
+		}
+		if ck.Meta != nil {
+			if v, ok := rl.LRFromFingerprint(ck.Meta.PPO); ok {
+				if lrExplicit && lrFlag != v {
+					return nil, 0, fmt.Errorf("-lr %g conflicts with %s, which was trained with learning rate %g", lrFlag, path, v)
+				}
+				ppo.LR = v
+			}
+		}
+	}
+	agent, _, err := experiments.WarmStartAgent(game, historyLen, ppo, ck)
+	if err != nil {
+		return nil, 0, err
+	}
+	return agent, historyLen, nil
+}

@@ -26,6 +26,10 @@
 //     live pricing rounds (sim.NewOnlinePricer over rl.StreamCollector);
 //   - the paper's future-work extension to multiple competing MSPs
 //     (internal/multimsp);
+//   - a journaled online-pricing daemon (internal/serve behind
+//     cmd/vtmig-serve, load-tested by cmd/vtmig-loadgen) that puts the
+//     online pricer behind live HTTP traffic with audit-grade
+//     crash recovery;
 //   - and a harness that regenerates every figure of the evaluation
 //     (internal/experiments).
 //
@@ -102,6 +106,31 @@
 // sim.NewOnlinePricerFromCheckpoint, vtmig-train -resume, vtmig-sim
 // -warm-start-file (with -snapshot-every/-snapshot-out writing mid-run
 // resume checkpoints).
+//
+// # Serving
+//
+// internal/serve (cmd/vtmig-serve) puts the online pricer behind a
+// long-running request/response front end with snapshot + journal
+// durability. Concurrent quote requests funnel through one serializing
+// intake goroutine, so learning transitions enter the stream strictly in
+// arrival order — rule 5 of the determinism contract applied at a process
+// boundary. Every accepted round is appended to a JSONL journal before it
+// is applied (write-ahead: an acknowledged quote is always recoverable),
+// and the pricer's SnapshotEvery hook rotates full binary checkpoints at
+// optimization-phase boundaries, truncating the journal to extend the new
+// checkpoint. The journal header binds its checkpoint by snapshot ordinal
+// and file CRC-32 plus a fingerprint of the reference game, so recovery
+// is rule 6's strictly-or-not-at-all: reopening the state directory
+// restores the bound checkpoint and replays the journaled rounds through
+// the identical intake path — same quotes, same learner weights, bit for
+// bit — while a journal whose checkpoint is missing, mismatched, or
+// corrupt refuses loudly instead of cold-starting. The only tolerated
+// irregularity is a torn trailing journal line (a crash mid-append):
+// that quote was never acknowledged, so dropping it reconstructs exactly
+// the state every answered quote saw. `make serve-smoke` pins the
+// crash-recovery bit-identity under the race detector;
+// cmd/vtmig-loadgen records serving throughput and latency percentiles
+// into the BENCH_pr*.json files.
 //
 // # Determinism contract
 //

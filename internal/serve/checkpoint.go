@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"vtmig/internal/nn"
+)
+
+// Checkpoint files are named by the pricer's snapshot ordinal —
+// checkpoint-000000.bin is the boot snapshot, checkpoint-000001.bin the
+// first rotation, and so on — in the compact binary encoding. The journal
+// header names the ordinal it extends, so recovery never guesses which
+// checkpoint a journal belongs to.
+const checkpointPattern = "checkpoint-%06d.bin"
+
+// checkpointPath returns the file a given snapshot ordinal lives at.
+func checkpointPath(dir string, snapshots int) string {
+	return filepath.Join(dir, fmt.Sprintf(checkpointPattern, snapshots))
+}
+
+// writeCheckpoint atomically persists ck at path (temp file + fsync +
+// rename) and returns the CRC-32 of the file bytes — the value the
+// journal header binds to. When a file already exists at path — a replay
+// re-reaching a rotation the crashed process already persisted — the
+// rewrite must be byte-identical: replay is deterministic, so a
+// difference means the on-disk state and the journal diverged, and the
+// write refuses instead of papering over it.
+func writeCheckpoint(path string, ck *nn.Checkpoint) (uint32, error) {
+	var buf bytes.Buffer
+	if err := ck.SaveBinary(&buf); err != nil {
+		return 0, fmt.Errorf("serve: encoding checkpoint: %w", err)
+	}
+	crc := crc32.ChecksumIEEE(buf.Bytes())
+	if old, err := os.ReadFile(path); err == nil {
+		if !bytes.Equal(old, buf.Bytes()) {
+			return 0, fmt.Errorf("serve: replayed checkpoint %s differs from the one on disk — journal and checkpoints no longer describe the same run", path)
+		}
+		return crc, nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("serve: creating checkpoint: %w", err)
+	}
+	_, err = f.Write(buf.Bytes())
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("serve: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("serve: committing checkpoint: %w", err)
+	}
+	return crc, nil
+}
+
+// loadCheckpoint reads the checkpoint at path, returning the decoded
+// checkpoint and the CRC-32 of the raw file bytes for the journal-binding
+// check. A missing file is reported with os.IsNotExist semantics via the
+// wrapped error.
+func loadCheckpoint(path string) (*nn.Checkpoint, uint32, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	ck, err := nn.LoadCheckpoint(bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: loading checkpoint %s: %w", path, err)
+	}
+	return ck, crc32.ChecksumIEEE(data), nil
+}
+
+// pruneCheckpoints removes checkpoint files with ordinals the retention
+// policy no longer needs: everything older than keep files back from
+// bound, where bound is the ordinal the on-disk journal binds to. The
+// bound checkpoint itself is never pruned — deleting it would orphan the
+// journal. Prune errors are reported but recovery never depends on a
+// prune having happened.
+func pruneCheckpoints(dir string, bound, keep int) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.bin"))
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), checkpointPattern, &n); err != nil {
+			continue // not ours
+		}
+		if n <= bound-keep {
+			if err := os.Remove(m); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}

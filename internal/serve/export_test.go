@@ -1,0 +1,29 @@
+package serve
+
+import "vtmig/internal/nn"
+
+// Abandon simulates a crash for tests: the intake goroutine stops, but
+// none of Close's graceful-shutdown work happens — no journal sync, no
+// flush. Since journal appends are unbuffered, the on-disk state is
+// exactly what a kill -9 after the last acknowledged quote would leave.
+func (s *Server) Abandon() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	close(s.jobs)
+	<-s.done
+}
+
+// AgentCheckpoint exposes the learner's full training state (weights,
+// Adam moments, RNG position) for bit-identity assertions.
+func (s *Server) AgentCheckpoint() (*nn.Checkpoint, error) {
+	return s.pricer.Agent().Snapshot()
+}
+
+// JournalPath exposes the live journal file for corruption-injection
+// tests.
+func (s *Server) JournalPath() string { return s.journal.path }
+
+// CheckpointPathFor exposes the checkpoint naming scheme to tests.
+func CheckpointPathFor(dir string, snapshots int) string { return checkpointPath(dir, snapshots) }

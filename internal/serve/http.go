@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxQuoteBody bounds a quote request body; generous for maxQuoteVMUs
+// followers yet small enough that a hostile client cannot balloon memory.
+const maxQuoteBody = 1 << 20
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/quote  — price one round (QuoteRequest in, QuoteResponse out)
+//	GET  /v1/stats  — point-in-time Stats
+//	GET  /healthz   — liveness probe
+//
+// Malformed or invalid requests get 400, a shut-down server 503; quotes
+// themselves honor the request context, so client disconnects stop the
+// wait (not the learning — an accepted round is journaled regardless).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/quote", s.handleQuote)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
+	var req QuoteRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQuoteBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding quote request: " + err.Error()})
+		return
+	}
+	resp, err := s.Quote(r.Context(), req)
+	if err != nil {
+		var reqErr *RequestError
+		switch {
+		case errors.As(err, &reqErr):
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: reqErr.Error()})
+		case errors.Is(err, ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Journal file layout: JSON Lines. The first line is the header binding
+// the journal to one checkpoint file (by snapshot ordinal and CRC-32 of
+// the checkpoint bytes) and to the server's reference game; every
+// following line is one intake entry, in exactly the order the intake
+// goroutine applied it. Rebuilding the bound checkpoint and re-applying
+// the entries in order therefore reconstructs the serving state bit for
+// bit (determinism contract rule 5 at the process boundary).
+const (
+	journalMagic   = "vtmig-serve"
+	journalVersion = 1
+	journalName    = "journal.jsonl"
+)
+
+// journalHeader is the first line of a journal file. It pins everything a
+// replay needs to be exact: which checkpoint the entries extend
+// (Snapshots ordinal + the CRC-32 of the checkpoint file), the pricer
+// counters at that checkpoint (cross-checked against the checkpoint's own
+// pricer section), and a fingerprint of the reference game the quotes
+// were priced against.
+type journalHeader struct {
+	Magic         string `json:"journal"`
+	Version       int    `json:"version"`
+	Snapshots     int    `json:"snapshots"`
+	Rounds        int    `json:"rounds"`
+	Updates       int    `json:"updates"`
+	CheckpointCRC uint32 `json:"checkpoint_crc"`
+	Game          string `json:"game"`
+}
+
+// journalEntry is one intake record: the quote request, tagged with its
+// 1-based sequence number since the bound checkpoint. Requests are pure
+// data — rebuilding the round's game from one is deterministic — so the
+// entry alone replays the round exactly.
+type journalEntry struct {
+	Seq int          `json:"seq"`
+	Req QuoteRequest `json:"req"`
+}
+
+// journalWriter appends entries to the live journal. Writes go straight
+// to the file descriptor (no userspace buffering), so every acknowledged
+// append is visible to a recovering process even after a crash. The
+// writer is owned by the intake goroutine and needs no locking.
+type journalWriter struct {
+	f       *os.File
+	path    string
+	enc     *json.Encoder
+	seq     int
+	entries int
+	failed  bool
+}
+
+// newJournal atomically creates a journal at path containing only the
+// header (temp file + rename, synced), and returns a writer appending to
+// it. A crash mid-creation leaves either the old journal or the new one,
+// never a torn header.
+func newJournal(path string, h journalHeader) (*journalWriter, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("serve: creating journal: %w", err)
+	}
+	w := &journalWriter{f: f, path: path, enc: json.NewEncoder(f)}
+	if err := w.enc.Encode(h); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("serve: writing journal header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("serve: syncing journal header: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("serve: committing journal: %w", err)
+	}
+	return w, nil
+}
+
+// append writes one entry. The first failed append marks the writer
+// broken for good: a partial line may now sit mid-file, and appending
+// past it would corrupt the journal beyond the torn-trailing-line case
+// recovery knows how to handle.
+func (w *journalWriter) append(e journalEntry) error {
+	if w.failed {
+		return fmt.Errorf("serve: journal writer failed earlier; refusing further appends (restart the server to recover)")
+	}
+	if err := w.enc.Encode(e); err != nil {
+		w.failed = true
+		return fmt.Errorf("serve: appending journal entry %d: %w", e.Seq, err)
+	}
+	w.seq = e.Seq
+	w.entries++
+	return nil
+}
+
+// nextSeq returns the sequence number the next entry must carry.
+func (w *journalWriter) nextSeq() int { return w.seq + 1 }
+
+// rotate atomically replaces the journal with a fresh one containing only
+// h — the truncation step of a checkpoint rotation. The old file handle
+// is closed only after the new journal is committed; on any error the old
+// journal (still binding the previous checkpoint, with all entries since
+// it) remains the live one, so the state stays recoverable.
+func (w *journalWriter) rotate(h journalHeader) error {
+	if w.failed {
+		return fmt.Errorf("serve: journal writer failed earlier; refusing rotation")
+	}
+	nw, err := newJournal(w.path, h)
+	if err != nil {
+		return err
+	}
+	w.f.Close()
+	*w = *nw
+	return nil
+}
+
+// Close releases the file handle. Entries are already on disk (appends
+// are unbuffered); Close syncs as a courtesy for a clean shutdown.
+func (w *journalWriter) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// readJournal parses a journal file into its header and ordered entries.
+// A torn trailing line — the partial record of an append cut off by a
+// crash — is dropped and counted: its quote was journaled but never
+// acknowledged, so dropping it reconstructs exactly the state every
+// answered quote saw. Every other irregularity (missing or malformed
+// header, malformed or out-of-order entry anywhere before the last line)
+// refuses loudly instead of guessing.
+func readJournal(path string) (journalHeader, []journalEntry, int, error) {
+	var h journalHeader
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return h, nil, 0, fmt.Errorf("serve: reading journal: %w", err)
+	}
+	if len(data) == 0 {
+		return h, nil, 0, fmt.Errorf("serve: journal %s is empty — not even a header; the state directory is corrupt", path)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// A well-formed journal ends in a newline, so the final split element
+	// is empty; anything non-empty there is a torn trailing line candidate.
+	last := len(lines) - 1
+	if len(lines[last]) == 0 {
+		lines = lines[:last]
+	}
+	if err := decodeStrict(lines[0], &h); err != nil {
+		return h, nil, 0, fmt.Errorf("serve: journal %s header: %w", path, err)
+	}
+	if h.Magic != journalMagic {
+		return h, nil, 0, fmt.Errorf("serve: %s is not a vtmig-serve journal (magic %q)", path, h.Magic)
+	}
+	if h.Version != journalVersion {
+		return h, nil, 0, fmt.Errorf("serve: journal %s has version %d, this build reads %d", path, h.Version, journalVersion)
+	}
+	var entries []journalEntry
+	torn := 0
+	for i, line := range lines[1:] {
+		var e journalEntry
+		if err := decodeStrict(line, &e); err != nil {
+			if i == len(lines)-2 { // final line: torn by a crash mid-append
+				torn = 1
+				break
+			}
+			return h, nil, 0, fmt.Errorf("serve: journal %s entry line %d is corrupt mid-file: %w", path, i+2, err)
+		}
+		if e.Seq != i+1 {
+			return h, nil, 0, fmt.Errorf("serve: journal %s entry line %d has sequence %d, want %d — entries are missing or reordered", path, i+2, e.Seq, i+1)
+		}
+		entries = append(entries, e)
+	}
+	return h, entries, torn, nil
+}
+
+// decodeStrict unmarshals one JSON line rejecting unknown fields and
+// trailing garbage.
+func decodeStrict(line []byte, v any) error {
+	dec := json.NewDecoder(bufio.NewReader(bytes.NewReader(line)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}

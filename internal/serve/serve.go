@@ -1,0 +1,566 @@
+// Package serve puts the simulator's online continual-learning pricer
+// (sim.OnlinePricer) behind a long-running request/response front end
+// with audit-grade durability. Quote requests are answered from the live
+// learner; every completed round feeds back into it through one
+// serializing intake goroutine, so transitions enter the learning stream
+// strictly in arrival order — determinism contract rule 5 applied at a
+// process boundary. Durability follows the snapshot + journal pillar:
+// full resume checkpoints rotate at optimization-phase boundaries (the
+// pricer's SnapshotEvery hook), and every intake round between rotations
+// is journaled as a JSON line before it is applied. A crashed or
+// restarted server rebuilds its exact serving state — same quotes, same
+// weights, bit for bit — by restoring the latest checkpoint and replaying
+// the journal in order (rule 6's strict restore: a journal whose
+// checkpoint is missing, mismatched, or corrupt refuses loudly instead of
+// cold-starting).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"vtmig/internal/aotm"
+	"vtmig/internal/mathx"
+	"vtmig/internal/nn"
+	"vtmig/internal/rl"
+	"vtmig/internal/sim"
+	"vtmig/internal/stackelberg"
+)
+
+// maxQuoteVMUs caps one round's follower count against hostile requests;
+// it matches the binary checkpoint reader's hostile-input posture rather
+// than any model limit.
+const maxQuoteVMUs = 4096
+
+// ErrClosed is returned by Quote after Close has begun.
+var ErrClosed = errors.New("serve: server is shut down")
+
+// RequestError marks a quote rejected for what it asked, not for server
+// state — HTTP handlers map it to a 400 instead of a 503.
+type RequestError struct{ Err error }
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// QuoteVMU describes one follower of a quoted round.
+type QuoteVMU struct {
+	// ID identifies the VMU within the round (unique per request).
+	ID int `json:"id"`
+	// Alpha is the immersion coefficient α_n (paper range [5, 20]).
+	Alpha float64 `json:"alpha"`
+	// DataMB is the twin's total migrated data in megabytes.
+	DataMB float64 `json:"data_mb"`
+}
+
+// QuoteRequest describes one pricing round: the followers about to
+// migrate, and optionally the round's channel distance and remaining
+// bandwidth pool. Cost, PMax, and the channel template come from the
+// server's reference game — the request carries only what varies per
+// round, exactly like the simulator's buildGame.
+type QuoteRequest struct {
+	// VMUs are the round's followers (at least one).
+	VMUs []QuoteVMU `json:"vmus"`
+	// DistanceM overrides the reference channel's source–destination RSU
+	// distance in meters (0 keeps the reference distance).
+	DistanceM float64 `json:"distance_m,omitempty"`
+	// AvailableMHz is the bandwidth pool remaining for this round in MHz
+	// (0 uses the reference game's BMax).
+	AvailableMHz float64 `json:"available_mhz,omitempty"`
+}
+
+// QuoteResponse is the answer to one quote.
+type QuoteResponse struct {
+	// Price is the posted unit bandwidth price, clamped to the round's
+	// [Cost, PMax].
+	Price float64 `json:"price"`
+	// Round is the server's global intake ordinal: how many rounds the
+	// learner has been fed, this one included. It is the audit handle —
+	// the round survives in the journal (and eventually a checkpoint)
+	// under this position.
+	Round int `json:"round"`
+	// Updates is the number of optimization phases completed so far.
+	Updates int `json:"updates"`
+}
+
+// Stats is a point-in-time view of the serving state.
+type Stats struct {
+	// Rounds, Updates, and Snapshots mirror the pricer's counters.
+	Rounds    int `json:"rounds"`
+	Updates   int `json:"updates"`
+	Snapshots int `json:"snapshots"`
+	// Pending counts rounds staged since the last optimization phase
+	// (they live in the journal, not in any checkpoint).
+	Pending int `json:"pending"`
+	// BestUtility is the best live leader utility observed, when BestSet
+	// (JSON cannot carry the -Inf that means "nothing yet").
+	BestUtility float64 `json:"best_utility"`
+	BestSet     bool    `json:"best_set"`
+	// JournalEntries counts entries in the live journal since the last
+	// rotation.
+	JournalEntries int `json:"journal_entries"`
+	// ReplayedRounds counts journal entries replayed at the last Open;
+	// TornDropped counts torn trailing lines dropped there.
+	ReplayedRounds int `json:"replayed_rounds"`
+	TornDropped    int `json:"torn_dropped"`
+	// RotateErrors counts failed checkpoint rotations (the journal then
+	// keeps extending the previous checkpoint, so the state stays
+	// recoverable); LastRotateError is the most recent failure.
+	RotateErrors    int    `json:"rotate_errors"`
+	LastRotateError string `json:"last_rotate_error,omitempty"`
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Dir is the durable state directory: the journal and rotated
+	// checkpoints live here. Required.
+	Dir string
+	// Game is the reference game fixing the pricing interface (observation
+	// layout, [Cost, PMax] interval, channel template). Nil selects
+	// stackelberg.DefaultGame. It must be identical across restarts of the
+	// same state directory (fingerprinted in the journal header).
+	Game *stackelberg.Game
+	// HistoryLen, UpdateEvery, Seed, PPO, and Agent configure the pricer
+	// exactly as in sim.OnlinePricerConfig. On a resume, zero-valued
+	// HistoryLen/UpdateEvery adopt the checkpointed values and Agent must
+	// be nil (the learner is rebuilt from the checkpoint).
+	HistoryLen  int
+	UpdateEvery int
+	Seed        int64
+	PPO         rl.PPOConfig
+	Agent       *rl.PPO
+	// SnapshotEvery is the checkpoint-rotation cadence in optimization
+	// phases. Zero selects 1 — rotate at every phase boundary, keeping the
+	// journal no longer than UpdateEvery rounds.
+	SnapshotEvery int
+	// KeepCheckpoints is how many rotated checkpoints to retain besides
+	// the one the journal binds to (audit trail). Zero selects 2.
+	KeepCheckpoints int
+	// QueueDepth bounds the intake queue. Zero selects 256.
+	QueueDepth int
+}
+
+// withDefaults resolves the zero-value conveniences.
+func (c Config) withDefaults() Config {
+	if c.Game == nil {
+		c.Game = stackelberg.DefaultGame()
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 1
+	}
+	if c.KeepCheckpoints == 0 {
+		c.KeepCheckpoints = 2
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Dir == "" {
+		return fmt.Errorf("serve: Config.Dir is required")
+	}
+	if c.SnapshotEvery < 0 || c.KeepCheckpoints < 0 || c.QueueDepth < 0 {
+		return fmt.Errorf("serve: negative SnapshotEvery/KeepCheckpoints/QueueDepth")
+	}
+	return nil
+}
+
+// Server is the journaled online-pricing daemon core: one pricer, one
+// journal, one serializing intake goroutine. Construct with Open, serve
+// quotes with Quote (or the HTTP front end from Handler), and shut down
+// with Close. All methods are safe for concurrent use; the pricer itself
+// is only ever touched by the intake goroutine.
+type Server struct {
+	cfg     Config
+	game    *stackelberg.Game
+	pricer  *sim.OnlinePricer
+	journal *journalWriter
+
+	jobs     chan quoteJob
+	done     chan struct{}
+	inflight sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	stats  Stats
+
+	// replaying and rotateErr belong to the recovery path: rotations
+	// re-reached during replay must not prune, and their failures abort
+	// the recovery instead of degrading it.
+	replaying bool
+	rotateErr error
+}
+
+type quoteJob struct {
+	req   QuoteRequest
+	reply chan quoteReply
+}
+
+type quoteReply struct {
+	resp QuoteResponse
+	err  error
+}
+
+// Open builds the serving state from cfg.Dir and starts the intake
+// goroutine. A directory without a journal cold-starts (or warm-starts
+// from cfg.Agent) and immediately persists a boot checkpoint, so from the
+// first request on, the state is always recoverable as checkpoint +
+// journal. A directory with a journal recovers: the bound checkpoint is
+// restored strictly and the journal replays through the identical intake
+// path, leaving the server bit-identical to the one that crashed.
+func Open(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Game.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating state dir: %w", err)
+	}
+	s := &Server{cfg: cfg, game: cfg.Game, done: make(chan struct{})}
+	jpath := filepath.Join(cfg.Dir, journalName)
+	if _, err := os.Stat(jpath); err == nil {
+		if err := s.recoverState(jpath); err != nil {
+			return nil, err
+		}
+	} else if errors.Is(err, fs.ErrNotExist) {
+		if err := s.boot(jpath); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, fmt.Errorf("serve: probing journal: %w", err)
+	}
+	s.jobs = make(chan quoteJob, cfg.QueueDepth)
+	go s.intake()
+	return s, nil
+}
+
+// boot builds a fresh pricer and persists the boot checkpoint + empty
+// journal before serving anything.
+func (s *Server) boot(jpath string) error {
+	if stale, _ := filepath.Glob(filepath.Join(s.cfg.Dir, "checkpoint-*.bin")); len(stale) > 0 {
+		return fmt.Errorf("serve: state dir %s has %d checkpoint(s) but no journal — refusing to cold-start over existing state (restore the journal, or empty the directory to really start fresh)",
+			s.cfg.Dir, len(stale))
+	}
+	p, err := sim.NewOnlinePricer(s.pricerConfig())
+	if err != nil {
+		return err
+	}
+	ck, err := p.Snapshot()
+	if err != nil {
+		return fmt.Errorf("serve: boot checkpoint: %w", err)
+	}
+	crc, err := writeCheckpoint(checkpointPath(s.cfg.Dir, ck.Pricer.Snapshots), ck)
+	if err != nil {
+		return err
+	}
+	s.journal, err = newJournal(jpath, s.header(ck.Pricer, crc))
+	if err != nil {
+		return err
+	}
+	s.pricer = p
+	s.syncStats()
+	return nil
+}
+
+// recoverState rebuilds the server from the journal at jpath and its
+// bound checkpoint, replaying every journaled round through the normal
+// intake path. The replay appends to a shadow journal and only renames it
+// over the real one once the replay completes, so a crash mid-recovery
+// leaves the original journal untouched and recovery simply restarts.
+func (s *Server) recoverState(jpath string) error {
+	h, entries, torn, err := readJournal(jpath)
+	if err != nil {
+		return err
+	}
+	if fp := gameFingerprint(s.game); h.Game != fp {
+		return fmt.Errorf("serve: journal %s was written against a different reference game\n  journal: %s\n  config:  %s", jpath, h.Game, fp)
+	}
+	if s.cfg.Agent != nil {
+		return fmt.Errorf("serve: Config.Agent must be nil when resuming state dir %s — the learner is rebuilt from its checkpoint", s.cfg.Dir)
+	}
+	ckPath := checkpointPath(s.cfg.Dir, h.Snapshots)
+	ck, crc, err := loadCheckpoint(ckPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("serve: journal %s extends checkpoint %d (%s), which is gone — rotated away or deleted; refusing to cold-start: a journaled state is restored exactly or not at all",
+			jpath, h.Snapshots, ckPath)
+	}
+	if err != nil {
+		return err
+	}
+	if crc != h.CheckpointCRC {
+		return fmt.Errorf("serve: checkpoint %s does not match the journal binding (CRC %08x, journal expects %08x) — the files describe different runs", ckPath, crc, h.CheckpointCRC)
+	}
+	ps := ck.Pricer
+	if ps == nil {
+		return fmt.Errorf("serve: checkpoint %s carries no pricer section", ckPath)
+	}
+	if ps.Snapshots != h.Snapshots || ps.Rounds != h.Rounds || ps.Updates != h.Updates {
+		return fmt.Errorf("serve: checkpoint %s counters (snapshots=%d rounds=%d updates=%d) disagree with the journal header (snapshots=%d rounds=%d updates=%d)",
+			ckPath, ps.Snapshots, ps.Rounds, ps.Updates, h.Snapshots, h.Rounds, h.Updates)
+	}
+	p, err := sim.NewOnlinePricerFromCheckpoint(s.pricerConfig(), ck)
+	if err != nil {
+		return err
+	}
+	s.pricer = p
+	s.journal, err = newJournal(jpath+".replay", h)
+	if err != nil {
+		return err
+	}
+	s.replaying = true
+	for _, e := range entries {
+		if _, err := s.process(e.Req); err != nil {
+			return fmt.Errorf("serve: replaying journal entry %d: %w", e.Seq, err)
+		}
+		if s.rotateErr != nil {
+			return fmt.Errorf("serve: replaying journal entry %d: %w", e.Seq, s.rotateErr)
+		}
+	}
+	s.replaying = false
+	if err := os.Rename(s.journal.path, jpath); err != nil {
+		return fmt.Errorf("serve: committing replayed journal: %w", err)
+	}
+	s.journal.path = jpath
+	if err := pruneCheckpoints(s.cfg.Dir, s.pricer.Snapshots(), s.cfg.KeepCheckpoints); err != nil {
+		return fmt.Errorf("serve: pruning checkpoints: %w", err)
+	}
+	s.syncStats()
+	s.mu.Lock()
+	s.stats.ReplayedRounds = len(entries)
+	s.stats.TornDropped = torn
+	s.mu.Unlock()
+	return nil
+}
+
+// pricerConfig assembles the sim.OnlinePricerConfig both boot and
+// recovery build the pricer from; the OnSnapshot hook routes rotations
+// back into the server.
+func (s *Server) pricerConfig() sim.OnlinePricerConfig {
+	return sim.OnlinePricerConfig{
+		Game:          s.game,
+		HistoryLen:    s.cfg.HistoryLen,
+		Agent:         s.cfg.Agent,
+		PPO:           s.cfg.PPO,
+		UpdateEvery:   s.cfg.UpdateEvery,
+		Seed:          s.cfg.Seed,
+		SnapshotEvery: s.cfg.SnapshotEvery,
+		OnSnapshot:    s.onSnapshot,
+	}
+}
+
+// header builds the journal header binding to a checkpoint's pricer
+// section and CRC.
+func (s *Server) header(ps *nn.PricerState, crc uint32) journalHeader {
+	return journalHeader{
+		Magic:         journalMagic,
+		Version:       journalVersion,
+		Snapshots:     ps.Snapshots,
+		Rounds:        ps.Rounds,
+		Updates:       ps.Updates,
+		CheckpointCRC: crc,
+		Game:          gameFingerprint(s.game),
+	}
+}
+
+// onSnapshot is the pricer's SnapshotEvery hook: persist the checkpoint,
+// truncate the journal to extend it, prune old checkpoints. It runs
+// synchronously on the intake goroutine, so rotation and journaling never
+// race. A failed rotation during live serving is recorded and the journal
+// keeps extending the previous checkpoint — every round since it is still
+// journaled, so the state remains exactly recoverable; during replay it
+// aborts the recovery instead.
+func (s *Server) onSnapshot(ck *nn.Checkpoint) {
+	err := s.rotate(ck)
+	if err == nil {
+		return
+	}
+	if s.replaying {
+		s.rotateErr = err
+		return
+	}
+	s.mu.Lock()
+	s.stats.RotateErrors++
+	s.stats.LastRotateError = err.Error()
+	s.mu.Unlock()
+}
+
+// rotate performs one checkpoint rotation.
+func (s *Server) rotate(ck *nn.Checkpoint) error {
+	crc, err := writeCheckpoint(checkpointPath(s.cfg.Dir, ck.Pricer.Snapshots), ck)
+	if err != nil {
+		return err
+	}
+	if err := s.journal.rotate(s.header(ck.Pricer, crc)); err != nil {
+		return err
+	}
+	if !s.replaying {
+		// During replay the on-disk journal still binds the old
+		// checkpoint; pruning waits until the replayed journal commits.
+		if err := pruneCheckpoints(s.cfg.Dir, ck.Pricer.Snapshots, s.cfg.KeepCheckpoints); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildGame assembles a round's game from a request over the reference
+// game — a pure function of (request, reference), which is what makes a
+// journaled request replayable.
+func (s *Server) buildGame(req QuoteRequest) (*stackelberg.Game, error) {
+	if len(req.VMUs) == 0 {
+		return nil, fmt.Errorf("serve: quote request has no VMUs")
+	}
+	if len(req.VMUs) > maxQuoteVMUs {
+		return nil, fmt.Errorf("serve: quote request has %d VMUs, cap is %d", len(req.VMUs), maxQuoteVMUs)
+	}
+	if bad(req.DistanceM) || req.DistanceM < 0 {
+		return nil, fmt.Errorf("serve: quote distance %g must be a non-negative finite number of meters", req.DistanceM)
+	}
+	if bad(req.AvailableMHz) || req.AvailableMHz < 0 {
+		return nil, fmt.Errorf("serve: quote available bandwidth %g must be a non-negative finite number of MHz", req.AvailableMHz)
+	}
+	ch := s.game.Channel
+	if req.DistanceM > 0 {
+		ch.DistanceM = req.DistanceM
+	}
+	bmax := s.game.BMax
+	if req.AvailableMHz > 0 {
+		bmax = req.AvailableMHz
+	}
+	vmus := make([]stackelberg.VMU, len(req.VMUs))
+	for i, v := range req.VMUs {
+		if bad(v.Alpha) || bad(v.DataMB) {
+			return nil, fmt.Errorf("serve: quote VMU %d has non-finite parameters (alpha=%g, data=%g MB)", v.ID, v.Alpha, v.DataMB)
+		}
+		vmus[i] = stackelberg.VMU{ID: v.ID, Alpha: v.Alpha, DataSize: aotm.FromMB(v.DataMB)}
+	}
+	return stackelberg.NewGame(vmus, ch, s.game.Cost, s.game.PMax, bmax)
+}
+
+// bad reports a non-finite float.
+func bad(x float64) bool { return math.IsNaN(x) || math.IsInf(x, 0) }
+
+// process applies one quote on the intake goroutine: validate and build
+// the round's game, journal the request (write-ahead: an acknowledged
+// round is always recoverable), then price it — which also feeds the
+// round into the learner and may trigger an optimization phase and a
+// checkpoint rotation. Replay drives the identical path.
+func (s *Server) process(req QuoteRequest) (QuoteResponse, error) {
+	g, err := s.buildGame(req)
+	if err != nil {
+		return QuoteResponse{}, &RequestError{err}
+	}
+	if err := s.journal.append(journalEntry{Seq: s.journal.nextSeq(), Req: req}); err != nil {
+		return QuoteResponse{}, err
+	}
+	price := mathx.Clamp(s.pricer.PriceFor(g), g.Cost, g.PMax)
+	resp := QuoteResponse{Price: price, Round: s.pricer.Rounds(), Updates: s.pricer.Updates()}
+	s.syncStats()
+	return resp, nil
+}
+
+// syncStats refreshes the shared stats view from the pricer; the intake
+// goroutine calls it after every state change.
+func (s *Server) syncStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Rounds = s.pricer.Rounds()
+	s.stats.Updates = s.pricer.Updates()
+	s.stats.Snapshots = s.pricer.Snapshots()
+	s.stats.Pending = s.pricer.Rounds() % s.pricer.UpdateEvery()
+	if best := s.pricer.BestUtility(); !math.IsInf(best, -1) {
+		s.stats.BestUtility, s.stats.BestSet = best, true
+	}
+	s.stats.JournalEntries = s.journal.entries
+}
+
+// intake is the single serializing consumer: jobs apply strictly in
+// arrival order, which keeps rule 5 intact behind a concurrent front end.
+func (s *Server) intake() {
+	defer close(s.done)
+	for job := range s.jobs {
+		resp, err := s.process(job.req)
+		job.reply <- quoteReply{resp, err}
+	}
+}
+
+// Quote prices one round. It blocks until the intake goroutine reaches
+// the request (or ctx is done; a request already enqueued is still
+// journaled and learned from even if the caller gives up — the round
+// entered the stream the moment it was accepted).
+func (s *Server) Quote(ctx context.Context, req QuoteRequest) (QuoteResponse, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return QuoteResponse{}, ErrClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	job := quoteJob{req: req, reply: make(chan quoteReply, 1)}
+	select {
+	case s.jobs <- job:
+	case <-ctx.Done():
+		return QuoteResponse{}, ctx.Err()
+	}
+	select {
+	case r := <-job.reply:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return QuoteResponse{}, ctx.Err()
+	}
+}
+
+// Stats returns a point-in-time view of the serving state.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Dir returns the durable state directory.
+func (s *Server) Dir() string { return s.cfg.Dir }
+
+// Close stops accepting quotes, drains the intake queue, and closes the
+// journal. The final partial learning segment is deliberately NOT
+// flushed: its rounds live in the journal, and a later Open replays them
+// into the learner exactly as if the server had never stopped.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	close(s.jobs)
+	<-s.done
+	return s.journal.Close()
+}
+
+// gameFingerprint pins the reference game's full parameterization for the
+// journal header: N followers with their ids/αs/data sizes, the channel
+// template, and the MSP constants. Two servers with equal fingerprints
+// build identical games from identical requests.
+func gameFingerprint(g *stackelberg.Game) string {
+	ids := make([]string, len(g.VMUs))
+	for i, v := range g.VMUs {
+		ids[i] = fmt.Sprintf("%d:%g:%g", v.ID, v.Alpha, v.DataSize)
+	}
+	sort.Strings(ids)
+	return fmt.Sprintf("vmus=[%v] ch=%+v C=%g pmax=%g bmax=%g", ids, g.Channel, g.Cost, g.PMax, g.BMax)
+}

@@ -1,0 +1,496 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"vtmig/internal/rl"
+	"vtmig/internal/serve"
+	"vtmig/internal/stackelberg"
+)
+
+// testConfig keeps the learner tiny and the rotation cadence tight so a
+// few hundred quotes exercise many phases and rotations.
+func testConfig(dir string) serve.Config {
+	ppo := rl.DefaultPPOConfig()
+	ppo.Hidden = []int{8, 8}
+	ppo.Epochs = 2
+	ppo.MiniBatch = 5
+	return serve.Config{
+		Dir:           dir,
+		HistoryLen:    3,
+		UpdateEvery:   5,
+		Seed:          7,
+		PPO:           ppo,
+		SnapshotEvery: 2,
+	}
+}
+
+// reqStream generates a deterministic stream of valid quote requests:
+// 1–3 VMUs with the paper's α ∈ [5, 20] and data ∈ [100, 300] MB,
+// distances in [200, 1000] m.
+func reqStream(n int) []serve.QuoteRequest {
+	rng := rand.New(rand.NewSource(42))
+	reqs := make([]serve.QuoteRequest, n)
+	for i := range reqs {
+		vmus := make([]serve.QuoteVMU, 1+rng.Intn(3))
+		for j := range vmus {
+			vmus[j] = serve.QuoteVMU{
+				ID:     j,
+				Alpha:  5 + 15*rng.Float64(),
+				DataMB: 100 + 200*rng.Float64(),
+			}
+		}
+		reqs[i] = serve.QuoteRequest{
+			VMUs:      vmus,
+			DistanceM: 200 + 800*rng.Float64(),
+		}
+	}
+	return reqs
+}
+
+func mustOpen(t *testing.T, cfg serve.Config) *serve.Server {
+	t.Helper()
+	s, err := serve.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func quoteAll(t *testing.T, s *serve.Server, reqs []serve.QuoteRequest) []float64 {
+	t.Helper()
+	prices := make([]float64, len(reqs))
+	for i, req := range reqs {
+		resp, err := s.Quote(context.Background(), req)
+		if err != nil {
+			t.Fatalf("Quote %d: %v", i, err)
+		}
+		if resp.Round != 0 && resp.Round <= 0 {
+			t.Fatalf("Quote %d: bad round %d", i, resp.Round)
+		}
+		prices[i] = resp.Price
+	}
+	return prices
+}
+
+func agentBytes(t *testing.T, s *serve.Server) []byte {
+	t.Helper()
+	ck, err := s.AgentCheckpoint()
+	if err != nil {
+		t.Fatalf("AgentCheckpoint: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := ck.SaveBinary(&buf); err != nil {
+		t.Fatalf("SaveBinary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestServeQuoteLearnsAndRotates(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	defer s.Close()
+
+	reqs := reqStream(23)
+	prices := quoteAll(t, s, reqs)
+	g := stackelberg.DefaultGame()
+	for i, p := range prices {
+		if math.IsNaN(p) || p < g.Cost || p > g.PMax {
+			t.Fatalf("price %d = %g outside [%g, %g]", i, p, g.Cost, g.PMax)
+		}
+	}
+	st := s.Stats()
+	// 23 rounds at UpdateEvery=5 → 4 phases; SnapshotEvery=2 → rotations
+	// at phases 2 and 4 (snapshots 1 and 2, after the boot snapshot 0).
+	if st.Rounds != 23 || st.Updates != 4 || st.Snapshots != 2 || st.Pending != 3 {
+		t.Fatalf("stats = %+v, want rounds=23 updates=4 snapshots=2 pending=3", st)
+	}
+	if !st.BestSet {
+		t.Fatalf("BestSet false after 23 rounds")
+	}
+	// Journal binds checkpoint 2 and holds the 3 rounds since rotation.
+	if st.JournalEntries != 3 {
+		t.Fatalf("JournalEntries = %d, want 3", st.JournalEntries)
+	}
+	if _, err := os.Stat(serve.CheckpointPathFor(dir, 2)); err != nil {
+		t.Fatalf("bound checkpoint missing: %v", err)
+	}
+}
+
+func TestServeCrashRecoveryBitIdentical(t *testing.T) {
+	reqs := reqStream(200)
+	const crashAt = 123 // not a multiple of UpdateEvery: pending rounds must replay
+
+	// Leg A: uninterrupted.
+	a := mustOpen(t, testConfig(t.TempDir()))
+	pricesA := quoteAll(t, a, reqs)
+	wantAgent := agentBytes(t, a)
+	wantStats := a.Stats()
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close(a): %v", err)
+	}
+
+	// Leg B: crash after crashAt quotes, recover, continue.
+	dir := t.TempDir()
+	b := mustOpen(t, testConfig(dir))
+	head := quoteAll(t, b, reqs[:crashAt])
+	b.Abandon()
+
+	b2 := mustOpen(t, testConfig(dir))
+	defer b2.Close()
+	st := b2.Stats()
+	if st.Rounds != crashAt {
+		t.Fatalf("recovered rounds = %d, want %d", st.Rounds, crashAt)
+	}
+	if st.ReplayedRounds == 0 {
+		t.Fatalf("recovery replayed no rounds; journal should hold the tail since the last rotation")
+	}
+	tail := quoteAll(t, b2, reqs[crashAt:])
+
+	got := append(append([]float64(nil), head...), tail...)
+	for i := range pricesA {
+		if got[i] != pricesA[i] {
+			t.Fatalf("price %d diverges after crash recovery: %v != %v", i, got[i], pricesA[i])
+		}
+	}
+	if !bytes.Equal(agentBytes(t, b2), wantAgent) {
+		t.Fatalf("recovered learner state is not bit-identical to the uninterrupted run")
+	}
+	st = b2.Stats()
+	if st.Rounds != wantStats.Rounds || st.Updates != wantStats.Updates || st.Snapshots != wantStats.Snapshots {
+		t.Fatalf("recovered counters %+v, uninterrupted %+v", st, wantStats)
+	}
+}
+
+func TestServeCleanRestartContinues(t *testing.T) {
+	reqs := reqStream(60)
+	a := mustOpen(t, testConfig(t.TempDir()))
+	pricesA := quoteAll(t, a, reqs)
+	wantAgent := agentBytes(t, a)
+	a.Close()
+
+	dir := t.TempDir()
+	b := mustOpen(t, testConfig(dir))
+	head := quoteAll(t, b, reqs[:31])
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	b2 := mustOpen(t, testConfig(dir))
+	defer b2.Close()
+	tail := quoteAll(t, b2, reqs[31:])
+	got := append(head, tail...)
+	for i := range pricesA {
+		if got[i] != pricesA[i] {
+			t.Fatalf("price %d diverges across clean restart: %v != %v", i, got[i], pricesA[i])
+		}
+	}
+	if !bytes.Equal(agentBytes(t, b2), wantAgent) {
+		t.Fatalf("restarted learner state is not bit-identical")
+	}
+}
+
+func TestServeRecoverHeaderOnlyJournal(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	s.Abandon() // crash before any quote: journal is header-only
+
+	s2 := mustOpen(t, testConfig(dir))
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Rounds != 0 || st.ReplayedRounds != 0 || st.TornDropped != 0 {
+		t.Fatalf("header-only recovery stats = %+v, want zeros", st)
+	}
+	if _, err := s2.Quote(context.Background(), reqStream(1)[0]); err != nil {
+		t.Fatalf("Quote after header-only recovery: %v", err)
+	}
+}
+
+func TestServeRefusesEmptyJournal(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	jpath := s.JournalPath()
+	s.Abandon()
+	if err := os.Truncate(jpath, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := serve.Open(testConfig(dir))
+	if err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("Open over empty journal: %v, want empty-journal refusal", err)
+	}
+}
+
+func TestServeTornTrailingLineDropped(t *testing.T) {
+	reqs := reqStream(23)
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	quoteAll(t, s, reqs[:22])
+	jpath := s.JournalPath()
+	s.Abandon()
+
+	// Simulate a crash mid-append: the journal gains a partial line that
+	// was never acknowledged.
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"req":{"vm`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, testConfig(dir))
+	defer s2.Close()
+	st := s2.Stats()
+	if st.TornDropped != 1 {
+		t.Fatalf("TornDropped = %d, want 1", st.TornDropped)
+	}
+	if st.Rounds != 22 {
+		t.Fatalf("recovered rounds = %d, want 22 (torn line excluded)", st.Rounds)
+	}
+	// The recovered server continues exactly like one that never saw the
+	// torn bytes.
+	ref := mustOpen(t, testConfig(t.TempDir()))
+	defer ref.Close()
+	refPrices := quoteAll(t, ref, reqs)
+	if got, err := s2.Quote(context.Background(), reqs[22]); err != nil || got.Price != refPrices[22] {
+		t.Fatalf("post-recovery quote = (%v, %v), want price %v", got.Price, err, refPrices[22])
+	}
+}
+
+func TestServeRefusesRotatedAwayCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	quoteAll(t, s, reqStream(23)) // snapshots 2; journal binds checkpoint 2
+	s.Abandon()
+	if err := os.Remove(serve.CheckpointPathFor(dir, 2)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := serve.Open(testConfig(dir))
+	if err == nil || !strings.Contains(err.Error(), "refusing to cold-start") {
+		t.Fatalf("Open with rotated-away checkpoint: %v, want loud refusal", err)
+	}
+}
+
+func TestServeRefusesCheckpointCRCMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	quoteAll(t, s, reqStream(23))
+	s.Abandon()
+	path := serve.CheckpointPathFor(dir, 2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serve.Open(testConfig(dir)); err == nil {
+		t.Fatalf("Open with corrupted bound checkpoint succeeded")
+	}
+}
+
+func TestServeRefusesMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	quoteAll(t, s, reqStream(4))
+	jpath := s.JournalPath()
+	s.Abandon()
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	lines[2] = []byte(`{"seq":2,"req":garbage}`)
+	if err := os.WriteFile(jpath, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = serve.Open(testConfig(dir))
+	if err == nil || !strings.Contains(err.Error(), "corrupt mid-file") {
+		t.Fatalf("Open with mid-file corruption: %v, want corrupt-mid-file refusal", err)
+	}
+}
+
+func TestServeRefusesSequenceGap(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	quoteAll(t, s, reqStream(4))
+	jpath := s.JournalPath()
+	s.Abandon()
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// Drop entry 2 (line index 2: header is line 0).
+	lines = append(lines[:2], lines[3:]...)
+	if err := os.WriteFile(jpath, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = serve.Open(testConfig(dir))
+	if err == nil || !strings.Contains(err.Error(), "missing or reordered") {
+		t.Fatalf("Open with a sequence gap: %v, want missing/reordered refusal", err)
+	}
+}
+
+func TestServeRefusesGameMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	quoteAll(t, s, reqStream(3))
+	s.Abandon()
+	cfg := testConfig(dir)
+	g := stackelberg.DefaultGame()
+	g.PMax = 60
+	cfg.Game = g
+	_, err := serve.Open(cfg)
+	if err == nil || !strings.Contains(err.Error(), "different reference game") {
+		t.Fatalf("Open with changed game: %v, want fingerprint refusal", err)
+	}
+}
+
+func TestServeRefusesWarmStartOnResume(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	quoteAll(t, s, reqStream(3))
+	s.Abandon()
+	cfg := testConfig(dir)
+	g := stackelberg.DefaultGame()
+	cfg.Agent = rl.NewPPO(4*(1+g.N()), 1, []float64{g.Cost}, []float64{g.PMax}, rl.DefaultPPOConfig())
+	_, err := serve.Open(cfg)
+	if err == nil || !strings.Contains(err.Error(), "Agent must be nil") {
+		t.Fatalf("Open resume with warm-start agent: %v, want refusal", err)
+	}
+}
+
+func TestServeRefusesCheckpointsWithoutJournal(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	jpath := s.JournalPath()
+	s.Abandon()
+	if err := os.Remove(jpath); err != nil {
+		t.Fatal(err)
+	}
+	_, err := serve.Open(testConfig(dir))
+	if err == nil || !strings.Contains(err.Error(), "no journal") {
+		t.Fatalf("Open with checkpoints but no journal: %v, want refusal", err)
+	}
+}
+
+func TestServePrunesOldCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(dir)
+	cfg.KeepCheckpoints = 1
+	s := mustOpen(t, cfg)
+	defer s.Close()
+	quoteAll(t, s, reqStream(60)) // 12 phases → snapshots 1..6
+	matches, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("KeepCheckpoints=1 left %d checkpoints: %v", len(matches), matches)
+	}
+	if matches[0] != serve.CheckpointPathFor(dir, 6) {
+		t.Fatalf("surviving checkpoint %s, want ordinal 6", matches[0])
+	}
+}
+
+func TestServeRequestValidation(t *testing.T) {
+	s := mustOpen(t, testConfig(t.TempDir()))
+	defer s.Close()
+	cases := []struct {
+		name string
+		req  serve.QuoteRequest
+	}{
+		{"no VMUs", serve.QuoteRequest{}},
+		{"NaN alpha", serve.QuoteRequest{VMUs: []serve.QuoteVMU{{ID: 0, Alpha: math.NaN(), DataMB: 100}}}},
+		{"Inf data", serve.QuoteRequest{VMUs: []serve.QuoteVMU{{ID: 0, Alpha: 5, DataMB: math.Inf(1)}}}},
+		{"negative alpha", serve.QuoteRequest{VMUs: []serve.QuoteVMU{{ID: 0, Alpha: -1, DataMB: 100}}}},
+		{"NaN distance", serve.QuoteRequest{VMUs: []serve.QuoteVMU{{ID: 0, Alpha: 5, DataMB: 100}}, DistanceM: math.NaN()}},
+		{"negative bandwidth", serve.QuoteRequest{VMUs: []serve.QuoteVMU{{ID: 0, Alpha: 5, DataMB: 100}}, AvailableMHz: -1}},
+		{"duplicate IDs", serve.QuoteRequest{VMUs: []serve.QuoteVMU{{ID: 0, Alpha: 5, DataMB: 100}, {ID: 0, Alpha: 6, DataMB: 100}}}},
+	}
+	for _, tc := range cases {
+		_, err := s.Quote(context.Background(), tc.req)
+		var reqErr *serve.RequestError
+		if !errors.As(err, &reqErr) {
+			t.Errorf("%s: err = %v, want RequestError", tc.name, err)
+		}
+	}
+	// Rejected requests must not advance the learning stream or journal.
+	if st := s.Stats(); st.Rounds != 0 || st.JournalEntries != 0 {
+		t.Fatalf("rejected requests advanced state: %+v", st)
+	}
+}
+
+func TestServeQuoteAfterCloseAndContextCancel(t *testing.T) {
+	s := mustOpen(t, testConfig(t.TempDir()))
+	req := reqStream(1)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Quote(ctx, req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Quote with canceled ctx: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := s.Quote(context.Background(), req); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("Quote after Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestServeConcurrentQuotes drives many goroutines through the intake
+// queue under the race detector: rounds all land, in some serial order.
+func TestServeConcurrentQuotes(t *testing.T) {
+	s := mustOpen(t, testConfig(t.TempDir()))
+	defer s.Close()
+	reqs := reqStream(8)
+	const workers, perWorker = 16, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := s.Quote(context.Background(), reqs[(w+i)%len(reqs)]); err != nil {
+					errs <- fmt.Errorf("worker %d quote %d: %w", w, i, err)
+					return
+				}
+				_ = s.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Rounds != workers*perWorker {
+		t.Fatalf("rounds = %d, want %d", st.Rounds, workers*perWorker)
+	}
+}
+
+func TestServeConfigValidate(t *testing.T) {
+	if _, err := serve.Open(serve.Config{}); err == nil || !strings.Contains(err.Error(), "Dir") {
+		t.Fatalf("Open without Dir: %v", err)
+	}
+	cfg := testConfig(t.TempDir())
+	cfg.QueueDepth = -1
+	if _, err := serve.Open(cfg); err == nil {
+		t.Fatalf("Open with negative QueueDepth succeeded")
+	}
+}

@@ -126,12 +126,25 @@ func (s *Simulator) Step() {
 	s.runPricingRound()
 }
 
+// runForEpsilon is the relative tolerance within which a span quotient is
+// treated as a whole number of steps. Spans that are exact multiples of
+// TimeStepS in real arithmetic can land just below the integer in floats
+// (1800/0.3 = 5999.999…), and plain truncation would silently drop the
+// final step.
+const runForEpsilon = 1e-9
+
 // RunFor advances the simulation by the given span of simulated time,
-// rounded down to whole steps. Splitting a run into several RunFor calls
-// whose spans are individually whole multiples of TimeStepS is
-// bit-identical to one call over the total.
+// rounded down to whole steps — where "whole" tolerates float rounding:
+// a quotient within a relative 1e-9 of the next integer counts as
+// reaching it. Splitting a run into several RunFor calls whose spans are
+// individually whole multiples of TimeStepS is bit-identical to one call
+// over the total, for fractional step sizes too.
 func (s *Simulator) RunFor(seconds float64) {
-	steps := int(seconds / s.cfg.TimeStepS)
+	q := seconds / s.cfg.TimeStepS
+	steps := int(q)
+	if next := float64(steps + 1); q >= next-runForEpsilon*next {
+		steps++
+	}
 	for i := 0; i < steps; i++ {
 		s.Step()
 	}
@@ -257,6 +270,13 @@ func (s *Simulator) runPricingRound() {
 		panic(fmt.Sprintf("sim: building round game: %v", err))
 	}
 	price := mathx.Clamp(s.cfg.Pricer.PriceFor(game), game.Cost, game.PMax)
+	if math.IsNaN(price) {
+		// Clamp passes NaN through, and a NaN price would flow into NaN
+		// demands that corrupt the allocator's accounting unchecked
+		// (NaN passes every <= comparison on the allocation path).
+		panic(fmt.Sprintf("sim: t=%.3fs: pricer %q returned NaN for a %d-VMU round",
+			s.now, s.cfg.Pricer.Name(), game.N()))
+	}
 	s.report.PricingRounds++
 	s.emit(trace.Event{TimeS: s.now, Kind: trace.KindPricingRound, Vehicle: -1, Price: price, Participants: len(batch)})
 
@@ -265,10 +285,22 @@ func (s *Simulator) runPricingRound() {
 		s.demandScratch = make([]float64, game.N())
 	}
 	demands := game.BestResponsesInto(s.demandScratch[:game.N()], price)
-	scaled, _ := channel.NewOFDMAAllocator(math.Max(s.alloc.Available(), 1e-12)).ScaleToFit(demands)
+	avail := s.alloc.Available()
+	if math.IsNaN(avail) || avail < 0 {
+		panic(fmt.Sprintf("sim: t=%.3fs: bandwidth pool accounting corrupt: %g MHz available of %g",
+			s.now, avail, s.alloc.Capacity()))
+	}
+	scaled, scale := channel.NewOFDMAAllocator(math.Max(avail, 1e-12)).ScaleToFit(demands)
 
 	for i, pm := range batch {
 		bw := scaled[i]
+		if math.IsNaN(bw) || math.IsInf(bw, 0) {
+			// A garbage scale result must not reach the allocator: treat it
+			// like the other corrupted-accounting paths instead of letting
+			// Allocate absorb a NaN into the shared pool.
+			panic(fmt.Sprintf("sim: t=%.3fs: scaling %d demands into %g MHz produced %g for vehicle %d (scale %g)",
+				s.now, len(batch), avail, bw, pm.vehicleID, scale))
+		}
 		if bw <= 0 {
 			s.report.OptedOut++
 			continue

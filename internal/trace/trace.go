@@ -23,18 +23,20 @@ const (
 	KindDeferred          Kind = "deferred"
 )
 
-// Event is one trace record. Unused fields stay at their zero values and
-// are omitted from the JSON.
+// Event is one trace record. Unused numeric fields stay at their zero
+// values and are omitted from the JSON; the ID fields are always emitted,
+// because 0 is a real vehicle/RSU id — "not applicable" is the -1
+// sentinel, never omission.
 type Event struct {
 	// TimeS is the simulation time in seconds.
 	TimeS float64 `json:"t"`
 	// Kind tags the record.
 	Kind Kind `json:"kind"`
 	// Vehicle is the vehicle/VMU id (-1 when not applicable).
-	Vehicle int `json:"vehicle,omitempty"`
+	Vehicle int `json:"vehicle"`
 	// FromRSU and ToRSU describe a handover or migration route.
-	FromRSU int `json:"from_rsu,omitempty"`
-	ToRSU   int `json:"to_rsu,omitempty"`
+	FromRSU int `json:"from_rsu"`
+	ToRSU   int `json:"to_rsu"`
 	// Price is the posted unit bandwidth price of a pricing round.
 	Price float64 `json:"price,omitempty"`
 	// Bandwidth is a grant in MHz.

@@ -97,3 +97,47 @@ func TestSummarizeEmpty(t *testing.T) {
 		t.Errorf("empty summary = %+v", s)
 	}
 }
+
+// TestZeroIDRoundTrip pins the fix for the omitempty ID tags: vehicle 0
+// and RSU 0 are real entities, and an emitted route touching them must
+// survive encode → Read → Summarize intact instead of decaying to
+// "field absent".
+func TestZeroIDRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	events := []Event{
+		{TimeS: 0.5, Kind: KindHandover, Vehicle: 0, FromRSU: 0, ToRSU: 1},
+		{TimeS: 1.0, Kind: KindMigrationStart, Vehicle: 0, FromRSU: 7, ToRSU: 0, Price: 25, Bandwidth: 0.2},
+		{TimeS: 1.5, Kind: KindMigrationComplete, Vehicle: 0, FromRSU: 7, ToRSU: 0, AoTM: 0.4},
+	}
+	for _, e := range events {
+		if err := tr.Emit(e); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	// The IDs must be present on the wire, not defaulted at decode time.
+	for _, key := range []string{`"vehicle":0`, `"from_rsu":0`, `"to_rsu":0`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("encoded trace lacks %s:\n%s", key, buf.String())
+		}
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+	sum := Summarize(got)
+	if sum.Counts[KindHandover] != 1 || sum.Counts[KindMigrationStart] != 1 || sum.Counts[KindMigrationComplete] != 1 {
+		t.Fatalf("summary counts %+v", sum.Counts)
+	}
+	if sum.FirstS != 0.5 || sum.LastS != 1.5 {
+		t.Fatalf("summary range [%g, %g], want [0.5, 1.5]", sum.FirstS, sum.LastS)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"vtmig/internal/nn"
 	"vtmig/internal/pomdp"
 	"vtmig/internal/rl"
+	"vtmig/internal/serve"
 	"vtmig/internal/sim"
 	"vtmig/internal/stackelberg"
 )
@@ -79,6 +80,35 @@ type (
 	// on one fixed simulation scenario.
 	OnlineStudy = experiments.OnlineStudy
 )
+
+// Serving types (the journaled online-pricing daemon behind vtmig-serve).
+type (
+	// ServeConfig parameterizes OpenServer: the durable state directory,
+	// the reference game, and the learner/rotation knobs.
+	ServeConfig = serve.Config
+	// ServeServer is the daemon core — one online pricer, one intake
+	// journal, one serializing intake goroutine. Quotes flow through
+	// Quote (or the HTTP handler from Handler); every accepted round is
+	// journaled before it is applied and full checkpoints rotate at
+	// optimization-phase boundaries, so reopening the state directory
+	// after a crash or clean stop rebuilds the exact serving state by
+	// checkpoint restore + journal replay (determinism contract rule 5 at
+	// a process boundary, restored under rule 6's strictly-or-not-at-all).
+	ServeServer = serve.Server
+	// QuoteRequest is one pricing round to quote: the migrating VMUs and
+	// optionally the round's channel distance and bandwidth pool.
+	QuoteRequest = serve.QuoteRequest
+	// QuoteVMU is one follower of a quoted round.
+	QuoteVMU = serve.QuoteVMU
+	// QuoteResponse is the posted price plus the learner's position.
+	QuoteResponse = serve.QuoteResponse
+	// ServeStats is a point-in-time view of the serving state.
+	ServeStats = serve.Stats
+)
+
+// OpenServer builds (or recovers) the journaled serving state in
+// cfg.Dir and starts the intake goroutine. See ServeServer.
+func OpenServer(cfg ServeConfig) (*ServeServer, error) { return serve.Open(cfg) }
 
 // NewGame constructs a validated Stackelberg game. Data sizes are in
 // units of 100 MB (use FromMB), bandwidth in MHz.
