@@ -26,11 +26,11 @@
 GO ?= go
 
 # BASE is the snapshot bench-compare measures against.
-BASE ?= BENCH_pr7.json
+BASE ?= BENCH_pr8.json
 # BENCH_HOT selects the hot-path benchmarks bench-compare re-measures.
 BENCH_HOT = PPOUpdate$$|PPOUpdateSharded|PPOSelectAction|MLPForward$$|Evaluate|SolveScratch|Collect|TrainerEpisode|StreamCollect|SimRoundOnline|Snapshot|Resume|CheckpointJSON|CheckpointBinary|ServeQuote
 
-.PHONY: all vet fmt-check build test race race-sharded race-collect race-online race-resume serve-smoke bench-smoke bench bench-compare bench-multicore golden ci
+.PHONY: all vet fmt-check build test race race-sharded race-collect race-online race-resume serve-smoke bench-smoke bench bench-compare bench-multicore golden golden-drift ci
 
 all: ci
 
@@ -125,10 +125,19 @@ bench-multicore:
 	@cat bench-multicore.txt
 
 # golden regenerates the fixed-seed golden files after an intentional
-# numeric change: the experiment figure pipelines and the per-pricer
-# simulator reports.
+# numeric change: the experiment figure pipelines, the per-pricer
+# simulator reports, and the scenario-matrix reports.
 golden:
 	$(GO) test ./internal/experiments -run Golden -update
 	$(GO) test ./internal/sim -run Golden -update
+	$(GO) test ./internal/scenario -run Golden -update
+
+# golden-drift regenerates every golden suite and fails when the result
+# differs from the committed files — i.e. when a numeric change landed
+# without its goldens. CI runs it continue-on-error: bitwise drift is a
+# signal to investigate, not automatically a bug (the golden tests
+# themselves compare under tolerance).
+golden-drift: golden
+	git diff --exit-code -- '*_golden.txt' 'internal/experiments/testdata' 'internal/sim/testdata' 'internal/scenario/testdata'
 
 ci: vet fmt-check build race race-sharded race-collect race-online race-resume serve-smoke bench-smoke

@@ -20,6 +20,7 @@ import (
 	"vtmig/internal/nn"
 	"vtmig/internal/pomdp"
 	"vtmig/internal/rl"
+	"vtmig/internal/scenario"
 	"vtmig/internal/serve"
 	"vtmig/internal/sim"
 	"vtmig/internal/stackelberg"
@@ -730,6 +731,95 @@ func BenchmarkSimulation(b *testing.B) {
 			b.Fatal(err)
 		}
 		s.Run()
+	}
+}
+
+// benchScenarioTOML is a mid-size scenario exercising every workload
+// dimension of the declarative layer: grid mobility, vehicle classes,
+// churn, explicit + generated outages, and a demand cycle.
+const benchScenarioTOML = `
+name = "bench"
+seed = 7
+duration_s = 60.0
+
+[mobility]
+kind = "grid"
+rows = 3
+cols = 4
+spacing_m = 400.0
+radius_m = 300.0
+
+[[classes]]
+name = "sedan"
+weight = 3.0
+
+[[classes]]
+name = "truck"
+weight = 1.0
+speed_min_mps = 8.0
+speed_max_mps = 12.0
+
+[churn]
+arrival_rate_per_s = 0.05
+mean_dwell_s = 120.0
+max_vehicles = 12
+
+[[outages]]
+rsu = 2
+start_s = 10.0
+end_s = 25.0
+
+[outage_gen]
+count = 2
+mean_duration_s = 20.0
+
+[demand]
+period_s = 30.0
+day_fraction = 0.6
+night_speed_factor = 0.5
+night_sensing_factor = 2.0
+
+[pricer]
+name = "oracle"
+`
+
+// BenchmarkScenarioLoad measures the declarative layer's full load path
+// on the mid-size scenario: TOML-subset parse, strict schema decode,
+// validation, and the deterministic compile with generator expansion.
+func BenchmarkScenarioLoad(b *testing.B) {
+	data := []byte(benchScenarioTOML)
+	for i := 0; i < b.N; i++ {
+		s, err := scenario.Parse(data, scenario.FormatTOML)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.CompileConfig(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioSim measures a 60-second end-to-end slice of the
+// mid-size scenario — the non-stationary counterpart of
+// BenchmarkSimulation (grid handovers, churn spawns/despawns, outage
+// re-homing, and demand modulation on top of the base simulator loop).
+func BenchmarkScenarioSim(b *testing.B) {
+	s, err := scenario.Parse([]byte(benchScenarioTOML), scenario.FormatTOML)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		sc := *s
+		sc.Seed = int64(i + 1)
+		cfg, err := sc.Compile(sim.PricerBuildOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sm, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sm.Run()
 	}
 }
 

@@ -9,6 +9,8 @@
 //	vtmig-experiments -ablation reward         # binary vs shaped
 //	vtmig-experiments -ablation solver         # closed form vs IBR
 //	vtmig-experiments -ablation multimsp       # monopoly vs competition
+//	vtmig-experiments -nonstationary           # frozen vs online under workload drift
+//	vtmig-experiments -nonstationary -static-scenario a.json -ns-scenario b.toml
 //	vtmig-experiments -fig all -csv out/       # also write CSV files
 package main
 
@@ -22,6 +24,7 @@ import (
 	"strings"
 
 	"vtmig/internal/experiments"
+	"vtmig/internal/scenario"
 	"vtmig/internal/stackelberg"
 )
 
@@ -51,12 +54,15 @@ func run(ctx context.Context, args []string) error {
 		episodes = fs.Int("episodes", 300, "DRL training episodes per sweep point")
 		seed     = fs.Int64("seed", 1, "random seed")
 		csvDir   = fs.String("csv", "", "also write each table as CSV into this directory")
+		nonstat  = fs.Bool("nonstationary", false, "run the frozen-vs-online study under workload drift (2×2 scenario × pricer)")
+		statFile = fs.String("static-scenario", "", "stationary scenario file for -nonstationary (default: in-code static highway)")
+		nsFile   = fs.String("ns-scenario", "", "drifting scenario file for -nonstationary (default: in-code grid+churn+outages+demand)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *fig == "" && *ablation == "" {
-		return fmt.Errorf("nothing to do: pass -fig or -ablation (try -fig all)")
+	if *fig == "" && *ablation == "" && !*nonstat {
+		return fmt.Errorf("nothing to do: pass -fig, -ablation, or -nonstationary (try -fig all)")
 	}
 
 	cfg := experiments.DefaultDRLConfig()
@@ -157,6 +163,32 @@ func run(ctx context.Context, args []string) error {
 		fmt.Println("scheme rows (in order):", strings.Join(experiments.BaselineSchemes, ", "))
 	default:
 		return fmt.Errorf("unknown ablation %q (want history, reward, solver, multimsp, baselines, or seeds)", *ablation)
+	}
+
+	if *nonstat {
+		scfg := experiments.NonstationaryStudyConfig{DRL: cfg}
+		if *statFile != "" {
+			s, err := scenario.Load(*statFile)
+			if err != nil {
+				return err
+			}
+			scfg.Static = s
+		}
+		if *nsFile != "" {
+			s, err := scenario.Load(*nsFile)
+			if err != nil {
+				return err
+			}
+			scfg.NonStationary = s
+		}
+		study, err := experiments.RunNonstationaryStudyCtx(ctx, scfg)
+		if err != nil {
+			return err
+		}
+		emit(study.Table())
+		fmt.Println("cell rows (in order): static/frozen-drl, static/online-warm, nonstationary/frozen-drl, nonstationary/online-warm")
+		fmt.Printf("online margin: static %+.4f, nonstationary %+.4f, gain under drift %+.4f\n",
+			study.StaticMargin, study.NonstationaryMargin, study.MarginGain)
 	}
 
 	if *csvDir != "" {

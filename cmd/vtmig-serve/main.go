@@ -26,7 +26,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -38,7 +37,6 @@ import (
 	"time"
 
 	"vtmig/internal/experiments"
-	"vtmig/internal/nn"
 	"vtmig/internal/rl"
 	"vtmig/internal/serve"
 	"vtmig/internal/stackelberg"
@@ -144,43 +142,24 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 }
 
 // warmStartAgent loads a vtmig-train checkpoint for a fresh state
-// directory, adopting the checkpoint's history length and learning rate
-// like vtmig-sim -warm-start-file does (explicit conflicting flags fail).
+// directory through the shared adopt-or-match resolver (the same
+// convention as vtmig-sim -warm-start-file: a full checkpoint's history
+// length and learning rate are adopted, explicit conflicting flags fail).
 func warmStartAgent(path string, game *stackelberg.Game, ppo rl.PPOConfig, history int, lrExplicit bool, lrFlag float64) (*rl.PPO, int, error) {
-	data, err := os.ReadFile(path)
+	lr := 0.0 // unset: adopt the checkpoint's (or keep ppo.LR)
+	if lrExplicit {
+		lr = lrFlag
+	}
+	res, err := experiments.ResolveWarmStart(path, game, ppo, history, lr)
 	if err != nil {
 		return nil, 0, err
 	}
-	ck, err := nn.LoadCheckpoint(bytes.NewReader(data))
-	if err != nil {
-		return nil, 0, fmt.Errorf("loading %s: %w", path, err)
-	}
-	if ck.Pricer != nil {
+	if res.Checkpoint.Pricer != nil {
 		return nil, 0, fmt.Errorf("%s is a mid-run pricer checkpoint; vtmig-serve resumes serving state from its own -dir, not from pricer checkpoints", path)
 	}
-	historyLen := history
-	if historyLen == 0 {
-		historyLen = 4
-	}
-	if ck.Opt != nil && ck.RNG != nil {
-		if historyLen, err = experiments.HistoryLenFromCheckpoint(ck, game); err != nil {
-			return nil, 0, err
-		}
-		if history != 0 && history != historyLen {
-			return nil, 0, fmt.Errorf("-history %d conflicts with %s, which was trained with history length %d", history, path, historyLen)
-		}
-		if ck.Meta != nil {
-			if v, ok := rl.LRFromFingerprint(ck.Meta.PPO); ok {
-				if lrExplicit && lrFlag != v {
-					return nil, 0, fmt.Errorf("-lr %g conflicts with %s, which was trained with learning rate %g", lrFlag, path, v)
-				}
-				ppo.LR = v
-			}
-		}
-	}
-	agent, _, err := experiments.WarmStartAgent(game, historyLen, ppo, ck)
+	agent, _, err := experiments.WarmStartAgent(game, res.HistoryLen, res.PPO, res.Checkpoint)
 	if err != nil {
 		return nil, 0, err
 	}
-	return agent, historyLen, nil
+	return agent, res.HistoryLen, nil
 }

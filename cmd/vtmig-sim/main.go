@@ -28,9 +28,17 @@
 // checkpoint after every Nth online optimization phase (binary when the
 // name ends in .bin, JSON otherwise).
 //
+// Instead of workload flags, `-scenario city.json` runs a declarative
+// scenario file (JSON or TOML, see internal/scenario): road world,
+// fleet, churn, outages, demand cycle, and the pricer all come from the
+// file, and passing a workload or pricer flag alongside -scenario is an
+// explicit conflict error. Host-side flags (-verbose, -trace,
+// -snapshot-every, -snapshot-out) still apply.
+//
 // Usage:
 //
-//	vtmig-sim [-vehicles 6] [-rsus 8] [-duration 600]
+//	vtmig-sim [-scenario city.json]
+//	          [-vehicles 6] [-rsus 8] [-duration 600]
 //	          [-pricer oracle|random|fixed|drl|online] [-price 25]
 //	          [-train-episodes 30] [-update-every 20] [-warm-start]
 //	          [-warm-start-file ck.json] [-history 4] [-lr 3e-4]
@@ -44,12 +52,22 @@ import (
 	"os"
 	"strings"
 
-	"vtmig/internal/experiments"
+	// Registers the "drl" and "online" pricer builders with the sim
+	// pricer registry.
+	_ "vtmig/internal/experiments"
 	"vtmig/internal/nn"
-	"vtmig/internal/rl"
+	"vtmig/internal/scenario"
 	"vtmig/internal/sim"
-	"vtmig/internal/stackelberg"
 )
+
+// scenarioConflictFlags are the legacy flags a scenario file replaces:
+// passing any of them explicitly alongside -scenario is an error rather
+// than a silent override in either direction.
+var scenarioConflictFlags = []string{
+	"vehicles", "rsus", "duration", "failure", "seed",
+	"pricer", "price", "train-episodes", "update-every",
+	"warm-start", "warm-start-file", "history", "lr",
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -61,6 +79,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vtmig-sim", flag.ContinueOnError)
 	var (
+		scenarioF   = fs.String("scenario", "", "run a declarative scenario file (.json or .toml) instead of the workload flags")
 		vehicles    = fs.Int("vehicles", 6, "number of vehicles (VMUs)")
 		rsus        = fs.Int("rsus", 8, "number of RSUs on the highway")
 		duration    = fs.Float64("duration", 600, "simulated seconds")
@@ -85,131 +104,92 @@ func run(args []string) error {
 	explicit := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	cfg := sim.DefaultConfig()
-	cfg.Vehicles = *vehicles
-	cfg.RSUCount = *rsus
-	cfg.DurationS = *duration
-	cfg.PricingFailureRate = *failure
-	cfg.Seed = *seed
-	switch *pricer {
-	case "oracle":
-		cfg.Pricer = sim.NewOraclePricer()
-	case "random":
-		cfg.Pricer = sim.NewRandomPricer(*seed)
-	case "fixed":
-		cfg.Pricer = sim.NewFixedPricer(*price)
-	case "drl":
-		res, err := trainOffline(*episodes, *seed)
+	opts := sim.PricerBuildOptions{
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	if *snapEvery > 0 {
+		if *snapOut == "" {
+			return fmt.Errorf("-snapshot-every %d needs -snapshot-out", *snapEvery)
+		}
+		out := *snapOut
+		opts.SnapshotEvery = *snapEvery
+		opts.OnSnapshot = func(ck *nn.Checkpoint) {
+			if err := writeCheckpointFile(out, ck); err != nil {
+				fmt.Fprintf(os.Stderr, "vtmig-sim: writing resume checkpoint: %v\n", err)
+			}
+		}
+	}
+
+	var cfg sim.Config
+	if *scenarioF != "" {
+		// Scenario mode: the file defines the workload and the pricer;
+		// a zero opts.DefaultSeed makes stochastic pricers adopt the
+		// scenario seed.
+		for _, name := range scenarioConflictFlags {
+			if explicit[name] {
+				return fmt.Errorf("-%s conflicts with -scenario %s: the scenario file defines the workload and pricer", name, *scenarioF)
+			}
+		}
+		s, err := scenario.Load(*scenarioF)
 		if err != nil {
 			return err
 		}
-		frozen, err := experiments.FrozenPricer(res)
+		if cfg, err = s.CompileConfig(); err != nil {
+			return err
+		}
+		p, err := s.BuildPricer(opts)
 		if err != nil {
 			return err
 		}
-		cfg.Pricer = frozen
-	case "online":
-		game := stackelberg.DefaultGame()
-		onlineCfg := sim.OnlinePricerConfig{
-			Game:        game,
-			UpdateEvery: *updateEvery,
-			Seed:        *seed,
-		}
-		if *snapEvery > 0 {
-			if *snapOut == "" {
-				return fmt.Errorf("-snapshot-every %d needs -snapshot-out", *snapEvery)
-			}
-			out := *snapOut
-			onlineCfg.SnapshotEvery = *snapEvery
-			onlineCfg.OnSnapshot = func(ck *nn.Checkpoint) {
-				if err := writeCheckpointFile(out, ck); err != nil {
-					fmt.Fprintf(os.Stderr, "vtmig-sim: writing resume checkpoint: %v\n", err)
-				}
-			}
-		}
-		// Reject a broken configuration before spending the offline
-		// training budget on it.
-		if err := onlineCfg.Validate(); err != nil {
+		cfg.Pricer = p
+	} else {
+		// Legacy mode compiles the workload flags into an equivalent
+		// in-memory scenario, then pins the flag values verbatim so an
+		// explicitly passed zero (e.g. -vehicles 0) still fails
+		// validation instead of adopting a default.
+		s := &scenario.Scenario{Name: "cli"}
+		var err error
+		if cfg, err = s.CompileConfig(); err != nil {
 			return err
 		}
-		var online *sim.OnlinePricer
-		switch {
-		case *warmFile != "":
-			ck, err := loadCheckpointFile(*warmFile)
-			if err != nil {
-				return err
-			}
-			full := ck.Opt != nil && ck.RNG != nil
-			historyLen, lrEff := *history, *lr
-			if full {
-				// A full checkpoint carries its own architecture metadata;
-				// the flags may only confirm it.
-				historyLen, err = experiments.HistoryLenFromCheckpoint(ck, game)
-				if err != nil {
-					return err
-				}
-				if explicit["history"] && *history != historyLen {
-					return fmt.Errorf("-history %d conflicts with %s, which was trained with history length %d (drop the flag to adopt it)",
-						*history, *warmFile, historyLen)
-				}
-				if ck.Meta != nil {
-					if v, ok := rl.LRFromFingerprint(ck.Meta.PPO); ok {
-						if explicit["lr"] && *lr != v {
-							return fmt.Errorf("-lr %g conflicts with %s, which was trained with learning rate %g (drop the flag to adopt it)",
-								*lr, *warmFile, v)
-						}
-						lrEff = v
-					}
-				}
-			}
-			ppo := experiments.DefaultDRLConfig().PPO
-			ppo.LR = lrEff
-			if ck.Pricer != nil {
-				// Mid-run pricer checkpoint: resume the online run exactly
-				// (belief window, best tracker, stream counters, learner).
-				onlineCfg.PPO = ppo
-				onlineCfg.HistoryLen = 0
-				if explicit["history"] {
-					onlineCfg.HistoryLen = *history
-				}
-				if !explicit["update-every"] {
-					onlineCfg.UpdateEvery = 0 // adopt the checkpointed cadence
-				}
-				fmt.Printf("Resuming online pricer from %s at round %d (update %d)\n",
-					*warmFile, ck.Pricer.Rounds, ck.Pricer.Updates)
-				if online, err = sim.NewOnlinePricerFromCheckpoint(onlineCfg, ck); err != nil {
-					return err
-				}
-				break
-			}
-			agent, _, err := experiments.WarmStartAgent(game, historyLen, ppo, ck)
-			if err != nil {
-				return err
-			}
-			kind := fmt.Sprintf("full training state (history %d, lr %g)", historyLen, lrEff)
-			if !full {
-				kind = "weights only (legacy checkpoint; optimizer and RNG start fresh, -history/-lr flags apply)"
-			}
-			fmt.Printf("Warm-starting online pricer from %s: %s\n", *warmFile, kind)
-			onlineCfg.Agent = agent
-			onlineCfg.HistoryLen = historyLen
-		case *warmStart:
-			res, err := trainOffline(*episodes, *seed)
-			if err != nil {
-				return err
-			}
-			onlineCfg.Agent = res.Agent
-			onlineCfg.HistoryLen = res.Env.Config().HistoryLen
+		cfg.Vehicles = *vehicles
+		cfg.RSUCount = *rsus
+		cfg.DurationS = *duration
+		cfg.PricingFailureRate = *failure
+		cfg.Seed = *seed
+
+		// The flags compile into a declarative sim.PricerSpec. Only explicitly
+		// passed flags enter the spec — an unset spec field means "adopt the
+		// default (or the checkpoint's metadata)", while an explicitly set one
+		// must match what a warm-start checkpoint was trained with. The -price
+		// default applies to -pricer fixed even unflagged, as it always has.
+		spec := sim.PricerSpec{Name: *pricer, WarmStartFile: *warmFile}
+		if explicit["price"] || *pricer == "fixed" {
+			spec.Price = *price
 		}
-		if online == nil {
-			var err error
-			if online, err = sim.NewOnlinePricer(onlineCfg); err != nil {
-				return err
-			}
+		if explicit["train-episodes"] {
+			spec.TrainEpisodes = *episodes
 		}
-		cfg.Pricer = online
-	default:
-		return fmt.Errorf("unknown pricer %q (want oracle, random, fixed, drl, or online)", *pricer)
+		if explicit["update-every"] {
+			spec.UpdateEvery = *updateEvery
+		}
+		if explicit["warm-start"] {
+			spec.WarmStart = warmStart
+		}
+		if explicit["history"] {
+			spec.HistoryLen = *history
+		}
+		if explicit["lr"] {
+			spec.LR = *lr
+		}
+		opts.DefaultSeed = *seed
+		p, err := sim.NewPricerFromSpec(spec, opts)
+		if err != nil {
+			return err
+		}
+		cfg.Pricer = p
 	}
 
 	if *traceOut != "" {
@@ -228,7 +208,7 @@ func run(args []string) error {
 	rep := s.Run()
 
 	fmt.Printf("Simulated %.0f s with %d vehicles over %d RSUs (pricer: %s)\n",
-		rep.SimulatedS, cfg.Vehicles, cfg.RSUCount, rep.PricerName)
+		rep.SimulatedS, cfg.Vehicles, cfg.EffectiveRSUCount(), rep.PricerName)
 	fmt.Printf("Handovers          %d\n", rep.Handovers)
 	fmt.Printf("Pricing rounds     %d (failed: %d, deferred: %d, opted out: %d)\n",
 		rep.PricingRounds, rep.FailedRounds, rep.Deferred, rep.OptedOut)
@@ -256,21 +236,6 @@ func run(args []string) error {
 	return nil
 }
 
-// loadCheckpointFile reads a checkpoint file in either encoding (the
-// loader auto-detects the binary format by its magic).
-func loadCheckpointFile(path string) (*nn.Checkpoint, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("opening checkpoint: %w", err)
-	}
-	defer f.Close()
-	ck, err := nn.LoadCheckpoint(f)
-	if err != nil {
-		return nil, fmt.Errorf("loading %s: %w", path, err)
-	}
-	return ck, nil
-}
-
 // writeCheckpointFile writes a checkpoint atomically (temp file + rename)
 // so a crash mid-write never leaves a truncated checkpoint behind, in the
 // compact binary encoding when the name ends in .bin and JSON otherwise.
@@ -293,19 +258,4 @@ func writeCheckpointFile(path string, ck *nn.Checkpoint) error {
 		return err
 	}
 	return os.Rename(tmp, path)
-}
-
-// trainOffline trains the MSP agent on the paper's benchmark game for the
-// drl and warm-started online pricers.
-func trainOffline(episodes int, seed int64) (*experiments.TrainResult, error) {
-	drlCfg := experiments.DefaultDRLConfig()
-	drlCfg.Episodes = episodes
-	drlCfg.Restarts = 1
-	drlCfg.Seed = seed
-	fmt.Printf("Training PPO pricing agent offline (%d episodes x %d rounds)...\n", drlCfg.Episodes, drlCfg.Rounds)
-	res, err := experiments.TrainAgent(stackelberg.DefaultGame(), drlCfg)
-	if err != nil {
-		return nil, fmt.Errorf("offline training: %w", err)
-	}
-	return res, nil
 }

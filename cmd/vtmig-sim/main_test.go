@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"vtmig/internal/experiments"
@@ -173,5 +174,53 @@ func TestRunInvalidConfig(t *testing.T) {
 func TestRunFailureInjection(t *testing.T) {
 	if err := run([]string{"-duration", "60", "-failure", "0.4"}); err != nil {
 		t.Fatalf("run with failure injection: %v", err)
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	for _, file := range []string{"urban-grid.json", "churn.toml"} {
+		path := filepath.Join("..", "..", "testdata", "scenarios", file)
+		if err := run([]string{"-scenario", path}); err != nil {
+			t.Errorf("run -scenario %s: %v", file, err)
+		}
+	}
+}
+
+func TestRunScenarioConflictsWithWorkloadFlags(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "scenarios", "static-highway.json")
+	for _, extra := range [][]string{
+		{"-vehicles", "4"},
+		{"-duration", "60"},
+		{"-pricer", "oracle"},
+		{"-seed", "7"},
+		{"-warm-start=false"},
+	} {
+		args := append([]string{"-scenario", path}, extra...)
+		err := run(args)
+		if err == nil {
+			t.Errorf("%v: conflicting flag accepted", extra)
+			continue
+		}
+		flagName, _, _ := strings.Cut(strings.TrimPrefix(extra[0], "-"), "=")
+		if !strings.Contains(err.Error(), "conflicts with -scenario") || !strings.Contains(err.Error(), flagName) {
+			t.Errorf("%v: error should name the conflicting flag, got %v", extra, err)
+		}
+	}
+}
+
+func TestRunScenarioHostFlagsStillApply(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "scenarios", "static-highway.json")
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-scenario", path, "-verbose", "-trace", trace}); err != nil {
+		t.Fatalf("run -scenario with host flags: %v", err)
+	}
+	if fi, err := os.Stat(trace); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file not written: %v", err)
+	}
+}
+
+func TestRunScenarioMissingFile(t *testing.T) {
+	if err := run([]string{"-scenario", "no-such-scenario.json"}); err == nil {
+		t.Fatal("missing scenario file accepted")
 	}
 }

@@ -30,6 +30,11 @@
 //     cmd/vtmig-serve, load-tested by cmd/vtmig-loadgen) that puts the
 //     online pricer behind live HTTP traffic with audit-grade
 //     crash recovery;
+//   - a declarative scenario layer (internal/scenario behind vtmig-sim
+//     -scenario): strict JSON/TOML workload files — Manhattan-grid
+//     mobility, vehicle churn, heterogeneous vehicle classes, RSU
+//     outages, day/night demand cycles — compiled deterministically into
+//     simulator configurations;
 //   - and a harness that regenerates every figure of the evaluation
 //     (internal/experiments).
 //
@@ -132,6 +137,36 @@
 // cmd/vtmig-loadgen records serving throughput and latency percentiles
 // into the BENCH_pr*.json files.
 //
+// # Scenarios
+//
+// internal/scenario is the simulator's declarative workload layer: a
+// scenario is a named, self-contained description of one simulation —
+// road world, fleet, churn, outages, demand cycle, and the MSP pricer —
+// stated as what it changes about the default 6-vehicle highway world.
+// Scenario files are strict JSON or TOML (a dependency-free subset
+// parser funnels TOML through the same JSON schema, so both formats
+// share one unknown-field policy); loading validates everything, so a
+// loaded scenario always compiles. Compilation is deterministic:
+// the same (schema, seed) always yields the same sim.Config, including
+// the expansion of generator blocks like OutageGen, whose windows are
+// drawn from a dedicated splitmix64-derived stream
+// (mathx.SplitMix64) that never collides with the simulation's own
+// draws. The pricer side is declarative too: sim.PricerSpec names a
+// registered builder ("oracle", "fixed", "random", plus "drl" and
+// "online" from the experiments layer) with zero-valued fields adopting
+// defaults or checkpoint metadata, and scenario files, vtmig-sim, and
+// vtmig-serve all build pricers through this one registry
+// (sim.NewPricerFromSpec). The committed matrix under
+// testdata/scenarios/ — static highway, urban grid, churn, outages,
+// demand cycle, and the combined non-stationary workload — is pinned by
+// per-pricer golden reports in internal/scenario/testdata, and
+// experiments.RunNonstationaryStudy uses the scenario layer to measure
+// whether online continual learning beats a frozen agent by a wider
+// margin when the workload actually drifts. Entry points:
+// vtmig.LoadScenario / vtmig.RunScenario, scenario.Load,
+// Scenario.Compile, and vtmig-sim -scenario (workload flags conflict
+// explicitly; -verbose, -trace, and the snapshot flags still apply).
+//
 // # Determinism contract
 //
 // The same seed yields the same figures, bit for bit. Six rules enforce
@@ -191,7 +226,9 @@
 //
 // The golden-file tests under internal/experiments/testdata pin the exact
 // fixed-seed outputs of every figure pipeline, those under
-// internal/sim/testdata the per-pricer simulator reports, and the
+// internal/sim/testdata the per-pricer simulator reports, those under
+// internal/scenario/testdata the committed scenario matrix (6 scenarios
+// × 3 analytic pricers), and the
 // determinism tests in internal/rl, internal/pomdp, internal/sim, and
 // internal/stackelberg pin the rules at unit level (rule 6 by the
 // resume-equality tables in internal/rl/resume_test.go,
@@ -202,6 +239,9 @@
 //
 //	go test ./internal/experiments -run Golden -update
 //	go test ./internal/sim -run Golden -update
+//	go test ./internal/scenario -run Golden -update
+//
+// (`make golden` runs all three.)
 //
 // # Benchmarks
 //

@@ -160,3 +160,15 @@ func Log2OnePlus(x float64) float64 {
 	}
 	return math.Log2(1 + x)
 }
+
+// SplitMix64 derives an independent RNG seed from (seed, stream) with
+// the splitmix64 finalizer: adjacent seeds or streams produce
+// uncorrelated stdlib generator states, unlike an additive offset, which
+// would collide with nearby user-chosen seeds. The result is
+// non-negative, so it can seed rand.NewSource directly.
+func SplitMix64(seed int64, stream uint64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64((z ^ (z >> 31)) & math.MaxInt64)
+}

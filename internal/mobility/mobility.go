@@ -1,13 +1,39 @@
-// Package mobility provides the vehicular substrate of the simulation: a
-// (circular) highway with evenly spaced RSUs of limited coverage, vehicles
-// with simple kinematics, and handover detection — the trigger for VT
-// migrations in the paper's system model.
+// Package mobility provides the vehicular substrate of the simulation:
+// road worlds (a circular highway and a Manhattan grid) with RSUs of
+// limited coverage, vehicles with simple kinematics, and handover
+// detection — the trigger for VT migrations in the paper's system model.
 package mobility
 
 import (
 	"fmt"
 	"math"
+	"math/rand"
 )
+
+// World abstracts a road network for the simulator: it places and moves
+// vehicles, owns the RSU layout, decides which RSU serves a vehicle, and
+// measures inter-RSU distances (the d of the migration channel model).
+//
+// Implementations must be deterministic: Place draws only from the rng it
+// is handed, and Advance consumes randomness (if any) only from streams
+// derived from the vehicle's ID, so one vehicle's trajectory never
+// depends on which other vehicles exist.
+type World interface {
+	// RSUCount is the number of RSUs in the world; ids are 0..RSUCount-1.
+	RSUCount() int
+	// RSUDistance is the network distance between two RSUs in meters.
+	RSUDistance(a, b int) float64
+	// Place positions a freshly spawned vehicle using draws from rng.
+	Place(v *Vehicle, rng *rand.Rand)
+	// Advance moves the vehicle for dt seconds.
+	Advance(v *Vehicle, dt float64)
+	// ServingRSU returns the id of the RSU serving the vehicle and
+	// whether that RSU's coverage actually reaches it. down marks RSUs in
+	// outage (nil: all up); a down RSU never serves, so vehicles near it
+	// attach to the nearest live one — or, if every RSU is down, to the
+	// nearest RSU regardless, uncovered.
+	ServingRSU(v *Vehicle, down []bool) (int, bool)
+}
 
 // RSU is one roadside unit.
 type RSU struct {
@@ -80,15 +106,54 @@ func (h *Highway) RSUDistance(a, b int) float64 {
 	return circularDistance(h.RSUs[a].PositionM, h.RSUs[b].PositionM, h.LengthM)
 }
 
-// Vehicle is one vehicle (and its VMU) moving along the highway.
+// RSUCount implements World.
+func (h *Highway) RSUCount() int { return len(h.RSUs) }
+
+// Place implements World: the vehicle spawns uniformly along the highway.
+func (h *Highway) Place(v *Vehicle, rng *rand.Rand) {
+	v.PositionM = rng.Float64() * h.LengthM
+}
+
+// Advance implements World.
+func (h *Highway) Advance(v *Vehicle, dt float64) {
+	v.Advance(dt, h.LengthM)
+}
+
+// ServingRSU implements World: the nearest live RSU by circular distance.
+// With no outages it selects exactly NearestRSU's pick.
+func (h *Highway) ServingRSU(v *Vehicle, down []bool) (int, bool) {
+	best, bestDist := -1, math.Inf(1)
+	for i, r := range h.RSUs {
+		if len(down) > i && down[i] {
+			continue
+		}
+		if d := circularDistance(r.PositionM, v.PositionM, h.LengthM); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		// Every RSU is down: stay attached to the nearest one, uncovered.
+		r, _ := h.NearestRSU(v.PositionM)
+		return r.ID, false
+	}
+	return best, bestDist <= h.RSUs[best].RadiusM
+}
+
+// Vehicle is one vehicle (and its VMU) moving through a World.
 type Vehicle struct {
 	// ID is unique within a simulation.
 	ID int
-	// PositionM is the location along the highway in meters.
+	// PositionM is the location along the highway in meters (highway
+	// worlds only).
 	PositionM float64
-	// SpeedMps is the speed in meters per second (non-negative; the
-	// highway is one-way).
+	// SpeedMps is the speed in meters per second (non-negative; roads
+	// are one-way).
 	SpeedMps float64
+	// X and Y are the planar position in meters (grid worlds only).
+	X, Y float64
+	// DirX and DirY are the unit travel direction, one of (±1,0) or
+	// (0,±1) (grid worlds only).
+	DirX, DirY int
 }
 
 // Advance moves the vehicle for dt seconds, wrapping at the highway
@@ -124,6 +189,13 @@ func NewTracker(h *Highway) *Tracker {
 	return &Tracker{highway: h, serving: make(map[int]int)}
 }
 
+// NewObserveTracker builds a tracker fed purely through Observe — the
+// world-agnostic path where the caller computes serving RSUs itself
+// (World.ServingRSU). Update must not be called on it.
+func NewObserveTracker() *Tracker {
+	return &Tracker{serving: make(map[int]int)}
+}
+
 // Serving returns the vehicle's current serving RSU id, or -1 when the
 // vehicle has never attached.
 func (t *Tracker) Serving(vehicleID int) int {
@@ -138,16 +210,30 @@ func (t *Tracker) Serving(vehicleID int) int {
 // with FromRSU = -1.
 func (t *Tracker) Update(v *Vehicle) (Handover, bool) {
 	rsu, _ := t.highway.NearestRSU(v.PositionM)
-	prev, attached := t.serving[v.ID]
-	if attached && prev == rsu.ID {
+	return t.Observe(v.ID, rsu.ID)
+}
+
+// Observe records an externally computed serving RSU (e.g. from
+// World.ServingRSU, which is outage-aware) and returns a handover event
+// if it changed. The first attach also reports a handover with
+// FromRSU = -1.
+func (t *Tracker) Observe(vehicleID, rsuID int) (Handover, bool) {
+	prev, attached := t.serving[vehicleID]
+	if attached && prev == rsuID {
 		return Handover{}, false
 	}
-	t.serving[v.ID] = rsu.ID
+	t.serving[vehicleID] = rsuID
 	from := -1
 	if attached {
 		from = prev
 	}
-	return Handover{VehicleID: v.ID, FromRSU: from, ToRSU: rsu.ID}, true
+	return Handover{VehicleID: vehicleID, FromRSU: from, ToRSU: rsuID}, true
+}
+
+// Forget drops a departed vehicle's serving state; a vehicle with the
+// same id spawning later attaches afresh.
+func (t *Tracker) Forget(vehicleID int) {
+	delete(t.serving, vehicleID)
 }
 
 // circularDistance returns the shortest distance between two positions on

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioParse feeds hostile bytes to both scenario decoders. The
+// property under test: Parse never panics, and any input it accepts is a
+// scenario that deterministically compiles — the loader's "a loaded
+// scenario always compiles" contract holds even for adversarial inputs.
+func FuzzScenarioParse(f *testing.F) {
+	for _, path := range []string{
+		"static-highway.json", "urban-grid.json", "outages.json", "nonstationary.json",
+	} {
+		data, err := readScenarioFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data, true)
+		f.Add(data, false)
+	}
+	for _, path := range []string{"churn.toml", "demand-cycle.toml"} {
+		data, err := readScenarioFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data, false)
+		f.Add(data, true)
+	}
+	f.Add([]byte(`{"name": "x", "outage_gen": {"count": 100000, "mean_duration_s": 1e308}}`), true)
+	f.Add([]byte("a = [[[[[\n"), false)
+	f.Add([]byte("a = {b = {c = 1}}\n[a.b]\n"), false)
+	f.Add([]byte(`{"name":"x","pricer":{"name":"fixed","price":1e999}}`), true)
+	f.Add([]byte("name = \"x\"\nseed = 9223372036854775807\n"), false)
+
+	f.Fuzz(func(t *testing.T, data []byte, asJSON bool) {
+		format := FormatTOML
+		if asJSON {
+			format = FormatJSON
+		}
+		s, err := Parse(data, format)
+		if err != nil {
+			return
+		}
+		cfg1, err := s.CompileConfig()
+		if err != nil {
+			t.Fatalf("accepted scenario failed to compile: %v", err)
+		}
+		cfg2, err := s.CompileConfig()
+		if err != nil {
+			t.Fatalf("second compile failed: %v", err)
+		}
+		if !reflect.DeepEqual(cfg1, cfg2) {
+			t.Fatalf("compile is not deterministic:\n %+v\n %+v", cfg1, cfg2)
+		}
+	})
+}
+
+func readScenarioFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(scenariosDir, name))
+}

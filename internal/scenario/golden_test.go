@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"vtmig/internal/sim"
+)
+
+// The golden matrix pins the exact numeric sim.Report of every committed
+// scenario under every analytic pricer: 6 scenarios × {oracle, fixed,
+// random} = 18 files. This is the scenario-level arm of the determinism
+// contract — a committed scenario file is a reproducible artifact, and
+// any numeric drift in the loader, the generator expansion, or the new
+// workload dimensions (grid, churn, outages, demand) shows up as a
+// golden diff. Regenerate after an intentional change with
+//
+//	go test ./internal/scenario -run Golden -update
+//
+// (or `make golden`, which regenerates all golden suites).
+var updateGolden = flag.Bool("update", false, "rewrite the golden files instead of comparing")
+
+// matrixPricers are the pricer specs each committed scenario is run
+// under. Only analytic pricers: training in a golden matrix would make
+// `make golden` minutes-slow for no extra coverage (the learning pricers
+// have their own goldens in internal/sim and internal/experiments).
+var matrixPricers = []struct {
+	label string
+	spec  sim.PricerSpec
+}{
+	{"oracle", sim.PricerSpec{Name: "oracle"}},
+	{"fixed", sim.PricerSpec{Name: "fixed", Price: 25}},
+	{"random", sim.PricerSpec{Name: "random"}},
+}
+
+// runScenarioReport compiles and runs one (scenario, pricer spec) cell.
+func runScenarioReport(t *testing.T, s *Scenario, spec sim.PricerSpec) sim.Report {
+	t.Helper()
+	withSpec := *s
+	withSpec.Pricer = spec
+	cfg, err := withSpec.Compile(sim.PricerBuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm.Run()
+}
+
+func TestGoldenScenarioMatrix(t *testing.T) {
+	for _, path := range committedScenarios(t) {
+		s, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, mp := range matrixPricers {
+			name := "report_" + s.Name + "_" + mp.label + "_golden.txt"
+			t.Run(s.Name+"/"+mp.label, func(t *testing.T) {
+				got := sim.FormatGoldenReport(runScenarioReport(t, s, mp.spec))
+				golden := filepath.Join("testdata", name)
+				if *updateGolden {
+					if err := os.MkdirAll("testdata", 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				wantBytes, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden file %s (run with -update to record): %v", golden, err)
+				}
+				if err := sim.DiffGoldenReports(string(wantBytes), got, sim.GoldenTol); err != nil {
+					t.Errorf("%s: %v", name, err)
+				}
+			})
+		}
+	}
+}
+
+// TestScenarioReportsGOMAXPROCSIndependent runs every committed scenario
+// at GOMAXPROCS 1 and 4 and demands byte-identical serialized reports:
+// scenario workloads obey determinism rule 1 exactly like the base
+// simulator.
+func TestScenarioReportsGOMAXPROCSIndependent(t *testing.T) {
+	for _, path := range committedScenarios(t) {
+		s, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		t.Run(s.Name, func(t *testing.T) {
+			reports := make([]string, 2)
+			for i, procs := range []int{1, 4} {
+				prev := runtime.GOMAXPROCS(procs)
+				rep := runScenarioReport(t, s, sim.PricerSpec{Name: "random"})
+				runtime.GOMAXPROCS(prev)
+				reports[i] = sim.FormatGoldenReport(rep)
+			}
+			if reports[0] != reports[1] {
+				t.Errorf("report differs between GOMAXPROCS 1 and 4:\n%s", firstDiffLine(reports[0], reports[1]))
+			}
+		})
+	}
+}
+
+// firstDiffLine locates the first differing line of two reports for a
+// readable failure message.
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + al[i] + "\n  vs " + bl[i]
+		}
+	}
+	return "reports differ in length"
+}

@@ -1,0 +1,322 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the minimal TOML subset the scenario loader
+// accepts, with no third-party dependency: comments, bare/dotted keys,
+// [table] and [[array-of-table]] headers, and single-line values —
+// basic strings, integers, floats, booleans, arrays, and inline tables.
+// The parser produces a map[string]any that the loader re-encodes as
+// JSON and decodes strictly into the Scenario schema, so TOML and JSON
+// scenarios share one validation path and unknown TOML keys are rejected
+// exactly like unknown JSON fields.
+//
+// Deliberately unsupported (a descriptive error, never a panic):
+// multi-line strings and arrays, literal ('...') strings, dates,
+// underscored numbers, and quoted keys.
+
+// parseTOML parses the subset into nested maps/slices.
+func parseTOML(src string) (map[string]any, error) {
+	root := make(map[string]any)
+	cur := root
+	for ln, raw := range strings.Split(src, "\n") {
+		line, err := stripTOMLComment(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "[["):
+			if !strings.HasSuffix(line, "]]") {
+				return nil, fmt.Errorf("line %d: unterminated [[table]] header", ln+1)
+			}
+			path, err := parseTOMLKeyPath(line[2 : len(line)-2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			if cur, err = tomlAppendTable(root, path); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+		case strings.HasPrefix(line, "["):
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("line %d: unterminated [table] header", ln+1)
+			}
+			path, err := parseTOMLKeyPath(line[1 : len(line)-1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			if cur, err = tomlMakeTable(root, path); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+		default:
+			if err := parseTOMLAssignment(cur, line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+		}
+	}
+	return root, nil
+}
+
+// stripTOMLComment removes a trailing # comment, respecting strings.
+func stripTOMLComment(line string) (string, error) {
+	inString := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inString {
+				i++ // skip the escaped character
+			}
+		case '"':
+			inString = !inString
+		case '#':
+			if !inString {
+				return line[:i], nil
+			}
+		}
+	}
+	if inString {
+		return "", fmt.Errorf("unterminated string")
+	}
+	return line, nil
+}
+
+// parseTOMLKeyPath splits a (possibly dotted) bare-key path.
+func parseTOMLKeyPath(s string) ([]string, error) {
+	parts := strings.Split(strings.TrimSpace(s), ".")
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty key segment in %q", s)
+		}
+		for _, r := range p {
+			if !(r == '_' || r == '-' || r >= '0' && r <= '9' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z') {
+				return nil, fmt.Errorf("unsupported key %q (bare keys only)", p)
+			}
+		}
+		parts[i] = p
+	}
+	return parts, nil
+}
+
+// tomlDescend walks/creates the intermediate tables of a key path and
+// returns the table the final segment lives in.
+func tomlDescend(root map[string]any, path []string) (map[string]any, error) {
+	cur := root
+	for _, seg := range path[:len(path)-1] {
+		switch v := cur[seg].(type) {
+		case nil:
+			next := make(map[string]any)
+			cur[seg] = next
+			cur = next
+		case map[string]any:
+			cur = v
+		case []any:
+			// Dotted access into an array-of-tables targets its last entry.
+			if len(v) == 0 {
+				return nil, fmt.Errorf("key %q is an empty table array", seg)
+			}
+			last, ok := v[len(v)-1].(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("key %q is not a table array", seg)
+			}
+			cur = last
+		default:
+			return nil, fmt.Errorf("key %q is a value, not a table", seg)
+		}
+	}
+	return cur, nil
+}
+
+// tomlMakeTable creates (or re-enters) the table a [header] names.
+func tomlMakeTable(root map[string]any, path []string) (map[string]any, error) {
+	parent, err := tomlDescend(root, path)
+	if err != nil {
+		return nil, err
+	}
+	last := path[len(path)-1]
+	switch v := parent[last].(type) {
+	case nil:
+		t := make(map[string]any)
+		parent[last] = t
+		return t, nil
+	case map[string]any:
+		return v, nil
+	default:
+		return nil, fmt.Errorf("key %q already holds a value", last)
+	}
+}
+
+// tomlAppendTable appends a fresh table to the array a [[header]] names.
+func tomlAppendTable(root map[string]any, path []string) (map[string]any, error) {
+	parent, err := tomlDescend(root, path)
+	if err != nil {
+		return nil, err
+	}
+	last := path[len(path)-1]
+	t := make(map[string]any)
+	switch v := parent[last].(type) {
+	case nil:
+		parent[last] = []any{t}
+	case []any:
+		parent[last] = append(v, t)
+	default:
+		return nil, fmt.Errorf("key %q already holds a non-array value", last)
+	}
+	return t, nil
+}
+
+// parseTOMLAssignment parses one `key = value` line into the table.
+func parseTOMLAssignment(table map[string]any, line string) error {
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("expected key = value, got %q", line)
+	}
+	path, err := parseTOMLKeyPath(line[:eq])
+	if err != nil {
+		return err
+	}
+	val, rest, err := parseTOMLValue(line[eq+1:])
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return fmt.Errorf("trailing content %q after value", strings.TrimSpace(rest))
+	}
+	parent, err := tomlDescend(table, path)
+	if err != nil {
+		return err
+	}
+	last := path[len(path)-1]
+	if _, dup := parent[last]; dup {
+		return fmt.Errorf("duplicate key %q", last)
+	}
+	parent[last] = val
+	return nil
+}
+
+// parseTOMLValue parses one value from the front of s and returns the
+// unconsumed remainder.
+func parseTOMLValue(s string) (any, string, error) {
+	s = strings.TrimLeft(s, " \t")
+	if s == "" {
+		return nil, "", fmt.Errorf("missing value")
+	}
+	switch s[0] {
+	case '"':
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, "", fmt.Errorf("unterminated string")
+		}
+		str, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, "", fmt.Errorf("bad string %s: %v", s[:end+1], err)
+		}
+		return str, s[end+1:], nil
+	case '[':
+		var arr []any
+		rest := strings.TrimLeft(s[1:], " \t")
+		if strings.HasPrefix(rest, "]") {
+			return []any{}, rest[1:], nil
+		}
+		for {
+			var v any
+			var err error
+			v, rest, err = parseTOMLValue(rest)
+			if err != nil {
+				return nil, "", err
+			}
+			arr = append(arr, v)
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, ",") {
+				rest = strings.TrimLeft(rest[1:], " \t")
+				if strings.HasPrefix(rest, "]") { // trailing comma
+					return arr, rest[1:], nil
+				}
+				continue
+			}
+			if strings.HasPrefix(rest, "]") {
+				return arr, rest[1:], nil
+			}
+			return nil, "", fmt.Errorf("expected , or ] in array, got %q", rest)
+		}
+	case '{':
+		t := make(map[string]any)
+		rest := strings.TrimLeft(s[1:], " \t")
+		if strings.HasPrefix(rest, "}") {
+			return t, rest[1:], nil
+		}
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return nil, "", fmt.Errorf("expected key = value in inline table, got %q", rest)
+			}
+			path, err := parseTOMLKeyPath(rest[:eq])
+			if err != nil {
+				return nil, "", err
+			}
+			if len(path) != 1 {
+				return nil, "", fmt.Errorf("dotted keys are not supported in inline tables")
+			}
+			var v any
+			v, rest, err = parseTOMLValue(rest[eq+1:])
+			if err != nil {
+				return nil, "", err
+			}
+			if _, dup := t[path[0]]; dup {
+				return nil, "", fmt.Errorf("duplicate inline-table key %q", path[0])
+			}
+			t[path[0]] = v
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, ",") {
+				rest = strings.TrimLeft(rest[1:], " \t")
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				return t, rest[1:], nil
+			}
+			return nil, "", fmt.Errorf("expected , or } in inline table, got %q", rest)
+		}
+	}
+	// Bare token: boolean or number, ending at a delimiter.
+	end := len(s)
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == ']' || c == '}' || c == ' ' || c == '\t' {
+			end = i
+			break
+		}
+	}
+	tok := s[:end]
+	rest := s[end:]
+	switch tok {
+	case "true":
+		return true, rest, nil
+	case "false":
+		return false, rest, nil
+	}
+	// ParseFloat accepts Go-style underscored digits; the documented
+	// subset does not, so screen them out before number parsing.
+	if !strings.ContainsRune(tok, '_') {
+		if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+			return i, rest, nil
+		}
+		if f, err := strconv.ParseFloat(tok, 64); err == nil {
+			return f, rest, nil
+		}
+	}
+	return nil, "", fmt.Errorf("unsupported value %q (the loader accepts strings, integers, floats, booleans, arrays, and inline tables)", tok)
+}

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseTOMLSubset(t *testing.T) {
+	src := `
+# top comment
+title = "vt migration"   # trailing comment
+count = 42
+ratio = 0.75
+neg = -3
+on = true
+off = false
+empty = []
+nums = [1, 2, 3]
+mixed = ["a", 2.5, true]
+trailing = [1, 2,]
+inline = {x = 1, y = "two"}
+dotted.key.path = 7
+
+[server]
+host = "rsu-0"
+port = 8080
+
+[server.limits]
+rps = 100
+
+[[fleet]]
+name = "sedan"
+
+[[fleet]]
+name = "truck"
+fleet.note = "dotted into last entry"
+`
+	got, err := parseTOML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"title":    "vt migration",
+		"count":    int64(42),
+		"ratio":    0.75,
+		"neg":      int64(-3),
+		"on":       true,
+		"off":      false,
+		"empty":    []any{},
+		"nums":     []any{int64(1), int64(2), int64(3)},
+		"mixed":    []any{"a", 2.5, true},
+		"trailing": []any{int64(1), int64(2)},
+		"inline":   map[string]any{"x": int64(1), "y": "two"},
+		"dotted":   map[string]any{"key": map[string]any{"path": int64(7)}},
+		"server": map[string]any{
+			"host":   "rsu-0",
+			"port":   int64(8080),
+			"limits": map[string]any{"rps": int64(100)},
+		},
+		"fleet": []any{
+			map[string]any{"name": "sedan"},
+			map[string]any{"name": "truck", "fleet": map[string]any{"note": "dotted into last entry"}},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parse mismatch:\n got:  %#v\n want: %#v", got, want)
+	}
+}
+
+func TestParseTOMLStringEscapes(t *testing.T) {
+	got, err := parseTOML(`s = "a \"quoted\" # not-a-comment \n tab\t"` + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "a \"quoted\" # not-a-comment \n tab\t"; got["s"] != want {
+		t.Fatalf("got %q, want %q", got["s"], want)
+	}
+}
+
+func TestParseTOMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"no equals", "just a key\n", "expected key = value"},
+		{"duplicate key", "a = 1\na = 2\n", "duplicate key"},
+		{"duplicate inline key", "t = {a = 1, a = 2}\n", "duplicate inline-table key"},
+		{"unterminated string", `s = "never ends` + "\n", "unterminated string"},
+		{"unterminated table header", "[server\n", "unterminated [table] header"},
+		{"unterminated array header", "[[fleet]\n", "unterminated [[table]] header"},
+		{"quoted key", `"key" = 1` + "\n", "bare keys only"},
+		{"empty key segment", "a..b = 1\n", "empty key segment"},
+		{"trailing content", "a = 1 2\n", "trailing content"},
+		{"missing value", "a =\n", "missing value"},
+		{"literal string", "a = 'single'\n", "unsupported value"},
+		{"date", "a = 1979-05-27\n", "unsupported value"},
+		{"underscored number", "a = 1_000\n", "unsupported value"},
+		{"bad array", "a = [1 2]\n", "expected , or ]"},
+		{"bad inline table", "a = {x = 1 y = 2}\n", "expected , or }"},
+		{"value then table", "a = 1\n[a]\n", "already holds a value"},
+		{"value then array table", "a = 1\n[[a]]\n", "already holds a non-array value"},
+		{"descend through value", "a = 1\na.b = 2\n", "is a value, not a table"},
+		{"dotted inline key", "t = {a.b = 1}\n", "dotted keys are not supported"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseTOML(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+			if !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("error should carry a line number: %v", err)
+			}
+		})
+	}
+}

@@ -14,14 +14,20 @@ func FuzzSimConfigValidate(f *testing.F) {
 	base := DefaultConfig()
 	f.Add(base.Vehicles, base.SpeedMinMps, base.SpeedMaxMps, base.TimeStepS, base.DurationS,
 		base.AlphaMin, base.AlphaMax, base.VTMemoryMinMB, base.VTMemoryMaxMB,
-		base.PricingFailureRate, base.Cost, base.PMax, base.SensingPeriodS, base.SensingDelayS)
-	f.Add(0, -1.0, 0.0, 0.0, -5.0, 0.0, -1.0, 0.0, -1.0, 1.5, -2.0, -2.0, 0.0, -1.0)
-	f.Add(3, 5.0, 4.0, 1.0, 60.0, 5.0, 4.0, 100.0, 50.0, 0.99, 50.0, 5.0, 0.5, 0.0)
-	f.Add(1, math.Inf(1), math.Inf(1), 1e-9, 1e12, 1e300, 1e300, 1e300, 1e300, 0.0, 1e-300, 1e300, 1e-300, 1e300)
+		base.PricingFailureRate, base.Cost, base.PMax, base.SensingPeriodS, base.SensingDelayS,
+		false, 0.0, 0.0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(0, -1.0, 0.0, 0.0, -5.0, 0.0, -1.0, 0.0, -1.0, 1.5, -2.0, -2.0, 0.0, -1.0,
+		true, -0.5, 0.0, -3, 7, -10.0, 20.0, 2.0, 0.0, -1.0)
+	f.Add(3, 5.0, 4.0, 1.0, 60.0, 5.0, 4.0, 100.0, 50.0, 0.99, 50.0, 5.0, 0.5, 0.0,
+		false, 0.1, 30.0, 8, 2, 0.0, 50.0, 120.0, 0.5, 0.8)
+	f.Add(1, math.Inf(1), math.Inf(1), 1e-9, 1e12, 1e300, 1e300, 1e300, 1e300, 0.0, 1e-300, 1e300, 1e-300, 1e300,
+		true, math.Inf(1), math.NaN(), 1<<30, 99, math.NaN(), math.Inf(1), math.NaN(), math.Inf(1), math.NaN())
 	f.Fuzz(func(t *testing.T, vehicles int,
 		speedMin, speedMax, timeStep, duration,
 		alphaMin, alphaMax, memMin, memMax,
-		failureRate, cost, pmax, sensingPeriod, sensingDelay float64) {
+		failureRate, cost, pmax, sensingPeriod, sensingDelay float64,
+		useGrid bool, churnRate, churnDwell float64, churnMax, outageRSU int,
+		outageStart, outageEnd, demandPeriod, demandDay, classWeight float64) {
 		cfg := DefaultConfig()
 		cfg.Vehicles = vehicles
 		cfg.SpeedMinMps, cfg.SpeedMaxMps = speedMin, speedMax
@@ -31,6 +37,15 @@ func FuzzSimConfigValidate(f *testing.F) {
 		cfg.PricingFailureRate = failureRate
 		cfg.Cost, cfg.PMax = cost, pmax
 		cfg.SensingPeriodS, cfg.SensingDelayS = sensingPeriod, sensingDelay
+		if useGrid {
+			cfg.Mobility = MobilityGrid
+			cfg.RSUCount = 0
+			cfg.Grid = GridConfig{Rows: 3, Cols: 3, SpacingM: 400}
+		}
+		cfg.Churn = ChurnConfig{ArrivalRatePerS: churnRate, MeanDwellS: churnDwell, MaxVehicles: churnMax}
+		cfg.Outages = []OutageWindow{{RSU: outageRSU, StartS: outageStart, EndS: outageEnd}}
+		cfg.Demand = DemandConfig{PeriodS: demandPeriod, DayFraction: demandDay, NightSpeedFactor: 0.5, NightSensingFactor: 2}
+		cfg.Classes = []VehicleClass{{Name: "fuzzed", Weight: classWeight}}
 
 		// Neither Validate nor New may panic, whatever the numbers; an
 		// accepted configuration must build a simulator. Cap the vehicle

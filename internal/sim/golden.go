@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// GoldenTol is the relative tolerance golden-report comparisons allow per
+// numeric cell. It absorbs decimal formatting only; values are serialized
+// with full float64 round-trip precision, so any real numeric drift trips
+// it.
+const GoldenTol = 1e-9
+
+// FormatGoldenReport serializes a report in the golden-file format: a
+// summary row plus one row per migration, every float at full float64
+// round-trip precision. The format is pinned by the committed golden
+// files under internal/sim/testdata and internal/scenario/testdata —
+// changing it means regenerating all of them (`make golden`).
+func FormatGoldenReport(rep Report) string {
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	b01 := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# report %s\n", rep.PricerName)
+	fmt.Fprintln(&b, "| handovers,pricing_rounds,failed_rounds,deferred,opted_out,msp_revenue,mean_aotm,max_aotm,mean_vmu_utility,placement_failures,mean_sensing_aoi,simulated_s")
+	fmt.Fprintln(&b, strings.Join([]string{
+		strconv.Itoa(rep.Handovers), strconv.Itoa(rep.PricingRounds), strconv.Itoa(rep.FailedRounds),
+		strconv.Itoa(rep.Deferred), strconv.Itoa(rep.OptedOut), g(rep.MSPRevenue),
+		g(rep.MeanAoTM), g(rep.MaxAoTM), g(rep.MeanVMUUtility),
+		strconv.Itoa(rep.PlacementFailures), g(rep.MeanSensingAoI), g(rep.SimulatedS),
+	}, ","))
+	fmt.Fprintln(&b, "# migrations")
+	fmt.Fprintln(&b, "| vehicle,start_s,from_rsu,to_rsu,price,bandwidth_mhz,aotm,data_moved_mb,downtime_s,duration_s,vmu_utility,msp_profit,pre_copy_converged")
+	for _, m := range rep.Migrations {
+		fmt.Fprintln(&b, strings.Join([]string{
+			strconv.Itoa(m.VehicleID), g(m.StartS), strconv.Itoa(m.FromRSU), strconv.Itoa(m.ToRSU),
+			g(m.Price), g(m.BandwidthMHz), g(m.AoTM), g(m.DataMovedMB),
+			g(m.DowntimeS), g(m.DurationS), g(m.VMUUtility), g(m.MSPProfit), b01(m.PreCopyConverged),
+		}, ","))
+	}
+	return b.String()
+}
+
+// DiffGoldenReports compares two serialized golden reports cell by cell:
+// header lines ("#", "|") must match exactly, numeric cells within tol
+// relative tolerance (GoldenTol is the convention). It returns nil when
+// they match and a descriptive error naming the first differing line
+// otherwise.
+func DiffGoldenReports(want, got string, tol float64) error {
+	wantLines := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	gotLines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(wantLines) != len(gotLines) {
+		return fmt.Errorf("%d lines, golden has %d", len(gotLines), len(wantLines))
+	}
+	for ln := range wantLines {
+		w, g := wantLines[ln], gotLines[ln]
+		if strings.HasPrefix(w, "#") || strings.HasPrefix(w, "|") {
+			if w != g {
+				return fmt.Errorf("line %d: header %q, golden %q", ln+1, g, w)
+			}
+			continue
+		}
+		wc, gc := strings.Split(w, ","), strings.Split(g, ",")
+		if len(wc) != len(gc) {
+			return fmt.Errorf("line %d: %d cells, golden has %d", ln+1, len(gc), len(wc))
+		}
+		for i := range wc {
+			wv, err1 := strconv.ParseFloat(wc[i], 64)
+			gv, err2 := strconv.ParseFloat(gc[i], 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("line %d cell %d: parse errors %v/%v", ln+1, i, err1, err2)
+			}
+			if diff := math.Abs(wv - gv); diff > tol*math.Max(1, math.Max(math.Abs(wv), math.Abs(gv))) {
+				return fmt.Errorf("line %d cell %d: got %v, golden %v (diff %g)", ln+1, i, gv, wv, diff)
+			}
+		}
+	}
+	return nil
+}

@@ -2,12 +2,8 @@ package sim
 
 import (
 	"flag"
-	"fmt"
-	"math"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 	"testing"
 
 	"vtmig/internal/pomdp"
@@ -25,10 +21,6 @@ import (
 //
 // (or `make golden`, which regenerates the experiments goldens too).
 var updateGolden = flag.Bool("update", false, "rewrite the golden files instead of comparing")
-
-// goldenTol absorbs decimal formatting only; values are serialized with
-// full float64 round-trip precision.
-const goldenTol = 1e-9
 
 // goldenSimConfig is the fixed scenario every pricer golden runs.
 func goldenSimConfig() Config {
@@ -66,42 +58,11 @@ func goldenFrozenAgent(t *testing.T) (*rl.PPO, pomdp.Config) {
 	return agent, envCfg
 }
 
-// formatReport serializes a report with full float64 precision: a summary
-// row plus one row per migration.
-func formatReport(rep Report) string {
-	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	b01 := func(v bool) string {
-		if v {
-			return "1"
-		}
-		return "0"
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "# report %s\n", rep.PricerName)
-	fmt.Fprintln(&b, "| handovers,pricing_rounds,failed_rounds,deferred,opted_out,msp_revenue,mean_aotm,max_aotm,mean_vmu_utility,placement_failures,mean_sensing_aoi,simulated_s")
-	fmt.Fprintln(&b, strings.Join([]string{
-		strconv.Itoa(rep.Handovers), strconv.Itoa(rep.PricingRounds), strconv.Itoa(rep.FailedRounds),
-		strconv.Itoa(rep.Deferred), strconv.Itoa(rep.OptedOut), g(rep.MSPRevenue),
-		g(rep.MeanAoTM), g(rep.MaxAoTM), g(rep.MeanVMUUtility),
-		strconv.Itoa(rep.PlacementFailures), g(rep.MeanSensingAoI), g(rep.SimulatedS),
-	}, ","))
-	fmt.Fprintln(&b, "# migrations")
-	fmt.Fprintln(&b, "| vehicle,start_s,from_rsu,to_rsu,price,bandwidth_mhz,aotm,data_moved_mb,downtime_s,duration_s,vmu_utility,msp_profit,pre_copy_converged")
-	for _, m := range rep.Migrations {
-		fmt.Fprintln(&b, strings.Join([]string{
-			strconv.Itoa(m.VehicleID), g(m.StartS), strconv.Itoa(m.FromRSU), strconv.Itoa(m.ToRSU),
-			g(m.Price), g(m.BandwidthMHz), g(m.AoTM), g(m.DataMovedMB),
-			g(m.DowntimeS), g(m.DurationS), g(m.VMUUtility), g(m.MSPProfit), b01(m.PreCopyConverged),
-		}, ","))
-	}
-	return b.String()
-}
-
-// checkGoldenReport compares the serialized report against
-// testdata/<name>, or rewrites the file under -update.
+// checkGoldenReport compares the serialized report (FormatGoldenReport)
+// against testdata/<name>, or rewrites the file under -update.
 func checkGoldenReport(t *testing.T, name string, rep Report) {
 	t.Helper()
-	got := formatReport(rep)
+	got := FormatGoldenReport(rep)
 	path := filepath.Join("testdata", name)
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -116,40 +77,8 @@ func checkGoldenReport(t *testing.T, name string, rep Report) {
 	if err != nil {
 		t.Fatalf("missing golden file %s (run with -update to record): %v", path, err)
 	}
-	compareGoldenReport(t, name, string(wantBytes), got)
-}
-
-// compareGoldenReport diffs two serialized reports cell by cell within
-// goldenTol relative tolerance (headers exactly).
-func compareGoldenReport(t *testing.T, name, want, got string) {
-	t.Helper()
-	wantLines := strings.Split(strings.TrimRight(want, "\n"), "\n")
-	gotLines := strings.Split(strings.TrimRight(got, "\n"), "\n")
-	if len(wantLines) != len(gotLines) {
-		t.Fatalf("%s: %d lines, golden has %d", name, len(gotLines), len(wantLines))
-	}
-	for ln := range wantLines {
-		w, g := wantLines[ln], gotLines[ln]
-		if strings.HasPrefix(w, "#") || strings.HasPrefix(w, "|") {
-			if w != g {
-				t.Fatalf("%s line %d: header %q, golden %q", name, ln+1, g, w)
-			}
-			continue
-		}
-		wc, gc := strings.Split(w, ","), strings.Split(g, ",")
-		if len(wc) != len(gc) {
-			t.Fatalf("%s line %d: %d cells, golden has %d", name, ln+1, len(gc), len(wc))
-		}
-		for i := range wc {
-			wv, err1 := strconv.ParseFloat(wc[i], 64)
-			gv, err2 := strconv.ParseFloat(gc[i], 64)
-			if err1 != nil || err2 != nil {
-				t.Fatalf("%s line %d cell %d: parse errors %v/%v", name, ln+1, i, err1, err2)
-			}
-			if diff := math.Abs(wv - gv); diff > goldenTol*math.Max(1, math.Max(math.Abs(wv), math.Abs(gv))) {
-				t.Errorf("%s line %d cell %d: got %v, golden %v (diff %g)", name, ln+1, i, gv, wv, diff)
-			}
-		}
+	if err := DiffGoldenReports(string(wantBytes), got, GoldenTol); err != nil {
+		t.Errorf("%s: %v", name, err)
 	}
 }
 

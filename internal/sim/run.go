@@ -17,17 +17,60 @@ import (
 	"vtmig/internal/trace"
 )
 
+// vehState is one active vehicle's full simulation state: the kinematic
+// body, the VMU game profile, the sensing-AoI stream, and — under churn —
+// the lifetime window.
+type vehState struct {
+	v    *mobility.Vehicle
+	prof vmuProfile
+
+	// sensing is the physical-virtual synchronization stream; pausedFrom/
+	// pausedUntil mark the stop-and-copy downtime window during which
+	// updates are lost.
+	sensing        *aoi.Process
+	nextUpdate     float64
+	sensingPeriodS float64
+	pausedFrom     float64
+	pausedUntil    float64
+
+	// arrivedAt and departAt bound the vehicle's lifetime; departAt is
+	// +Inf when churn is off.
+	arrivedAt float64
+	departAt  float64
+}
+
 // Simulator owns the state of one run. Construct with New, then call Run.
 type Simulator struct {
 	cfg      Config
-	highway  *mobility.Highway
-	vehicles []*mobility.Vehicle
-	profiles []vmuProfile
+	world    mobility.World
+	vehicles []*vehState // active fleet in arrival order
+	byID     map[int]*vehState
 	tracker  *mobility.Tracker
 	alloc    *channel.OFDMAAllocator
 	cluster  *rsu.Cluster
 	tracer   *trace.Tracer
 	rng      *rand.Rand
+
+	// churnRng is the dedicated counted arrival/departure stream; nil
+	// unless churn is enabled, so legacy runs draw nothing from it.
+	churnRng  *rand.Rand
+	nextVehID int
+
+	// classes are the resolved heterogeneous populations; classAcc holds
+	// cumulative weights for the spawn draw. Both empty without classes.
+	classes        []resolvedClass
+	classAcc       []float64
+	classWeightSum float64
+	baseClass      resolvedClass
+
+	// down marks RSUs currently in outage (nil when no outages are
+	// scheduled); outageOn tracks per-window activity for trace edges.
+	down     []bool
+	outageOn []bool
+
+	// departedAoI accumulates the lifetime-average sensing AoI of every
+	// departed vehicle, so churn does not drop them from the report.
+	departedAoI []float64
 
 	now         float64
 	inFlight    map[int]bool
@@ -35,16 +78,16 @@ type Simulator struct {
 	completions completionHeap
 	report      Report
 
-	// sensing holds one AoI process per vehicle; pausedUntil marks the
-	// stop-and-copy downtime window during which updates are lost.
-	sensing     []*aoi.Process
-	nextUpdate  []float64
-	pausedFrom  []float64
-	pausedUntil []float64
-
 	// demandScratch backs the per-round follower best responses; it is
 	// resized to each round's batch and reused across rounds.
 	demandScratch []float64
+}
+
+// churnSeedFrom derives the default churn-stream seed from the main seed
+// with a splitmix64 scramble — an additive offset would collide with
+// nearby user-chosen seeds.
+func churnSeedFrom(seed int64) int64 {
+	return mathx.SplitMix64(seed, 0)
 }
 
 // New builds a simulator from the configuration.
@@ -52,21 +95,53 @@ func New(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	hw, err := mobility.NewHighway(cfg.HighwayLengthM, cfg.RSUCount, cfg.RSURadiusM)
-	if err != nil {
-		return nil, err
+	var world mobility.World
+	switch cfg.Mobility {
+	case "", MobilityHighway:
+		hw, err := mobility.NewHighway(cfg.HighwayLengthM, cfg.RSUCount, cfg.RSURadiusM)
+		if err != nil {
+			return nil, err
+		}
+		world = hw
+	case MobilityGrid:
+		turnSeed := cfg.Grid.TurnSeed
+		if turnSeed == 0 {
+			turnSeed = cfg.Seed
+		}
+		g, err := mobility.NewGrid(cfg.Grid.Rows, cfg.Grid.Cols, cfg.Grid.SpacingM, cfg.RSURadiusM, turnSeed)
+		if err != nil {
+			return nil, err
+		}
+		world = g
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	s := &Simulator{
-		cfg:      cfg,
-		highway:  hw,
-		tracker:  mobility.NewTracker(hw),
-		alloc:    channel.NewOFDMAAllocator(cfg.BMaxMHz),
-		tracer:   trace.NewTracer(cfg.TraceWriter),
-		rng:      rng,
-		inFlight: make(map[int]bool, cfg.Vehicles),
+		cfg:       cfg,
+		world:     world,
+		byID:      make(map[int]*vehState, cfg.Vehicles),
+		tracker:   mobility.NewObserveTracker(),
+		alloc:     channel.NewOFDMAAllocator(cfg.BMaxMHz),
+		tracer:    trace.NewTracer(cfg.TraceWriter),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		baseClass: VehicleClass{}.resolve(cfg),
+		inFlight:  make(map[int]bool, cfg.Vehicles),
 	}
-	servers := make([]*rsu.Server, cfg.RSUCount)
+	if cfg.Churn.Enabled() {
+		seed := cfg.Churn.Seed
+		if seed == 0 {
+			seed = churnSeedFrom(cfg.Seed)
+		}
+		s.churnRng = rand.New(mathx.NewCountingSource(seed))
+	}
+	for _, cl := range cfg.Classes {
+		s.classes = append(s.classes, cl.resolve(cfg))
+		s.classWeightSum += cl.Weight
+		s.classAcc = append(s.classAcc, s.classWeightSum)
+	}
+	if len(cfg.Outages) > 0 {
+		s.down = make([]bool, world.RSUCount())
+		s.outageOn = make([]bool, len(cfg.Outages))
+	}
+	servers := make([]*rsu.Server, world.RSUCount())
 	for i := range servers {
 		srv, err := rsu.NewServer(i, cfg.RSUCapacity)
 		if err != nil {
@@ -81,28 +156,62 @@ func New(cfg Config) (*Simulator, error) {
 	s.cluster = cluster
 
 	for i := 0; i < cfg.Vehicles; i++ {
-		s.vehicles = append(s.vehicles, &mobility.Vehicle{
-			ID:        i,
-			PositionM: rng.Float64() * cfg.HighwayLengthM,
-			SpeedMps:  cfg.SpeedMinMps + rng.Float64()*(cfg.SpeedMaxMps-cfg.SpeedMinMps),
-		})
-		memory := cfg.VTMemoryMinMB + rng.Float64()*(cfg.VTMemoryMaxMB-cfg.VTMemoryMinMB)
-		s.profiles = append(s.profiles, vmuProfile{
-			alpha: cfg.AlphaMin + rng.Float64()*(cfg.AlphaMax-cfg.AlphaMin),
+		s.spawnVehicle(s.rng)
+	}
+	s.report.PricerName = cfg.Pricer.Name()
+	return s, nil
+}
+
+// pickClass selects the spawn's population: no draw at all for a
+// homogeneous fleet, one weighted draw otherwise.
+func (s *Simulator) pickClass(rng *rand.Rand) resolvedClass {
+	if len(s.classes) == 0 {
+		return s.baseClass
+	}
+	u := rng.Float64() * s.classWeightSum
+	for i, acc := range s.classAcc {
+		if u < acc {
+			return s.classes[i]
+		}
+	}
+	return s.classes[len(s.classes)-1]
+}
+
+// spawnVehicle creates one vehicle drawing its class, spawn state, and
+// profile from rng — the main stream for the initial fleet, the churn
+// stream for arrivals. The draw order (position, speed, memory, alpha)
+// is part of the determinism contract: reordering it would shift every
+// later draw and break the committed goldens.
+func (s *Simulator) spawnVehicle(rng *rand.Rand) *vehState {
+	cls := s.pickClass(rng)
+	v := &mobility.Vehicle{ID: s.nextVehID}
+	s.nextVehID++
+	s.world.Place(v, rng)
+	v.SpeedMps = cls.speedMin + rng.Float64()*(cls.speedMax-cls.speedMin)
+	memory := cls.memMin + rng.Float64()*(cls.memMax-cls.memMin)
+	st := &vehState{
+		v: v,
+		prof: vmuProfile{
+			alpha: cls.alphaMin + rng.Float64()*(cls.alphaMax-cls.alphaMin),
 			vt: migration.VTSpec{
 				ConfigMB:      0.05 * memory,
 				MemoryMB:      0.85 * memory,
 				StateMB:       0.10 * memory,
-				DirtyRateMBps: cfg.DirtyRateMBps,
+				DirtyRateMBps: s.cfg.DirtyRateMBps,
 			},
-		})
-		s.sensing = append(s.sensing, aoi.NewProcess(0))
-		s.nextUpdate = append(s.nextUpdate, cfg.SensingPeriodS)
-		s.pausedFrom = append(s.pausedFrom, 0)
-		s.pausedUntil = append(s.pausedUntil, 0)
+		},
+		sensing:        aoi.NewProcess(s.now),
+		nextUpdate:     s.now + cls.sensingPeriodS,
+		sensingPeriodS: cls.sensingPeriodS,
+		arrivedAt:      s.now,
+		departAt:       math.Inf(1),
 	}
-	s.report.PricerName = cfg.Pricer.Name()
-	return s, nil
+	if s.churnRng != nil {
+		st.departAt = s.now + s.churnRng.ExpFloat64()*s.cfg.Churn.MeanDwellS
+	}
+	s.vehicles = append(s.vehicles, st)
+	s.byID[v.ID] = st
+	return st
 }
 
 // Run executes the full configured duration and returns the aggregated
@@ -115,11 +224,13 @@ func (s *Simulator) Run() Report {
 }
 
 // Step advances the simulation by one time step: completions drain,
-// vehicles move, sensing updates deliver, handovers queue, and at most
-// one pricing round runs.
+// outages toggle, churn arrives and departs, vehicles move, sensing
+// updates deliver, handovers queue, and at most one pricing round runs.
 func (s *Simulator) Step() {
 	s.now += s.cfg.TimeStepS
 	s.drainCompletions()
+	s.applyOutages()
+	s.processChurn()
 	s.moveVehicles()
 	s.deliverSensingUpdates()
 	s.collectHandovers()
@@ -210,21 +321,136 @@ func (s *Simulator) finish(c completion) {
 	s.report.Migrations = append(s.report.Migrations, c.record)
 }
 
-// moveVehicles advances the kinematics.
+// applyOutages recomputes which RSUs are down and traces window edges.
+func (s *Simulator) applyOutages() {
+	if len(s.cfg.Outages) == 0 {
+		return
+	}
+	for i := range s.down {
+		s.down[i] = false
+	}
+	for wi, w := range s.cfg.Outages {
+		active := s.now >= w.StartS && s.now < w.EndS
+		if active {
+			s.down[w.RSU] = true
+		}
+		if active != s.outageOn[wi] {
+			s.outageOn[wi] = active
+			kind := trace.KindOutageStart
+			if !active {
+				kind = trace.KindOutageEnd
+			}
+			s.emit(trace.Event{TimeS: s.now, Kind: kind, Vehicle: -1, FromRSU: w.RSU, ToRSU: w.RSU})
+		}
+	}
+}
+
+// night reports whether the demand cycle is in its night phase.
+func (s *Simulator) night() bool {
+	d := s.cfg.Demand
+	if !d.Enabled() {
+		return false
+	}
+	return math.Mod(s.now, d.PeriodS) >= d.DayFraction*d.PeriodS
+}
+
+// poissonDraw samples Poisson(lambda) with Knuth's product method. The
+// rate is clamped to 100 expected events per draw: beyond that the
+// product underflows, and per-step arrival bursts of that size are
+// outside the simulator's regime anyway.
+func poissonDraw(rng *rand.Rand, lambda float64) int {
+	if !(lambda > 0) {
+		return 0
+	}
+	if lambda > 100 {
+		lambda = 100
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// processChurn retires vehicles whose dwell expired and spawns Poisson
+// arrivals, all from the dedicated churn stream. Departures are deferred
+// while the vehicle's migration is in flight so accounting stays whole.
+func (s *Simulator) processChurn() {
+	if s.churnRng == nil {
+		return
+	}
+	kept := s.vehicles[:0]
+	for _, st := range s.vehicles {
+		if st.departAt <= s.now && !s.inFlight[st.v.ID] {
+			s.depart(st)
+			continue
+		}
+		kept = append(kept, st)
+	}
+	s.vehicles = kept
+	arrivals := poissonDraw(s.churnRng, s.cfg.Churn.ArrivalRatePerS*s.cfg.TimeStepS)
+	for i := 0; i < arrivals; i++ {
+		if s.cfg.Churn.MaxVehicles > 0 && len(s.vehicles) >= s.cfg.Churn.MaxVehicles {
+			break
+		}
+		st := s.spawnVehicle(s.churnRng)
+		s.report.Arrivals++
+		s.emit(trace.Event{TimeS: s.now, Kind: trace.KindArrival, Vehicle: st.v.ID})
+	}
+}
+
+// depart removes one vehicle: its twin is evicted, its serving state
+// forgotten, its queued migrations dropped, and its sensing stream's
+// lifetime average banked for the report.
+func (s *Simulator) depart(st *vehState) {
+	id := st.v.ID
+	if s.cluster.Locate(id) >= 0 {
+		if err := s.cluster.Evict(id); err != nil {
+			panic(fmt.Sprintf("sim: evicting twin of departing vehicle %d: %v", id, err))
+		}
+	}
+	s.tracker.Forget(id)
+	pending := s.pending[:0]
+	for _, pm := range s.pending {
+		if pm.vehicleID != id {
+			pending = append(pending, pm)
+		}
+	}
+	s.pending = pending
+	if s.now > st.arrivedAt {
+		s.departedAoI = append(s.departedAoI, st.sensing.AverageAge(s.now))
+	}
+	delete(s.byID, id)
+	s.report.Departures++
+	s.emit(trace.Event{TimeS: s.now, Kind: trace.KindDeparture, Vehicle: id})
+}
+
+// moveVehicles advances the kinematics; the night phase of a demand
+// cycle scales speeds down (less migration demand).
 func (s *Simulator) moveVehicles() {
-	for _, v := range s.vehicles {
-		v.Advance(s.cfg.TimeStepS, s.cfg.HighwayLengthM)
+	dt := s.cfg.TimeStepS
+	if s.night() {
+		dt *= s.cfg.Demand.NightSpeedFactor
+	}
+	for _, st := range s.vehicles {
+		s.world.Advance(st.v, dt)
 	}
 }
 
 // collectHandovers queues a pending migration for every handover of a
 // vehicle that is not already migrating.
 func (s *Simulator) collectHandovers() {
-	for _, v := range s.vehicles {
+	for _, st := range s.vehicles {
+		v := st.v
 		if s.inFlight[v.ID] {
 			continue // twin already moving; re-evaluate after completion
 		}
-		ho, changed := s.tracker.Update(v)
+		rsuID, _ := s.world.ServingRSU(v, s.down)
+		ho, changed := s.tracker.Observe(v.ID, rsuID)
 		if !changed {
 			continue
 		}
@@ -322,14 +548,14 @@ func (s *Simulator) buildGame(batch []pendingMigration) (*stackelberg.Game, erro
 	ch := s.cfg.Channel
 	var dist float64
 	for _, pm := range batch {
-		dist += s.highway.RSUDistance(pm.fromRSU, pm.toRSU)
+		dist += s.world.RSUDistance(pm.fromRSU, pm.toRSU)
 	}
 	if d := dist / float64(len(batch)); d > 0 {
 		ch.DistanceM = d
 	}
 	vmus := make([]stackelberg.VMU, len(batch))
 	for i, pm := range batch {
-		prof := s.profiles[pm.vehicleID]
+		prof := s.byID[pm.vehicleID].prof
 		vmus[i] = stackelberg.VMU{
 			ID:       pm.vehicleID,
 			Alpha:    prof.alpha,
@@ -343,7 +569,8 @@ func (s *Simulator) buildGame(batch []pendingMigration) (*stackelberg.Game, erro
 
 // launchMigration runs the pre-copy model and schedules completion.
 func (s *Simulator) launchMigration(pm pendingMigration, game *stackelberg.Game, idx int, price, bw float64) {
-	prof := s.profiles[pm.vehicleID]
+	st := s.byID[pm.vehicleID]
+	prof := st.prof
 	// Rate: γ = b·e is in model data units (100 MB) per second.
 	rateMBps := game.Channel.Rate(bw) * aotm.DataUnit100MB
 	res, err := migration.Simulate(prof.vt, rateMBps, migration.DefaultConfig())
@@ -372,8 +599,8 @@ func (s *Simulator) launchMigration(pm pendingMigration, game *stackelberg.Game,
 		FromRSU: pm.fromRSU, ToRSU: pm.toRSU, Price: price, Bandwidth: bw, AoTM: age,
 	})
 	// Sensing updates are lost while the twin is paused (stop-and-copy).
-	s.pausedFrom[pm.vehicleID] = s.now + res.TotalTimeS - res.DowntimeS
-	s.pausedUntil[pm.vehicleID] = s.now + res.TotalTimeS
+	st.pausedFrom = s.now + res.TotalTimeS - res.DowntimeS
+	st.pausedUntil = s.now + res.TotalTimeS
 	heap.Push(&s.completions, completion{at: s.now + res.TotalTimeS, record: rec})
 	s.report.MSPRevenue += rec.MSPProfit
 }
@@ -381,7 +608,7 @@ func (s *Simulator) launchMigration(pm pendingMigration, game *stackelberg.Game,
 // twinRequirement derives a twin's edge-resource footprint from its
 // memory size: bigger twins need proportionally more of everything.
 func (s *Simulator) twinRequirement(vehicleID int) rsu.Resources {
-	memGB := s.profiles[vehicleID].vt.BaseSizeMB() / 1024
+	memGB := s.byID[vehicleID].prof.vt.BaseSizeMB() / 1024
 	return rsu.Resources{
 		CPU:       1 + memGB,
 		GPU:       0.5,
@@ -392,32 +619,48 @@ func (s *Simulator) twinRequirement(vehicleID int) rsu.Resources {
 
 // deliverSensingUpdates advances each vehicle's physical-virtual sensing
 // stream up to the current time, dropping updates generated inside the
-// twin's migration-downtime window.
+// twin's migration-downtime window. The night phase of a demand cycle
+// stretches the update period.
 func (s *Simulator) deliverSensingUpdates() {
-	for id := range s.vehicles {
-		p := s.sensing[id]
-		for s.nextUpdate[id] <= s.now {
-			gen := s.nextUpdate[id]
-			s.nextUpdate[id] += s.cfg.SensingPeriodS
-			if gen >= s.pausedFrom[id] && gen < s.pausedUntil[id] && s.pausedUntil[id] > 0 {
+	night := s.night()
+	for _, st := range s.vehicles {
+		for st.nextUpdate <= s.now {
+			gen := st.nextUpdate
+			period := st.sensingPeriodS
+			if night {
+				period *= s.cfg.Demand.NightSensingFactor
+			}
+			st.nextUpdate += period
+			if gen >= st.pausedFrom && gen < st.pausedUntil && st.pausedUntil > 0 {
 				continue // twin paused: update lost
 			}
-			if err := p.Deliver(gen, gen+s.cfg.SensingDelayS); err != nil {
-				panic(fmt.Sprintf("sim: sensing delivery for vehicle %d: %v", id, err))
+			if err := st.sensing.Deliver(gen, gen+s.cfg.SensingDelayS); err != nil {
+				panic(fmt.Sprintf("sim: sensing delivery for vehicle %d: %v", st.v.ID, err))
 			}
 		}
 	}
 }
 
-// finalizeReport computes the aggregate statistics.
+// finalizeReport computes the aggregate statistics. The sensing-AoI mean
+// covers every vehicle that lived a positive span: departed vehicles
+// contribute their banked lifetime averages, active ones their average up
+// to the horizon.
 func (s *Simulator) finalizeReport() {
 	s.report.SimulatedS = s.now
-	if s.now > 0 {
-		var sumAoI float64
-		for _, p := range s.sensing {
-			sumAoI += p.AverageAge(s.now)
+	var sumAoI float64
+	included := 0
+	for _, a := range s.departedAoI {
+		sumAoI += a
+		included++
+	}
+	for _, st := range s.vehicles {
+		if s.now > st.arrivedAt {
+			sumAoI += st.sensing.AverageAge(s.now)
+			included++
 		}
-		s.report.MeanSensingAoI = sumAoI / float64(len(s.sensing))
+	}
+	if included > 0 {
+		s.report.MeanSensingAoI = sumAoI / float64(included)
 	}
 	if len(s.report.Migrations) == 0 {
 		return

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"vtmig/internal/nn"
+)
+
+// PricerSpec is the declarative form of an MSP pricing strategy: a
+// registered name plus parameters. Scenario files, the CLIs, and the
+// facade all describe pricers this way and build them through
+// NewPricerFromSpec, so the name→pricer wiring lives in exactly one
+// place.
+//
+// Zero-valued fields mean "unset": builders fill them with their
+// defaults or adopt them from checkpoint metadata (the PR 6
+// adopt-or-match convention), while an explicitly set field that
+// contradicts a checkpoint fails loudly. Fields irrelevant to the named
+// pricer are rejected, not ignored.
+type PricerSpec struct {
+	// Name is the registered pricer name ("oracle", "fixed", "random",
+	// and — when the experiments package is linked in — "drl", "online").
+	Name string `json:"name"`
+	// Price is the posted price of the "fixed" pricer.
+	Price float64 `json:"price,omitempty"`
+	// Seed drives the pricer's own randomness ("random") or learner
+	// initialization ("drl", "online"); 0 adopts
+	// PricerBuildOptions.DefaultSeed.
+	Seed int64 `json:"seed,omitempty"`
+	// TrainEpisodes is the offline training budget of "drl" and
+	// warm-started "online" (0: the builder's default).
+	TrainEpisodes int `json:"train_episodes,omitempty"`
+	// UpdateEvery is the "online" optimization cadence in pricing rounds
+	// (0: the builder's default, or the checkpoint's when resuming).
+	UpdateEvery int `json:"update_every,omitempty"`
+	// WarmStart selects warm (offline-trained) vs cold "online" start;
+	// nil means warm.
+	WarmStart *bool `json:"warm_start,omitempty"`
+	// WarmStartFile warm-starts "online" from a checkpoint file instead
+	// of training in-process.
+	WarmStartFile string `json:"warm_start_file,omitempty"`
+	// HistoryLen is the observation history length L ("drl", "online";
+	// 0 adopts the default or the checkpoint's metadata).
+	HistoryLen int `json:"history_len,omitempty"`
+	// LR is the Adam learning rate ("drl", or "online" with
+	// WarmStartFile; 0 adopts the default or the checkpoint's metadata).
+	LR float64 `json:"lr,omitempty"`
+}
+
+// CheckAllowedFields rejects parameter fields the named pricer does not
+// take: every set field must appear in allowed (JSON names). Builders
+// call it first so a typo'd or misplaced scenario parameter errors
+// instead of being silently ignored.
+func (s PricerSpec) CheckAllowedFields(allowed ...string) error {
+	set := make(map[string]bool)
+	if s.Price != 0 {
+		set["price"] = true
+	}
+	if s.Seed != 0 {
+		set["seed"] = true
+	}
+	if s.TrainEpisodes != 0 {
+		set["train_episodes"] = true
+	}
+	if s.UpdateEvery != 0 {
+		set["update_every"] = true
+	}
+	if s.WarmStart != nil {
+		set["warm_start"] = true
+	}
+	if s.WarmStartFile != "" {
+		set["warm_start_file"] = true
+	}
+	if s.HistoryLen != 0 {
+		set["history_len"] = true
+	}
+	if s.LR != 0 {
+		set["lr"] = true
+	}
+	for _, a := range allowed {
+		delete(set, a)
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	extra := make([]string, 0, len(set))
+	for f := range set {
+		extra = append(extra, f)
+	}
+	sort.Strings(extra)
+	return fmt.Errorf("sim: pricer %q does not take %s", s.Name, strings.Join(extra, ", "))
+}
+
+// SeedOr returns the spec's seed, falling back to def when unset.
+func (s PricerSpec) SeedOr(def int64) int64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return def
+}
+
+// PricerBuildOptions carries host-environment hooks a declarative spec
+// cannot express: seed inheritance, snapshot plumbing, and logging.
+type PricerBuildOptions struct {
+	// DefaultSeed seeds stochastic pricers whose spec leaves Seed 0 —
+	// typically the enclosing simulation's or scenario's seed.
+	DefaultSeed int64
+	// SnapshotEvery and OnSnapshot wire mid-run resume checkpoints into
+	// an "online" pricer (see OnlinePricerConfig).
+	SnapshotEvery int
+	OnSnapshot    func(*nn.Checkpoint)
+	// Logf, when non-nil, receives builder progress messages (training
+	// announcements, warm-start provenance).
+	Logf func(format string, args ...any)
+}
+
+// Printf forwards a builder progress message to Logf when set.
+func (o PricerBuildOptions) Printf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// PricerBuilder constructs a pricer from its declarative spec.
+type PricerBuilder func(spec PricerSpec, opts PricerBuildOptions) (Pricer, error)
+
+// pricerBuilders is the registry behind NewPricerFromSpec. The analytic
+// pricers register here; the experiments package adds "drl" and "online"
+// from its init (database/sql-style), keeping the sim→experiments
+// dependency arrow pointing the right way.
+var pricerBuilders = make(map[string]PricerBuilder)
+
+// RegisterPricer adds a named pricer builder. It panics on a duplicate
+// or empty registration — both are wiring bugs, not runtime conditions.
+func RegisterPricer(name string, build PricerBuilder) {
+	if name == "" || build == nil {
+		panic("sim: RegisterPricer needs a name and a builder")
+	}
+	if _, dup := pricerBuilders[name]; dup {
+		panic("sim: RegisterPricer called twice for " + name)
+	}
+	pricerBuilders[name] = build
+}
+
+// RegisteredPricers lists the registered pricer names, sorted.
+func RegisteredPricers() []string {
+	names := make([]string, 0, len(pricerBuilders))
+	for n := range pricerBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewPricerFromSpec builds the pricer a spec describes, via the
+// registry.
+func NewPricerFromSpec(spec PricerSpec, opts PricerBuildOptions) (Pricer, error) {
+	build, ok := pricerBuilders[spec.Name]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown pricer %q (registered: %s)", spec.Name, strings.Join(RegisteredPricers(), ", "))
+	}
+	return build(spec, opts)
+}
+
+func init() {
+	RegisterPricer("oracle", func(spec PricerSpec, opts PricerBuildOptions) (Pricer, error) {
+		if err := spec.CheckAllowedFields(); err != nil {
+			return nil, err
+		}
+		return NewOraclePricer(), nil
+	})
+	RegisterPricer("fixed", func(spec PricerSpec, opts PricerBuildOptions) (Pricer, error) {
+		if err := spec.CheckAllowedFields("price"); err != nil {
+			return nil, err
+		}
+		if !(spec.Price > 0) || math.IsInf(spec.Price, 0) {
+			return nil, fmt.Errorf("sim: pricer \"fixed\" needs price set positive and finite, got %g", spec.Price)
+		}
+		return NewFixedPricer(spec.Price), nil
+	})
+	RegisterPricer("random", func(spec PricerSpec, opts PricerBuildOptions) (Pricer, error) {
+		if err := spec.CheckAllowedFields("seed"); err != nil {
+			return nil, err
+		}
+		return NewRandomPricer(spec.SeedOr(opts.DefaultSeed)), nil
+	})
+}

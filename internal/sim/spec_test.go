@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"vtmig/internal/stackelberg"
+)
+
+func TestNewPricerFromSpecAnalytic(t *testing.T) {
+	cases := []struct {
+		spec PricerSpec
+		name string
+	}{
+		{PricerSpec{Name: "oracle"}, "stackelberg-oracle"},
+		{PricerSpec{Name: "fixed", Price: 25}, "fixed(25)"},
+		{PricerSpec{Name: "random", Seed: 3}, "random"},
+		{PricerSpec{Name: "random"}, "random"}, // seed adopts DefaultSeed
+	}
+	for _, c := range cases {
+		p, err := NewPricerFromSpec(c.spec, PricerBuildOptions{DefaultSeed: 1})
+		if err != nil {
+			t.Errorf("spec %+v: %v", c.spec, err)
+			continue
+		}
+		if p.Name() != c.name {
+			t.Errorf("spec %+v built pricer %q, want %q", c.spec, p.Name(), c.name)
+		}
+	}
+}
+
+func TestNewPricerFromSpecRandomSeed(t *testing.T) {
+	g := stackelberg.DefaultGame()
+	// Seed 0 adopts DefaultSeed: both pricers must post the same prices.
+	a, err := NewPricerFromSpec(PricerSpec{Name: "random"}, PricerBuildOptions{DefaultSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPricerFromSpec(PricerSpec{Name: "random", Seed: 7}, PricerBuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if pa, pb := a.PriceFor(g), b.PriceFor(g); pa != pb {
+			t.Fatalf("draw %d: DefaultSeed-adopting pricer posted %g, explicit-seed pricer %g", i, pa, pb)
+		}
+	}
+}
+
+func TestNewPricerFromSpecUnknown(t *testing.T) {
+	_, err := NewPricerFromSpec(PricerSpec{Name: "nonsense"}, PricerBuildOptions{})
+	if err == nil {
+		t.Fatal("unknown pricer name accepted")
+	}
+	// The error teaches the valid names.
+	for _, want := range []string{"nonsense", "oracle", "fixed", "random"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-pricer error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestNewPricerFromSpecRejectsIrrelevantFields(t *testing.T) {
+	cases := []struct {
+		spec  PricerSpec
+		field string
+	}{
+		{PricerSpec{Name: "oracle", Price: 25}, "price"},
+		{PricerSpec{Name: "oracle", Seed: 3}, "seed"},
+		{PricerSpec{Name: "fixed", Price: 25, UpdateEvery: 5}, "update_every"},
+		{PricerSpec{Name: "random", HistoryLen: 4}, "history_len"},
+	}
+	for _, c := range cases {
+		_, err := NewPricerFromSpec(c.spec, PricerBuildOptions{})
+		if err == nil {
+			t.Errorf("spec %+v: irrelevant field accepted", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.field) {
+			t.Errorf("spec %+v: error %q does not name the offending field %q", c.spec, err, c.field)
+		}
+	}
+}
+
+func TestNewPricerFromSpecFixedNeedsPrice(t *testing.T) {
+	for _, price := range []float64{0, -3} {
+		if _, err := NewPricerFromSpec(PricerSpec{Name: "fixed", Price: price}, PricerBuildOptions{}); err == nil {
+			t.Errorf("fixed pricer with price %g accepted", price)
+		}
+	}
+}
+
+func TestCheckAllowedFields(t *testing.T) {
+	warm := false
+	spec := PricerSpec{Name: "x", Price: 1, Seed: 2, TrainEpisodes: 3, UpdateEvery: 4,
+		WarmStart: &warm, WarmStartFile: "f", HistoryLen: 5, LR: 6}
+	if err := spec.CheckAllowedFields("price", "seed", "train_episodes", "update_every",
+		"warm_start", "warm_start_file", "history_len", "lr"); err != nil {
+		t.Fatalf("fully allowed spec rejected: %v", err)
+	}
+	err := spec.CheckAllowedFields("price", "seed")
+	if err == nil {
+		t.Fatal("disallowed fields accepted")
+	}
+	for _, f := range []string{"train_episodes", "update_every", "warm_start", "warm_start_file", "history_len", "lr"} {
+		if !strings.Contains(err.Error(), f) {
+			t.Errorf("error %q does not list %q", err, f)
+		}
+	}
+	for _, f := range []string{"price,", "seed,"} {
+		if strings.Contains(err.Error(), f) {
+			t.Errorf("error %q lists an allowed field %q", err, f)
+		}
+	}
+	if err := (PricerSpec{Name: "x"}).CheckAllowedFields(); err != nil {
+		t.Fatalf("empty spec rejected: %v", err)
+	}
+}
+
+func TestRegisterPricerPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() {
+		RegisterPricer("", func(PricerSpec, PricerBuildOptions) (Pricer, error) { return nil, nil })
+	})
+	mustPanic("nil builder", func() { RegisterPricer("nil-builder", nil) })
+	mustPanic("duplicate", func() {
+		RegisterPricer("oracle", func(PricerSpec, PricerBuildOptions) (Pricer, error) { return nil, nil })
+	})
+}
+
+func TestRegisteredPricersSorted(t *testing.T) {
+	names := RegisteredPricers()
+	for _, want := range []string{"oracle", "fixed", "random"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("RegisteredPricers() = %v lacks %q", names, want)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("RegisteredPricers() = %v is not sorted", names)
+		}
+	}
+}

@@ -21,6 +21,10 @@ const (
 	KindMigrationStart    Kind = "migration_start"
 	KindMigrationComplete Kind = "migration_complete"
 	KindDeferred          Kind = "deferred"
+	KindArrival           Kind = "arrival"
+	KindDeparture         Kind = "departure"
+	KindOutageStart       Kind = "outage_start"
+	KindOutageEnd         Kind = "outage_end"
 )
 
 // Event is one trace record. Unused numeric fields stay at their zero

@@ -10,6 +10,7 @@ import (
 	"vtmig/internal/nn"
 	"vtmig/internal/pomdp"
 	"vtmig/internal/rl"
+	"vtmig/internal/scenario"
 	"vtmig/internal/serve"
 	"vtmig/internal/sim"
 	"vtmig/internal/stackelberg"
@@ -79,7 +80,46 @@ type (
 	// OnlineStudy compares the oracle, frozen-DRL, and online-DRL pricers
 	// on one fixed simulation scenario.
 	OnlineStudy = experiments.OnlineStudy
+	// PricerSpec is the declarative form of an MSP pricing strategy — a
+	// registered name plus parameters, with zero-valued fields adopting
+	// defaults or checkpoint metadata. Build one with NewPricerFromSpec.
+	PricerSpec = sim.PricerSpec
+	// PricerBuildOptions carries host hooks for NewPricerFromSpec: the
+	// fallback seed, snapshot plumbing, and logging.
+	PricerBuildOptions = sim.PricerBuildOptions
 )
+
+// Scenario types (the declarative workload layer behind vtmig-sim
+// -scenario).
+type (
+	// Scenario is a named, self-contained description of one simulation —
+	// road world, fleet, churn, outages, demand cycle, and pricer —
+	// loadable from strict JSON or TOML files (LoadScenario) and compiled
+	// deterministically into a SimConfig. Zero-valued fields adopt the
+	// DefaultSimConfig values, so a scenario states only what it changes
+	// about the default highway world.
+	Scenario = scenario.Scenario
+	// ScenarioMobility selects and parameterizes the scenario's road
+	// world: "highway" (circular road) or "grid" (Manhattan street grid).
+	ScenarioMobility = scenario.Mobility
+)
+
+// LoadScenario reads, parses, and fully validates a scenario file; the
+// format follows the extension (.json or .toml). Loading is strict —
+// unknown fields, malformed syntax, and invalid values all error — so a
+// loaded scenario always compiles.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// RunScenario compiles a scenario (expanding generator blocks, building
+// its pricer through the registry — learning pricers may train here) and
+// runs the simulation it describes.
+func RunScenario(s *Scenario, opts PricerBuildOptions) (SimReport, error) {
+	cfg, err := s.Compile(opts)
+	if err != nil {
+		return SimReport{}, err
+	}
+	return RunSimulation(cfg)
+}
 
 // Serving types (the journaled online-pricing daemon behind vtmig-serve).
 type (
@@ -199,6 +239,18 @@ func RunSimulation(cfg SimConfig) (SimReport, error) {
 	}
 	return s.Run(), nil
 }
+
+// NewPricerFromSpec builds the pricer a declarative spec describes, via
+// the registry: "oracle", "fixed", "random", "drl", and "online" (the
+// learning pricers are registered by the experiments layer, which this
+// package links in). Scenario files and the CLIs describe pricers the
+// same way, so they all share one name→pricer wiring.
+func NewPricerFromSpec(spec PricerSpec, opts PricerBuildOptions) (SimPricer, error) {
+	return sim.NewPricerFromSpec(spec, opts)
+}
+
+// RegisteredPricers lists the pricer names NewPricerFromSpec accepts.
+func RegisteredPricers() []string { return sim.RegisteredPricers() }
 
 // NewOnlinePricer builds the simulator's online continual-learning DRL
 // pricer: warm-started from an offline TrainResult agent, or learning
