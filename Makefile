@@ -3,9 +3,10 @@
 # request (.github/workflows/ci.yml, with Go build/module caching): vet,
 # gofmt cleanliness, build, race-enabled tests (which exercise the
 # experiment worker pool under the race detector), the sharded-update,
-# vectorized-collection, and online-learning determinism suites under
-# -race, the serving crash-recovery smoke (serve-smoke), and a short
-# benchmark smoke pass over the PPO hot path.
+# vectorized-collection, online-learning, and region-sharded-simulator
+# (rule 7) determinism suites under -race, the serving crash-recovery
+# smoke (serve-smoke), and a short benchmark smoke pass over the PPO hot
+# path.
 #
 # Benchmark regressions are gated by tools/benchdiff, which diffs two
 # recordings — BENCH_*.json snapshots or raw `go test -bench -benchmem`
@@ -26,11 +27,11 @@
 GO ?= go
 
 # BASE is the snapshot bench-compare measures against.
-BASE ?= BENCH_pr8.json
+BASE ?= BENCH_pr9.json
 # BENCH_HOT selects the hot-path benchmarks bench-compare re-measures.
-BENCH_HOT = PPOUpdate$$|PPOUpdateSharded|PPOSelectAction|MLPForward$$|Evaluate|SolveScratch|Collect|TrainerEpisode|StreamCollect|SimRoundOnline|Snapshot|Resume|CheckpointJSON|CheckpointBinary|ServeQuote
+BENCH_HOT = PPOUpdate$$|PPOUpdateSharded|PPOSelectAction|MLPForward$$|Evaluate|SolveScratch|Collect|TrainerEpisode|StreamCollect|SimRoundOnline|Snapshot|Resume|CheckpointJSON|CheckpointBinary|ServeQuote|SimFleetSharded
 
-.PHONY: all vet fmt-check build test race race-sharded race-collect race-online race-resume serve-smoke bench-smoke bench bench-compare bench-multicore golden golden-drift ci
+.PHONY: all vet fmt-check build test race race-sharded race-collect race-online race-resume race-shardsim serve-smoke bench-smoke bench bench-compare bench-multicore golden golden-drift ci
 
 all: ci
 
@@ -88,6 +89,17 @@ race-online:
 race-resume:
 	$(GO) test -race -count=2 -run 'Resume|Snapshot|Checkpoint|Clone|CountingSource' ./internal/rl ./internal/nn ./internal/pomdp ./internal/mathx ./internal/sim
 
+# race-shardsim re-runs the region-sharded simulator determinism layer
+# under the race detector: the rule-7 shard-count × GOMAXPROCS
+# bit-identity tables (sim- and scenario-level, online pricer included),
+# the per-step shard invariants under churn and outages, and the
+# FuzzShardPartition seed corpus. The tables pin region counts above the
+# RSU count and GOMAXPROCS above the host's core count, so a race or a
+# merge-order bug in the sharded vehicle phase fails here even on a
+# single-core CI box.
+race-shardsim:
+	$(GO) test -race -count=1 -run 'Shard|RegionOf|Rule7|DiscardMigration' ./internal/sim ./internal/scenario
+
 # serve-smoke pins the serving layer's crash-recovery story under the
 # race detector: quote against a live daemon, kill it mid-run, reopen the
 # state directory (checkpoint restore + journal replay), and assert the
@@ -140,4 +152,4 @@ golden:
 golden-drift: golden
 	git diff --exit-code -- '*_golden.txt' 'internal/experiments/testdata' 'internal/sim/testdata' 'internal/scenario/testdata'
 
-ci: vet fmt-check build race race-sharded race-collect race-online race-resume serve-smoke bench-smoke
+ci: vet fmt-check build race race-sharded race-collect race-online race-resume race-shardsim serve-smoke bench-smoke

@@ -167,10 +167,44 @@
 // Scenario.Compile, and vtmig-sim -scenario (workload flags conflict
 // explicitly; -verbose, -trace, and the snapshot flags still apply).
 //
+// # Fleet-scale sharding
+//
+// The simulator scales to metropolitan fleets by sharding the vehicle
+// phase across regions (sim.Config.Shards / sim.ShardConfig): the RSU
+// lattice splits into ShardConfig.Regions contiguous, balanced index
+// blocks, every vehicle is resident in the region of its serving RSU,
+// and each tick steps the regions' residents on one goroutine per
+// region. The parallel phase covers exactly the per-vehicle work —
+// kinematics, sensing delivery, staged serving-RSU lookup — while
+// vehicles that cross a region boundary stage into per-shard outboxes
+// that drain in fixed shard-index order, and everything stateful
+// (handover collection, the Stackelberg pricing round, the bandwidth
+// pool) stays serial in global fleet order. That split is what makes
+// the shard count a pure throughput knob (determinism contract rule 7
+// below). Memory and allocations stay flat as the fleet grows: reports
+// aggregate streamingly as migrations complete
+// (Config.DiscardMigrationRecords drops the per-migration records for
+// fleet-scale runs while leaving every aggregate untouched), sensing
+// histories compact behind aoi.NewBoundedProcess, the round game reuses
+// one scratch across pricing rounds, and the admission hot paths
+// (channel.OFDMAAllocator.TryAllocate, rsu.Cluster.TryPlaceOn/TryPlace)
+// reject without constructing errors. The committed
+// testdata/scenarios/metro-10k.json — a 12×16 RSU grid serving 10,000
+// vehicles under churn and generated outages — runs end to end in
+// seconds (vtmig-sim -scenario testdata/scenarios/metro-10k.json
+// -shards 8), is pinned by the scenario golden matrix like every other
+// committed scenario, and is measured by BenchmarkSimFleetSharded with
+// the steady-state allocation gate in
+// internal/sim/steady_alloc_test.go. The rule-7 bit-identity tables
+// (`make race-shardsim`) compare sharded against serial runs across
+// region counts and GOMAXPROCS values at simulator, scenario, and
+// online-learning level, and FuzzShardPartition stresses the partition
+// invariants under randomized grids, churn, and outages.
+//
 // # Determinism contract
 //
-// The same seed yields the same figures, bit for bit. Six rules enforce
-// it:
+// The same seed yields the same figures, bit for bit. Seven rules
+// enforce it:
 //
 //  1. Batched kernels accumulate in exactly the order of the
 //     sample-at-a-time loops they replaced (k-ascending, one accumulator
@@ -223,12 +257,25 @@
 //     (the pre-PR-5 params-only restore did exactly that for the Adam
 //     moments and the policy RNG, and the pre-PR-6 online snapshot
 //     dropped the pricer-side state the same way).
+//  7. Region-sharded simulation is a throughput knob, not a workload
+//     dimension: with sim.ShardConfig the RSU lattice splits into
+//     contiguous regions and each region's resident vehicles step on
+//     their own goroutine, but the vehicle phase touches only
+//     per-vehicle state and per-vehicle RNG streams, cross-region
+//     handoffs apply in fixed shard-index order, and handover
+//     collection and pricing stay serial in global fleet order — so any
+//     region count (zero, one, more regions than RSUs) under any
+//     GOMAXPROCS yields a bit-identical sim.Report, event trace, and
+//     (for an online pricer) final network weights. The shard count
+//     therefore composes freely with everything above: scenario files
+//     may suggest one (Scenario.Shards) and vtmig-sim -shards may
+//     override it without touching results.
 //
 // The golden-file tests under internal/experiments/testdata pin the exact
 // fixed-seed outputs of every figure pipeline, those under
 // internal/sim/testdata the per-pricer simulator reports, those under
-// internal/scenario/testdata the committed scenario matrix (6 scenarios
-// × 3 analytic pricers), and the
+// internal/scenario/testdata the committed scenario matrix (7 scenarios
+// × 3 analytic pricers, the 10,000-vehicle metro-10k included), and the
 // determinism tests in internal/rl, internal/pomdp, internal/sim, and
 // internal/stackelberg pin the rules at unit level (rule 6 by the
 // resume-equality tables in internal/rl/resume_test.go,

@@ -28,6 +28,20 @@ type Process struct {
 	deliveries []delivery
 	started    bool
 	startTime  float64
+
+	// Compaction state (see NewBoundedProcess). The checkpoint is the
+	// left-to-right fold of the dropped breakpoints — exactly the prefix
+	// of the accumulation AverageAge/PeakAge would have performed over
+	// them — so queries at or after foldT are bit-identical to the
+	// unbounded process. An unbounded process keeps the zero fold
+	// (foldT = startTime, age/area/peak 0), which is the accumulators'
+	// starting state.
+	bound     int     // > 0: compact when more breakpoints are buffered
+	foldT     float64 // time of the last folded breakpoint
+	foldAge   float64 // age immediately after it
+	foldArea  float64 // integrated sawtooth area over [startTime, foldT]
+	foldPeak  float64 // peak age reached within [startTime, foldT]
+	foldCount int     // folded (dropped) breakpoints
 }
 
 // delivery is one received update.
@@ -37,9 +51,28 @@ type delivery struct {
 }
 
 // NewProcess returns an age process that starts observing at startTime
-// with age zero (the monitor is assumed synchronized at start).
+// with age zero (the monitor is assumed synchronized at start). It keeps
+// every delivery breakpoint, so memory grows with the update count; use
+// NewBoundedProcess for long-running monitors.
 func NewProcess(startTime float64) *Process {
-	return &Process{started: true, startTime: startTime, lastGen: startTime}
+	return &Process{started: true, startTime: startTime, lastGen: startTime, foldT: startTime}
+}
+
+// NewBoundedProcess is NewProcess with flat memory: whenever more than
+// bound breakpoints are buffered, the prefix up to the newest update's
+// generation time is folded into a running checkpoint and dropped.
+// Queries (Age, AverageAge, PeakAge) at or after the folded boundary are
+// bit-identical to the unbounded process — the fold performs exactly the
+// prefix of the query's own left-to-right accumulation — and panic for
+// earlier times. Monitors that query at a monotone clock (the simulator's
+// per-vehicle sensing streams) never notice the difference.
+func NewBoundedProcess(startTime float64, bound int) *Process {
+	if bound < 1 {
+		panic(fmt.Sprintf("aoi: compaction bound must be >= 1, got %d", bound))
+	}
+	p := NewProcess(startTime)
+	p.bound = bound
+	return p
 }
 
 // Deliver records an update generated at genTime and delivered at
@@ -53,12 +86,46 @@ func (p *Process) Deliver(genTime, delTime float64) error {
 	if n := len(p.deliveries); n > 0 && delTime < p.deliveries[n-1].at {
 		return fmt.Errorf("aoi: out-of-order delivery at %g (last %g)", delTime, p.deliveries[n-1].at)
 	}
+	if p.foldCount > 0 && delTime < p.foldT {
+		return fmt.Errorf("aoi: out-of-order delivery at %g (last %g)", delTime, p.foldT)
+	}
 	if genTime <= p.lastGen {
 		return nil // stale: the monitor already has fresher data
 	}
 	p.lastGen = genTime
 	p.deliveries = append(p.deliveries, delivery{at: delTime, age: delTime - genTime})
+	if p.bound > 0 && len(p.deliveries) > p.bound {
+		// Fold only up to the new update's generation time: breakpoints
+		// past it may still precede a query horizon (delTime can run
+		// ahead of the caller's clock by the delivery delay), while
+		// anything at or before genTime is safely behind every admissible
+		// future query.
+		p.compact(genTime)
+	}
 	return nil
+}
+
+// compact folds the breakpoints delivered at or before watermark into the
+// checkpoint and drops them, preserving the buffer's backing array.
+func (p *Process) compact(watermark float64) {
+	n := 0
+	for _, d := range p.deliveries {
+		if d.at > watermark {
+			break
+		}
+		dt := d.at - p.foldT
+		p.foldArea += dt * (p.foldAge + p.foldAge + dt) / 2
+		if a := p.foldAge + dt; a > p.foldPeak {
+			p.foldPeak = a
+		}
+		p.foldT = d.at
+		p.foldAge = d.age
+		n++
+	}
+	if n > 0 {
+		p.foldCount += n
+		p.deliveries = append(p.deliveries[:0], p.deliveries[n:]...)
+	}
 }
 
 // Age returns the instantaneous age at time t (t must be at or after the
@@ -67,10 +134,16 @@ func (p *Process) Age(t float64) float64 {
 	if t < p.startTime {
 		panic(fmt.Sprintf("aoi: query at %g before start %g", t, p.startTime))
 	}
+	if t < p.foldT {
+		panic(fmt.Sprintf("aoi: query at %g precedes history compacted through %g", t, p.foldT))
+	}
 	// Find the last delivery at or before t.
 	i := sort.Search(len(p.deliveries), func(i int) bool { return p.deliveries[i].at > t })
 	if i == 0 {
-		return t - p.startTime
+		// No buffered breakpoint at or before t: age grows linearly from
+		// the checkpoint (the observation start for an uncompacted
+		// process, where foldT = startTime and foldAge = 0).
+		return p.foldAge + (t - p.foldT)
 	}
 	d := p.deliveries[i-1]
 	return d.age + (t - d.at)
@@ -82,9 +155,12 @@ func (p *Process) AverageAge(horizon float64) float64 {
 	if horizon <= p.startTime {
 		panic(fmt.Sprintf("aoi: horizon %g not after start %g", horizon, p.startTime))
 	}
-	var area float64
-	prevT := p.startTime
-	prevAge := 0.0
+	if horizon < p.foldT {
+		panic(fmt.Sprintf("aoi: horizon %g precedes history compacted through %g", horizon, p.foldT))
+	}
+	area := p.foldArea
+	prevT := p.foldT
+	prevAge := p.foldAge
 	for _, d := range p.deliveries {
 		if d.at > horizon {
 			break
@@ -105,9 +181,12 @@ func (p *Process) AverageAge(horizon float64) float64 {
 // the horizon (the peak-AoI metric), or the age at the horizon when no
 // delivery occurred.
 func (p *Process) PeakAge(horizon float64) float64 {
-	peak := 0.0
-	prevT := p.startTime
-	prevAge := 0.0
+	if horizon < p.foldT {
+		panic(fmt.Sprintf("aoi: horizon %g precedes history compacted through %g", horizon, p.foldT))
+	}
+	peak := p.foldPeak
+	prevT := p.foldT
+	prevAge := p.foldAge
 	for _, d := range p.deliveries {
 		if d.at > horizon {
 			break
@@ -124,8 +203,9 @@ func (p *Process) PeakAge(horizon float64) float64 {
 	return peak
 }
 
-// Deliveries returns the number of accepted (non-stale) updates.
-func (p *Process) Deliveries() int { return len(p.deliveries) }
+// Deliveries returns the number of accepted (non-stale) updates,
+// compacted ones included.
+func (p *Process) Deliveries() int { return p.foldCount + len(p.deliveries) }
 
 // PeriodicAverageAge returns the exact time-average age of a source that
 // generates an update every period and delivers it after a constant

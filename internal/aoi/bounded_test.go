@@ -1,0 +1,119 @@
+package aoi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBoundedProcessBitIdentical drives an unbounded and a tightly
+// bounded process through the same randomized delivery stream — jittered
+// periods, delivery delays that run ahead of the generation clock, stale
+// updates — and requires every query at or after the compaction boundary
+// to agree bit for bit. The fold is the prefix of the query's own
+// accumulation, so even float rounding must match exactly.
+func TestBoundedProcessBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		full := NewProcess(0)
+		bounded := NewBoundedProcess(0, 1+r.Intn(8))
+		gen, lastDel := 0.0, 0.0
+		for i := 0; i < 500; i++ {
+			gen += 0.1 + r.Float64()
+			// Deliveries must arrive in non-decreasing order; the jittered
+			// delay is clamped so a fast update never overtakes a slow one.
+			del := gen + r.Float64()*2
+			if del < lastDel {
+				del = lastDel
+			}
+			lastDel = del
+			if r.Intn(10) == 0 {
+				// Stale: generated before the freshest delivered update.
+				if err := full.Deliver(gen-5, del); err != nil {
+					t.Fatal(err)
+				}
+				if err := bounded.Deliver(gen-5, del); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if err := full.Deliver(gen, del); err != nil {
+				t.Fatal(err)
+			}
+			if err := bounded.Deliver(gen, del); err != nil {
+				t.Fatal(err)
+			}
+			// Query at the "caller clock" — at or after the newest
+			// generation time, where compaction guarantees equivalence.
+			for _, h := range []float64{gen, gen + 0.5, gen + 3} {
+				if a, b := full.AverageAge(h), bounded.AverageAge(h); a != b {
+					t.Fatalf("trial %d step %d: AverageAge(%g) = %g (full) vs %g (bounded)", trial, i, h, a, b)
+				}
+				if a, b := full.PeakAge(h), bounded.PeakAge(h); a != b {
+					t.Fatalf("trial %d step %d: PeakAge(%g) = %g (full) vs %g (bounded)", trial, i, h, a, b)
+				}
+				if a, b := full.Age(h), bounded.Age(h); a != b {
+					t.Fatalf("trial %d step %d: Age(%g) = %g (full) vs %g (bounded)", trial, i, h, a, b)
+				}
+			}
+			if a, b := full.Deliveries(), bounded.Deliveries(); a != b {
+				t.Fatalf("trial %d step %d: Deliveries() = %d (full) vs %d (bounded)", trial, i, a, b)
+			}
+		}
+	}
+}
+
+// TestBoundedProcessFlatMemory pins the point of the bound: the buffered
+// breakpoint count stays at most bound+1 no matter how long the stream
+// runs.
+func TestBoundedProcessFlatMemory(t *testing.T) {
+	const bound = 16
+	p := NewBoundedProcess(0, bound)
+	for i := 1; i <= 10000; i++ {
+		gt := float64(i)
+		if err := p.Deliver(gt, gt+0.25); err != nil {
+			t.Fatal(err)
+		}
+		if n := len(p.deliveries); n > bound+1 {
+			t.Fatalf("step %d: %d breakpoints buffered, bound %d", i, n, bound)
+		}
+	}
+	if got := p.Deliveries(); got != 10000 {
+		t.Fatalf("Deliveries() = %d, want 10000", got)
+	}
+}
+
+// TestBoundedProcessRejectsPreFoldQueries pins the failure mode
+// compaction introduces: a query before the folded boundary panics
+// instead of answering from history it no longer has.
+func TestBoundedProcessRejectsPreFoldQueries(t *testing.T) {
+	p := NewBoundedProcess(0, 1)
+	for i := 1; i <= 10; i++ {
+		if err := p.Deliver(float64(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, query := range map[string]func(){
+		"Age":        func() { p.Age(1) },
+		"AverageAge": func() { p.AverageAge(1) },
+		"PeakAge":    func() { p.PeakAge(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s before the fold boundary did not panic", name)
+				}
+			}()
+			query()
+		}()
+	}
+}
+
+// TestBoundedProcessConstructorValidation pins the bound precondition.
+func TestBoundedProcessConstructorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bound 0 did not panic")
+		}
+	}()
+	NewBoundedProcess(0, 0)
+}

@@ -124,6 +124,33 @@ func TestOFDMAAllocateRelease(t *testing.T) {
 	}
 }
 
+// TestOFDMAAvailableNeverNegative pins the rounding-residue clamp: the
+// Allocate slack admits grants whose float sum exceeds capacity by one
+// ulp (the fixture is a real ScaleToFit output for a 0.5 MHz pool whose
+// scaled demands sum to 0.5 + 2⁻⁵³), and Available must report that full
+// pool as 0, not as a negative residue. Found by FuzzShardPartition —
+// the simulator treats negative availability as corrupted accounting.
+func TestOFDMAAvailableNeverNegative(t *testing.T) {
+	a := NewOFDMAAllocator(0.5)
+	grants := []float64{
+		0.19058546444871988,
+		0.13466694581334054,
+		0.08869872999763292,
+		0.08604885974030677,
+	}
+	for owner, bw := range grants {
+		if err := a.Allocate(owner, bw); err != nil {
+			t.Fatalf("Allocate(%d, %v): %v", owner, bw, err)
+		}
+	}
+	if a.Used() <= a.Capacity() {
+		t.Fatalf("fixture no longer overshoots: used %v <= capacity %v", a.Used(), a.Capacity())
+	}
+	if got := a.Available(); got != 0 {
+		t.Errorf("Available = %v, want exactly 0", got)
+	}
+}
+
 func TestOFDMARejectsDuplicateOwner(t *testing.T) {
 	a := NewOFDMAAllocator(10)
 	if err := a.Allocate(1, 1); err != nil {

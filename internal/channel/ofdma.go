@@ -38,8 +38,16 @@ func NewOFDMAAllocator(capacity float64) *OFDMAAllocator {
 // Capacity returns the total pool size in MHz.
 func (a *OFDMAAllocator) Capacity() float64 { return a.capacity }
 
-// Available returns the unallocated bandwidth in MHz.
-func (a *OFDMAAllocator) Available() float64 { return a.capacity - a.used }
+// Available returns the unallocated bandwidth in MHz. The Allocate slack
+// admits rounding overshoot of at most 1e-12 on a full pool, so the
+// difference is clamped at zero rather than exposing a negative rounding
+// residue to callers that treat negative availability as corruption.
+func (a *OFDMAAllocator) Available() float64 {
+	if avail := a.capacity - a.used; avail > 0 {
+		return avail
+	}
+	return 0
+}
 
 // Used returns the currently allocated bandwidth in MHz.
 func (a *OFDMAAllocator) Used() float64 { return a.used }
@@ -47,19 +55,36 @@ func (a *OFDMAAllocator) Used() float64 { return a.used }
 // Allocate grants bw MHz to owner. It fails when the owner already holds a
 // grant or the pool has insufficient headroom.
 func (a *OFDMAAllocator) Allocate(owner int, bw float64) error {
+	if a.TryAllocate(owner, bw) {
+		return nil
+	}
 	if bw <= 0 {
 		return fmt.Errorf("channel: allocation for owner %d must be positive, got %g MHz", owner, bw)
 	}
 	if _, exists := a.grants[owner]; exists {
 		return fmt.Errorf("channel: owner %d already holds a grant", owner)
 	}
+	return fmt.Errorf("channel: insufficient capacity: want %g MHz, available %g MHz", bw, a.Available())
+}
+
+// TryAllocate is Allocate without the error construction, under exactly
+// the same admission checks. It exists for the simulator's pricing loop:
+// a fleet-scale round can defer thousands of grants per tick, and
+// building a rejection error for each dominated the round's allocations.
+func (a *OFDMAAllocator) TryAllocate(owner int, bw float64) bool {
+	if bw <= 0 {
+		return false
+	}
+	if _, exists := a.grants[owner]; exists {
+		return false
+	}
 	const slack = 1e-12 // absorb float rounding in Σb ≤ Bmax checks
 	if a.used+bw > a.capacity+slack {
-		return fmt.Errorf("channel: insufficient capacity: want %g MHz, available %g MHz", bw, a.Available())
+		return false
 	}
 	a.grants[owner] = bw
 	a.used += bw
-	return nil
+	return true
 }
 
 // Release returns owner's grant to the pool.
@@ -94,6 +119,20 @@ func (a *OFDMAAllocator) Grants() []Allocation {
 // admit an over-subscribed round. It returns the scaled demands (a new
 // slice) and the applied scale factor (1 when no scaling was needed).
 func (a *OFDMAAllocator) ScaleToFit(demands []float64) ([]float64, float64) {
+	out := make([]float64, len(demands))
+	copy(out, demands)
+	return out, ScaleDemandsInPlace(out, a.capacity)
+}
+
+// ScaleDemandsInPlace is ScaleToFit without the allocator and the result
+// slice: it shrinks demands in place so their sum fits within capacity
+// and returns the applied scale factor (1 when none was needed). Same
+// arithmetic as ScaleToFit — d*scale per element — so the two are
+// bit-identical.
+func ScaleDemandsInPlace(demands []float64, capacity float64) float64 {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("channel: OFDMA capacity must be positive, got %g", capacity))
+	}
 	var total float64
 	for _, d := range demands {
 		if d < 0 {
@@ -101,14 +140,12 @@ func (a *OFDMAAllocator) ScaleToFit(demands []float64) ([]float64, float64) {
 		}
 		total += d
 	}
-	out := make([]float64, len(demands))
-	if total <= a.capacity || total == 0 {
-		copy(out, demands)
-		return out, 1
+	if total <= capacity || total == 0 {
+		return 1
 	}
-	scale := a.capacity / total
+	scale := capacity / total
 	for i, d := range demands {
-		out[i] = d * scale
+		demands[i] = d * scale
 	}
-	return out, scale
+	return scale
 }

@@ -1,0 +1,92 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDivSubIntoMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 20
+			y[i] = rng.NormFloat64() * 20
+		}
+		s := 0.1 + rng.Float64()*49.9
+		dst := DivSubInto(make([]float64, n), x, s, y)
+		for i := range dst {
+			want := x[i]/s - y[i]
+			if math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("trial %d: dst[%d] = %v, want %v (bit mismatch)", trial, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestDivSubIntoAliases(t *testing.T) {
+	x := []float64{10, 20, 30}
+	y := []float64{1, 2, 3}
+	DivSubInto(x, x, 10, y)
+	for i, want := range []float64{0, 0, 0} {
+		if x[i] != want {
+			t.Errorf("aliased dst[%d] = %v, want %v", i, x[i], want)
+		}
+	}
+}
+
+func TestClampMinIntoMatchesBranch(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	x := []float64{-1, negZero, 0, 2.5, math.Inf(-1), math.NaN()}
+	dst := ClampMinInto(make([]float64, len(x)), x, 0)
+	for i, v := range x {
+		want := v
+		if want < 0 {
+			want = 0
+		}
+		if math.Float64bits(dst[i]) != math.Float64bits(want) {
+			t.Errorf("dst[%d] = %x, want %x", i, math.Float64bits(dst[i]), math.Float64bits(want))
+		}
+	}
+	// The branch form must preserve −0.0 (−0 < 0 is false) where
+	// math.Max(0, −0) would return +0.
+	if math.Signbit(dst[1]) != true {
+		t.Errorf("ClampMinInto flipped −0.0 to +0.0")
+	}
+	// NaN passes through: NaN < 0 is false.
+	if !math.IsNaN(dst[5]) {
+		t.Errorf("ClampMinInto altered NaN to %v", dst[5])
+	}
+}
+
+func TestFusedKernelLengthPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"DivSubInto/x":   func() { DivSubInto(make([]float64, 2), make([]float64, 3), 1, make([]float64, 2)) },
+		"DivSubInto/y":   func() { DivSubInto(make([]float64, 2), make([]float64, 2), 1, make([]float64, 3)) },
+		"ClampMinInto/x": func() { ClampMinInto(make([]float64, 2), make([]float64, 3), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFusedKernelsAllocationFree(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{4, 3, 2, 1}
+	dst := make([]float64, 4)
+	if n := testing.AllocsPerRun(100, func() {
+		DivSubInto(dst, x, 3, y)
+		ClampMinInto(dst, dst, 0)
+	}); n != 0 {
+		t.Errorf("fused kernels allocate %v per run, want 0", n)
+	}
+}

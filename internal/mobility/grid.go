@@ -71,7 +71,13 @@ func (g *Grid) RSUDistance(a, b int) float64 {
 // Place implements World: the vehicle spawns uniformly on a random
 // street, heading in a random along-street direction. Three rng draws,
 // always.
+//
+// Place also pre-creates the vehicle's private turn-decision stream (no
+// draws from it), so the turnRngs map is never mutated during Advance —
+// the invariant that lets region shards advance their residents on
+// concurrent goroutines without a lock around the map.
 func (g *Grid) Place(v *Vehicle, rng *rand.Rand) {
+	g.turnRng(v.ID)
 	street := int(rng.Float64() * float64(g.Rows+g.Cols))
 	if street >= g.Rows+g.Cols {
 		street = g.Rows + g.Cols - 1 // Float64 can return values snapping to the bound
@@ -201,7 +207,22 @@ func (g *Grid) turnAt(v *Vehicle) {
 
 // ServingRSU implements World: the nearest live intersection RSU by
 // Euclidean distance.
+//
+// With no outages the answer comes from an O(1) fast path instead of the
+// O(Rows×Cols) scan: a vehicle always sits exactly on a street (Place and
+// snap keep the perpendicular coordinate an exact multiple of SpacingM),
+// so the nearest RSU is among the few intersections of that street around
+// the vehicle, and every off-street RSU is strictly farther whenever the
+// on-street minimum beats the adjacent parallel streets' perpendicular
+// offsets. The fast path replicates the scan's id-ascending strict-<
+// tie-breaking and falls back to the full scan whenever any of its
+// exactness or domination checks fail, so results are bit-identical.
 func (g *Grid) ServingRSU(v *Vehicle, down []bool) (int, bool) {
+	if len(down) == 0 {
+		if id, d, ok := g.nearestOnStreet(v); ok {
+			return id, d <= g.RadiusM
+		}
+	}
 	best, bestDist := -1, math.Inf(1)
 	fallback, fallbackDist := -1, math.Inf(1)
 	for id := 0; id < g.RSUCount(); id++ {
@@ -221,6 +242,93 @@ func (g *Grid) ServingRSU(v *Vehicle, down []bool) (int, bool) {
 		return fallback, false
 	}
 	return best, bestDist <= g.RadiusM
+}
+
+// nearestOnStreet resolves the nearest RSU for a vehicle sitting exactly
+// on a street. It reports ok=false when the vehicle is on no exact street
+// (float dust the caller's snap has not collapsed yet) or when a
+// domination check fails; callers then run the full scan.
+func (g *Grid) nearestOnStreet(v *Vehicle) (int, float64, bool) {
+	if row, ok := g.exactStreetIndex(v.Y, g.Rows); ok {
+		return g.nearestInRow(v, row)
+	}
+	if col, ok := g.exactStreetIndex(v.X, g.Cols); ok {
+		return g.nearestInCol(v, col)
+	}
+	return 0, 0, false
+}
+
+// exactStreetIndex reports whether p is exactly idx*SpacingM for an
+// in-range street index idx. Exact float equality is the point: only then
+// does the scan's Hypot collapse to a pure 1-D distance on this street.
+func (g *Grid) exactStreetIndex(p float64, count int) (int, bool) {
+	idx := int(math.Round(p / g.SpacingM))
+	if idx < 0 || idx >= count {
+		return 0, false
+	}
+	return idx, float64(idx)*g.SpacingM == p
+}
+
+// nearestInRow finds the nearest RSU of a horizontal street (fixed row),
+// checking the candidate columns around the vehicle in ascending-id order
+// with the scan's strict-< rule, then verifying the winner strictly beats
+// the perpendicular offset to both adjacent rows — which lower-bounds
+// (via Hypot ≥ |Δy|, monotone in the row gap) the distance to every RSU
+// outside this row.
+func (g *Grid) nearestInRow(v *Vehicle, row int) (int, float64, bool) {
+	col, d, ok := g.nearestAlong(v.X, g.Cols)
+	if !ok {
+		return 0, 0, false
+	}
+	if row > 0 && !(d < math.Abs(v.Y-float64(row-1)*g.SpacingM)) {
+		return 0, 0, false
+	}
+	if row+1 < g.Rows && !(d < math.Abs(float64(row+1)*g.SpacingM-v.Y)) {
+		return 0, 0, false
+	}
+	return row*g.Cols + col, d, true
+}
+
+// nearestInCol is nearestInRow's transpose for a vertical street: within
+// the column, ascending row equals ascending id, so the same strict-<
+// candidate order replicates the scan.
+func (g *Grid) nearestInCol(v *Vehicle, col int) (int, float64, bool) {
+	row, d, ok := g.nearestAlong(v.Y, g.Rows)
+	if !ok {
+		return 0, 0, false
+	}
+	if col > 0 && !(d < math.Abs(v.X-float64(col-1)*g.SpacingM)) {
+		return 0, 0, false
+	}
+	if col+1 < g.Cols && !(d < math.Abs(float64(col+1)*g.SpacingM-v.X)) {
+		return 0, 0, false
+	}
+	return row*g.Cols + col, d, true
+}
+
+// nearestAlong picks the street index minimizing |p − idx*SpacingM| among
+// the candidates around p, iterating in ascending index order with strict
+// < — exactly the scan's first-minimum-wins tie-breaking. The ±1 window
+// around the floored quotient absorbs float-division slop.
+func (g *Grid) nearestAlong(p float64, count int) (int, float64, bool) {
+	c0 := int(math.Floor(p / g.SpacingM))
+	lo, hi := c0-1, c0+2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > count-1 {
+		hi = count - 1
+	}
+	if lo > hi {
+		return 0, 0, false
+	}
+	best, bestDist := -1, math.Inf(1)
+	for c := lo; c <= hi; c++ {
+		if d := math.Abs(p - float64(c)*g.SpacingM); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best, bestDist, best >= 0
 }
 
 var _ World = (*Grid)(nil)

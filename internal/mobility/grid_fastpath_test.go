@@ -1,0 +1,131 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// referenceServingRSU is the original O(Rows×Cols) scan, kept verbatim as
+// the oracle for the fast path.
+func referenceServingRSU(g *Grid, v *Vehicle, down []bool) (int, bool) {
+	best, bestDist := -1, math.Inf(1)
+	fallback, fallbackDist := -1, math.Inf(1)
+	for id := 0; id < g.RSUCount(); id++ {
+		x, y := g.rsuXY(id)
+		d := math.Hypot(v.X-x, v.Y-y)
+		if d < fallbackDist {
+			fallback, fallbackDist = id, d
+		}
+		if len(down) > id && down[id] {
+			continue
+		}
+		if d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	if best < 0 {
+		return fallback, false
+	}
+	return best, bestDist <= g.RadiusM
+}
+
+// TestServingRSUFastPathMatchesScan drives vehicles along randomized
+// grids (including irrational spacings that stress the float-exactness
+// checks) and requires the fast path to agree with the reference scan at
+// every step of every trajectory.
+func TestServingRSUFastPathMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		rows := 2 + rng.Intn(6)
+		cols := 2 + rng.Intn(6)
+		spacing := []float64{500, 333.3, 1000 * math.Sqrt2, 0.125, 77.7}[rng.Intn(5)]
+		g, err := NewGrid(rows, cols, spacing, spacing*0.75, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := &Vehicle{ID: trial, SpeedMps: 5 + rng.Float64()*30}
+		g.Place(v, rng)
+		for step := 0; step < 200; step++ {
+			g.Advance(v, 0.5+rng.Float64())
+			gotID, gotCov := g.ServingRSU(v, nil)
+			wantID, wantCov := referenceServingRSU(g, v, nil)
+			if gotID != wantID || gotCov != wantCov {
+				t.Fatalf("trial %d step %d at (%v, %v): fast path (%d, %v), scan (%d, %v)",
+					trial, step, v.X, v.Y, gotID, gotCov, wantID, wantCov)
+			}
+		}
+	}
+}
+
+// TestServingRSUFastPathOffStreetFallsBack plants vehicles off any exact
+// street coordinate — the fast path must decline and the scan answer.
+func TestServingRSUFastPathOffStreetFallsBack(t *testing.T) {
+	g, err := NewGrid(3, 4, 500, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		v := &Vehicle{X: rng.Float64() * g.WidthM(), Y: rng.Float64() * g.HeightM()}
+		if _, _, ok := g.nearestOnStreet(v); ok {
+			// A random planar point can land exactly on a street only with
+			// probability ~0; if it does, the fast path must still agree.
+			t.Logf("point (%v, %v) resolved on-street", v.X, v.Y)
+		}
+		gotID, gotCov := g.ServingRSU(v, nil)
+		wantID, wantCov := referenceServingRSU(g, v, nil)
+		if gotID != wantID || gotCov != wantCov {
+			t.Fatalf("off-street (%v, %v): fast path (%d, %v), scan (%d, %v)", v.X, v.Y, gotID, gotCov, wantID, wantCov)
+		}
+	}
+}
+
+// TestServingRSUWithOutagesUsesScan pins that a non-empty down mask
+// bypasses the fast path entirely: a down nearest RSU must re-home the
+// vehicle exactly like the scan.
+func TestServingRSUWithOutagesUsesScan(t *testing.T) {
+	g, err := NewGrid(3, 3, 500, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Vehicle{X: 500, Y: 0} // exactly on RSU 1
+	down := make([]bool, g.RSUCount())
+	down[1] = true
+	gotID, gotCov := g.ServingRSU(v, down)
+	wantID, wantCov := referenceServingRSU(g, v, down)
+	if gotID != wantID || gotCov != wantCov {
+		t.Fatalf("down mask: fast path (%d, %v), scan (%d, %v)", gotID, gotCov, wantID, wantCov)
+	}
+	if gotID == 1 {
+		t.Fatalf("vehicle attached to a down RSU")
+	}
+}
+
+// TestPlacePrewarmsTurnStream pins the sharding invariant: after Place,
+// Advance never mutates the turnRngs map (all lookups hit).
+func TestPlacePrewarmsTurnStream(t *testing.T) {
+	g, err := NewGrid(3, 3, 100, 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for id := 0; id < 10; id++ {
+		v := &Vehicle{ID: id, SpeedMps: 50}
+		g.Place(v, rng)
+		if _, ok := g.turnRngs[v.ID]; !ok {
+			t.Fatalf("Place did not pre-create the turn stream for vehicle %d", id)
+		}
+	}
+	if len(g.turnRngs) != 10 {
+		t.Fatalf("turnRngs has %d entries, want 10", len(g.turnRngs))
+	}
+	before := len(g.turnRngs)
+	for id := 0; id < 10; id++ {
+		v := &Vehicle{ID: id, SpeedMps: 50, DirX: 1}
+		g.Advance(v, 10)
+	}
+	if len(g.turnRngs) != before {
+		t.Fatalf("Advance grew turnRngs from %d to %d entries", before, len(g.turnRngs))
+	}
+}

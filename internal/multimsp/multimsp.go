@@ -124,27 +124,61 @@ func (m *Market) vmuUtility(n int, bandwidth, price float64) float64 {
 	return v.Alpha*math.Log(1+bandwidth*e/v.DataSize) - price*bandwidth
 }
 
+// EvalScratch holds the reusable buffers of EvaluateInto and
+// SolvePriceCompetition, so repeated evaluations of one market (grid
+// searches, ablation sweeps) allocate nothing after the first call. The
+// zero value is ready to use.
+type EvalScratch struct {
+	outcome Outcome
+	ties    []int
+	trial   []float64
+	grids   [][]float64
+}
+
+// grow sizes the scratch's outcome slices for a market shape.
+func (s *EvalScratch) grow(msps, vmus int) {
+	if cap(s.outcome.Prices) < msps {
+		s.outcome.Prices = make([]float64, msps)
+		s.outcome.MSPUtilities = make([]float64, msps)
+	}
+	if cap(s.outcome.Assignment) < vmus {
+		s.outcome.Assignment = make([]int, vmus)
+		s.outcome.Demands = make([]float64, vmus)
+		s.outcome.VMUUtilities = make([]float64, vmus)
+	}
+	s.outcome.Prices = s.outcome.Prices[:msps]
+	s.outcome.MSPUtilities = s.outcome.MSPUtilities[:msps]
+	s.outcome.Assignment = s.outcome.Assignment[:vmus]
+	s.outcome.Demands = s.outcome.Demands[:vmus]
+	s.outcome.VMUUtilities = s.outcome.VMUUtilities[:vmus]
+}
+
 // Evaluate computes the market outcome for a posted price vector: each VMU
 // selects the utility-maximizing provider (round-robin on ties), then each
-// provider proportionally admits demand up to its capacity.
+// provider proportionally admits demand up to its capacity. The returned
+// Outcome owns freshly allocated slices; use EvaluateInto on a hot path.
 func (m *Market) Evaluate(prices []float64) Outcome {
+	var s EvalScratch
+	return *m.EvaluateInto(&s, prices)
+}
+
+// EvaluateInto is Evaluate with destination passing: the outcome reuses
+// the scratch's buffers and stays valid until the scratch's next use.
+// The arithmetic is Evaluate's exactly — the two are bit-identical.
+func (m *Market) EvaluateInto(s *EvalScratch, prices []float64) *Outcome {
 	if len(prices) != len(m.MSPs) {
 		panic(fmt.Sprintf("multimsp: price vector length %d, want %d", len(prices), len(m.MSPs)))
 	}
-	out := Outcome{
-		Prices:       append([]float64(nil), prices...),
-		Assignment:   make([]int, len(m.VMUs)),
-		Demands:      make([]float64, len(m.VMUs)),
-		MSPUtilities: make([]float64, len(m.MSPs)),
-		VMUUtilities: make([]float64, len(m.VMUs)),
-	}
+	s.grow(len(m.MSPs), len(m.VMUs))
+	out := &s.outcome
+	copy(out.Prices, prices)
 
 	// Provider selection with deterministic round-robin tie-breaking.
 	tieRotor := 0
 	for n := range m.VMUs {
 		best := -1
 		bestU := 0.0 // opting out yields 0
-		var ties []int
+		ties := s.ties[:0]
 		for j, p := range prices {
 			b := m.vmuBestResponse(n, p)
 			if b <= 0 {
@@ -160,14 +194,17 @@ func (m *Market) Evaluate(prices []float64) Outcome {
 				ties = append(ties, j)
 			}
 		}
+		s.ties = ties
 		if len(ties) > 1 {
 			best = ties[tieRotor%len(ties)]
 			tieRotor++
 		}
 		out.Assignment[n] = best
+		d := 0.0
 		if best >= 0 {
-			out.Demands[n] = m.vmuBestResponse(n, prices[best])
+			d = m.vmuBestResponse(n, prices[best])
 		}
+		out.Demands[n] = d
 	}
 
 	// Capacity admission per provider.
@@ -192,8 +229,12 @@ func (m *Market) Evaluate(prices []float64) Outcome {
 	}
 
 	// Utilities.
+	for j := range out.MSPUtilities {
+		out.MSPUtilities[j] = 0
+	}
 	for n, a := range out.Assignment {
 		if a < 0 {
+			out.VMUUtilities[n] = 0
 			continue
 		}
 		out.VMUUtilities[n] = m.vmuUtility(n, out.Demands[n], prices[a])
@@ -227,17 +268,25 @@ func (m *Market) SolvePriceCompetition(gridN, maxSweeps int) EquilibriumResult {
 	for j := range prices {
 		prices[j] = m.PMax // start from the monopoly-friendly top
 	}
+	// One scratch serves every grid evaluation, and each provider's price
+	// grid is computed once up front (Linspace is pure, so hoisting it out
+	// of the sweep loop changes nothing).
+	var s EvalScratch
+	s.trial = make([]float64, len(m.MSPs))
+	s.grids = make([][]float64, len(m.MSPs))
+	for j, msp := range m.MSPs {
+		s.grids[j] = mathx.Linspace(msp.Cost, m.PMax, gridN)
+	}
 	var sweeps int
 	converged := false
 	for sweeps = 0; sweeps < maxSweeps; sweeps++ {
 		moved := false
-		for j, msp := range m.MSPs {
-			grid := mathx.Linspace(msp.Cost, m.PMax, gridN)
+		for j := range m.MSPs {
 			bestP, bestU := prices[j], math.Inf(-1)
-			for _, p := range grid {
-				trial := append([]float64(nil), prices...)
-				trial[j] = p
-				u := m.Evaluate(trial).MSPUtilities[j]
+			for _, p := range s.grids[j] {
+				copy(s.trial, prices)
+				s.trial[j] = p
+				u := m.EvaluateInto(&s, s.trial).MSPUtilities[j]
 				if u > bestU+1e-12 {
 					bestU, bestP = u, p
 				}

@@ -1,0 +1,111 @@
+package multimsp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vtmig/internal/aotm"
+	"vtmig/internal/channel"
+	"vtmig/internal/stackelberg"
+)
+
+// randomMarket builds a market with randomized shape and parameters,
+// biased toward the regimes that exercise every Evaluate branch: tight
+// capacities (proportional admission), equal costs (price ties), and
+// hopeless buyers (opt-out).
+func randomMarket(t *testing.T, r *rand.Rand) *Market {
+	t.Helper()
+	nMSP := 1 + r.Intn(4)
+	msps := make([]MSP, nMSP)
+	sharedCost := 2 + 8*r.Float64()
+	for j := range msps {
+		cost := sharedCost
+		if r.Intn(2) == 0 {
+			cost = 2 + 8*r.Float64()
+		}
+		bmax := 0.0 // unconstrained
+		if r.Intn(2) == 0 {
+			bmax = 0.01 + 0.5*r.Float64() // often binding
+		}
+		msps[j] = MSP{ID: j, Cost: cost, BMax: bmax}
+	}
+	nVMU := 1 + r.Intn(8)
+	vmus := make([]stackelberg.VMU, nVMU)
+	for n := range vmus {
+		vmus[n] = stackelberg.VMU{
+			ID:       n,
+			Alpha:    0.5 + 10*r.Float64(),
+			DataSize: aotm.FromMB(50 + 450*r.Float64()),
+		}
+	}
+	m, err := NewMarket(msps, vmus, channel.DefaultParams(), 50)
+	if err != nil {
+		t.Fatalf("randomMarket: %v", err)
+	}
+	return m
+}
+
+// randomPrices draws a price vector that mixes interior prices, shared
+// (tie-inducing) prices, and near-PMax (opt-out-inducing) prices.
+func randomPrices(m *Market, r *rand.Rand) []float64 {
+	prices := make([]float64, len(m.MSPs))
+	shared := m.MSPs[0].Cost + (m.PMax-m.MSPs[0].Cost)*r.Float64()
+	for j, msp := range m.MSPs {
+		switch r.Intn(3) {
+		case 0:
+			prices[j] = shared
+		case 1:
+			prices[j] = m.PMax
+		default:
+			prices[j] = msp.Cost + (m.PMax-msp.Cost)*r.Float64()
+		}
+	}
+	return prices
+}
+
+// TestEvaluateIntoBitIdentical pins the destination-passing contract:
+// EvaluateInto must reproduce Evaluate bit for bit on arbitrary markets,
+// with one scratch reused across markets of different shapes.
+func TestEvaluateIntoBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(20230711))
+	var s EvalScratch
+	for i := 0; i < 200; i++ {
+		m := randomMarket(t, r)
+		prices := randomPrices(m, r)
+		want := m.Evaluate(prices)
+		got := m.EvaluateInto(&s, prices)
+		if !reflect.DeepEqual(want, *got) {
+			t.Fatalf("iteration %d: EvaluateInto diverged from Evaluate\nprices %v\nwant %+v\ngot  %+v",
+				i, prices, want, *got)
+		}
+	}
+}
+
+// TestEvaluateIntoSteadyStateAllocFree is the allocation regression gate
+// behind BenchmarkAblationMultiMSP: once the scratch is warm, repeated
+// evaluations must not allocate at all.
+func TestEvaluateIntoSteadyStateAllocFree(t *testing.T) {
+	m := duopoly(t)
+	prices := []float64{20, 20}
+	var s EvalScratch
+	m.EvaluateInto(&s, prices)
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.EvaluateInto(&s, prices)
+	}); allocs != 0 {
+		t.Errorf("warm EvaluateInto allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestSolvePriceCompetitionAllocBound caps the whole grid search: the
+// solver may allocate its setup (grids, scratch, result outcome) but
+// nothing per grid point — previously it allocated six slices per
+// evaluated price, ~274k per ablation cell.
+func TestSolvePriceCompetitionAllocBound(t *testing.T) {
+	m := duopoly(t)
+	if allocs := testing.AllocsPerRun(5, func() {
+		m.SolvePriceCompetition(300, 80)
+	}); allocs > 64 {
+		t.Errorf("SolvePriceCompetition(300, 80) allocates %v times per run, want <= 64", allocs)
+	}
+}

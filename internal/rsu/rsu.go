@@ -113,6 +113,25 @@ func (s *Server) Deploy(twinID int, req Resources) error {
 	return nil
 }
 
+// TryDeploy is Deploy without the error construction, under exactly the
+// same admission checks. It exists for the simulator's attach path: an
+// outage at fleet scale makes thousands of vehicles re-attach per tick,
+// and building a rejection error for each dominated the allocations.
+func (s *Server) TryDeploy(twinID int, req Resources) bool {
+	if req.Validate() != nil {
+		return false
+	}
+	if _, ok := s.twins[twinID]; ok {
+		return false
+	}
+	if !req.FitsIn(s.Free()) {
+		return false
+	}
+	s.twins[twinID] = req
+	s.used = s.used.Add(req)
+	return true
+}
+
 // Remove evicts a twin and returns its resources to the pool.
 func (s *Server) Remove(twinID int) error {
 	req, ok := s.twins[twinID]
@@ -223,6 +242,21 @@ func (c *Cluster) Place(twinID int, req Resources) (int, error) {
 	return target.ID, nil
 }
 
+// TryPlace is Place without the error construction: it deploys per the
+// cluster strategy under exactly Place's admission checks and reports
+// the chosen server and whether placement succeeded.
+func (c *Cluster) TryPlace(twinID int, req Resources) (int, bool) {
+	if _, ok := c.location[twinID]; ok {
+		return -1, false
+	}
+	target := c.pick(req)
+	if target == nil || !target.TryDeploy(twinID, req) {
+		return -1, false
+	}
+	c.location[twinID] = target.ID
+	return target.ID, true
+}
+
 // pick applies the placement strategy.
 func (c *Cluster) pick(req Resources) *Server {
 	var best *Server
@@ -257,6 +291,20 @@ func (c *Cluster) PlaceOn(twinID, serverID int, req Resources) error {
 	}
 	c.location[twinID] = serverID
 	return nil
+}
+
+// TryPlaceOn is PlaceOn without the error construction, under exactly
+// the same admission checks.
+func (c *Cluster) TryPlaceOn(twinID, serverID int, req Resources) bool {
+	if _, ok := c.location[twinID]; ok {
+		return false
+	}
+	target := c.serverByID(serverID)
+	if target == nil || !target.TryDeploy(twinID, req) {
+		return false
+	}
+	c.location[twinID] = serverID
+	return true
 }
 
 // MigrateTwin moves a placed twin to a specific destination server,

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"vtmig/internal/sim"
+)
+
+// This file is the scenario-level arm of determinism contract rule 7:
+// every committed scenario, compiled with any region count under any
+// GOMAXPROCS, must serialize to a byte-identical golden report. The
+// shard count is a host-side throughput knob, never a workload
+// dimension.
+
+// runShardedScenario compiles one scenario with the given region count
+// and returns its serialized report. metro-10k is trimmed to a short
+// slice — the full fleet stays covered by the golden matrix; here it
+// would multiply the table's cost for no extra order-sensitivity.
+func runShardedScenario(t *testing.T, s *Scenario, regions int) string {
+	t.Helper()
+	trimmed := *s
+	if trimmed.Name == "metro-10k" {
+		trimmed.DurationS = 20
+		trimmed.Vehicles = 2000
+	}
+	trimmed.Shards = regions
+	rep := runScenarioReport(t, &trimmed, sim.PricerSpec{Name: "random"})
+	return sim.FormatGoldenReport(rep)
+}
+
+func TestScenarioReportsShardIndependent(t *testing.T) {
+	for _, path := range committedScenarios(t) {
+		s, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		t.Run(s.Name, func(t *testing.T) {
+			ref := runShardedScenario(t, s, 0)
+			for _, regions := range []int{1, 3} {
+				for _, procs := range []int{1, 4} {
+					prev := runtime.GOMAXPROCS(procs)
+					got := runShardedScenario(t, s, regions)
+					runtime.GOMAXPROCS(prev)
+					if got != ref {
+						t.Errorf("regions=%d gomaxprocs=%d diverged from serial:\n%s",
+							regions, procs, firstDiffLine(ref, got))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioShardsFieldCompiles pins the schema plumbing: the shards
+// and discard_migration_records fields reach the compiled sim.Config.
+func TestScenarioShardsFieldCompiles(t *testing.T) {
+	s := &Scenario{Name: "t", Shards: 4, DiscardMigrationRecords: true}
+	cfg, err := s.CompileConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shards.Regions != 4 {
+		t.Errorf("Shards.Regions = %d, want 4", cfg.Shards.Regions)
+	}
+	if !cfg.DiscardMigrationRecords {
+		t.Error("DiscardMigrationRecords not compiled")
+	}
+	s.Shards = -1
+	if _, err := s.CompileConfig(); err == nil {
+		t.Error("negative shards compiled without error")
+	}
+}
+
+// TestScenarioShardsRejectedInJSONOnlyWhenNegative exercises the strict
+// loaders on the new fields for both formats.
+func TestScenarioShardsLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for name, src := range map[string]string{
+		"a.json": `{"name": "a", "shards": 3, "discard_migration_records": true}`,
+		"b.toml": "name = \"b\"\nshards = 3\ndiscard_migration_records = true\n",
+	} {
+		path := dir + "/" + name
+		if err := writeFile(path, src); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Shards != 3 || !s.DiscardMigrationRecords {
+			t.Errorf("%s: loaded shards=%d discard=%v, want 3/true", name, s.Shards, s.DiscardMigrationRecords)
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

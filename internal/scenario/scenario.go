@@ -149,6 +149,15 @@ type Scenario struct {
 	OutageGen *OutageGen `json:"outage_gen,omitempty"`
 	// Demand enables the day/night demand cycle.
 	Demand *Demand `json:"demand,omitempty"`
+	// Shards enables region-sharded parallel stepping with the given
+	// region count (determinism contract rule 7: any value here is
+	// bit-identical to 0, the serial path — it is a throughput knob, not a
+	// workload dimension, and hosts may override it freely).
+	Shards int `json:"shards,omitempty"`
+	// DiscardMigrationRecords drops the per-migration records from the
+	// report, keeping only the streaming aggregates — the fleet-scale mode
+	// whose report memory stays flat in migration count.
+	DiscardMigrationRecords bool `json:"discard_migration_records,omitempty"`
 	// Pricer is the MSP pricing strategy (empty name: "oracle").
 	Pricer sim.PricerSpec `json:"pricer,omitempty"`
 }
@@ -275,6 +284,8 @@ func (s *Scenario) CompileConfig() (sim.Config, error) {
 			cfg.Demand.NightSensingFactor = 1
 		}
 	}
+	cfg.Shards.Regions = s.Shards
+	cfg.DiscardMigrationRecords = s.DiscardMigrationRecords
 
 	// Validate through a probe with a placeholder pricer: the caller
 	// supplies the real one, but everything else must already be sound.

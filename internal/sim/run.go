@@ -37,6 +37,13 @@ type vehState struct {
 	// +Inf when churn is off.
 	arrivedAt float64
 	departAt  float64
+
+	// stagedRSU is the serving RSU computed during the per-tick vehicle
+	// phase (serial or sharded) and consumed by the serial handover
+	// collection; region is the index of the shard the vehicle currently
+	// resides in (sharded runs only).
+	stagedRSU int
+	region    int
 }
 
 // Simulator owns the state of one run. Construct with New, then call Run.
@@ -65,12 +72,24 @@ type Simulator struct {
 
 	// down marks RSUs currently in outage (nil when no outages are
 	// scheduled); outageOn tracks per-window activity for trace edges.
+	// downNow aliases down while any window is active and is nil
+	// otherwise, so serving-RSU lookups take the no-outage fast path
+	// whenever possible (an all-false mask and a nil mask select
+	// identically).
 	down     []bool
+	downNow  []bool
 	outageOn []bool
 
-	// departedAoI accumulates the lifetime-average sensing AoI of every
-	// departed vehicle, so churn does not drop them from the report.
-	departedAoI []float64
+	// departedAoISum and departedAoICount accumulate the lifetime-average
+	// sensing AoI of departed vehicles streaming, in departure order —
+	// the same accumulation order as the former slice-then-sum form, so
+	// churn-heavy fleets cost no per-departure memory.
+	departedAoISum   float64
+	departedAoICount int
+
+	// shards are the region-sharded stepping state; nil on the serial
+	// path (Config.Shards.Regions == 0).
+	shards []simShard
 
 	now         float64
 	inFlight    map[int]bool
@@ -78,9 +97,27 @@ type Simulator struct {
 	completions completionHeap
 	report      Report
 
+	// pendingIdx maps vehicle ids to their queued entry in pending, rebuilt
+	// each handover pass so repeat handovers of a deferred vehicle retarget
+	// the queued migration instead of duplicating it.
+	pendingIdx map[int]int
+
+	// aotmSum, aotmMax, and utilSum are the streaming migration
+	// aggregates, accumulated in completion order exactly like
+	// mathx.Mean/MinMax over the record slice would.
+	aotmSum, aotmMax, utilSum float64
+
 	// demandScratch backs the per-round follower best responses; it is
-	// resized to each round's batch and reused across rounds.
+	// resized to each round's batch and reused across rounds. evalScratch
+	// carries the SoA follower mirror of the batched best-response
+	// kernels, and roundGame/vmuScratch/seenScratch back the reused
+	// per-round game so steady-state rounds allocate nothing that scales
+	// with fleet size.
 	demandScratch []float64
+	evalScratch   stackelberg.EvalScratch
+	roundGame     stackelberg.Game
+	vmuScratch    []stackelberg.VMU
+	seenScratch   map[int]bool
 }
 
 // churnSeedFrom derives the default churn-stream seed from the main seed
@@ -141,6 +178,9 @@ func New(cfg Config) (*Simulator, error) {
 		s.down = make([]bool, world.RSUCount())
 		s.outageOn = make([]bool, len(cfg.Outages))
 	}
+	if cfg.Shards.Enabled() {
+		s.shards = make([]simShard, cfg.Shards.Regions)
+	}
 	servers := make([]*rsu.Server, world.RSUCount())
 	for i := range servers {
 		srv, err := rsu.NewServer(i, cfg.RSUCapacity)
@@ -200,7 +240,11 @@ func (s *Simulator) spawnVehicle(rng *rand.Rand) *vehState {
 				DirtyRateMBps: s.cfg.DirtyRateMBps,
 			},
 		},
-		sensing:        aoi.NewProcess(s.now),
+		// Bounded: a vehicle's sensing history compacts past 64
+		// breakpoints, keeping fleet memory flat in simulated time.
+		// Bit-identical to the unbounded process because the sim only
+		// queries AverageAge at the monotone sim clock.
+		sensing:        aoi.NewBoundedProcess(s.now, 64),
 		nextUpdate:     s.now + cls.sensingPeriodS,
 		sensingPeriodS: cls.sensingPeriodS,
 		arrivedAt:      s.now,
@@ -211,6 +255,15 @@ func (s *Simulator) spawnVehicle(rng *rand.Rand) *vehState {
 	}
 	s.vehicles = append(s.vehicles, st)
 	s.byID[v.ID] = st
+	if s.shards != nil {
+		// Home the spawn into the region of its serving RSU. The lookup
+		// is pure (no rng draws), so sharded and serial runs consume
+		// identical random streams.
+		rsuID, _ := s.world.ServingRSU(v, s.downNow)
+		st.stagedRSU = rsuID
+		st.region = s.regionOf(rsuID)
+		s.shards[st.region].residents = append(s.shards[st.region].residents, st)
+	}
 	return st
 }
 
@@ -226,13 +279,23 @@ func (s *Simulator) Run() Report {
 // Step advances the simulation by one time step: completions drain,
 // outages toggle, churn arrives and departs, vehicles move, sensing
 // updates deliver, handovers queue, and at most one pricing round runs.
+//
+// The vehicle phase (kinematics, sensing delivery, staged serving-RSU
+// lookup) is the only part that parallelizes under region sharding;
+// everything before and after it is serial in both modes, and the phase
+// itself touches only per-vehicle state and per-vehicle RNG streams, so
+// the sharded and serial simulators are bit-identical (rule 7).
 func (s *Simulator) Step() {
 	s.now += s.cfg.TimeStepS
 	s.drainCompletions()
 	s.applyOutages()
 	s.processChurn()
-	s.moveVehicles()
-	s.deliverSensingUpdates()
+	if s.shards != nil {
+		s.stepShards()
+		s.applyHandoffs()
+	} else {
+		s.stepVehiclesSerial()
+	}
 	s.collectHandovers()
 	s.runPricingRound()
 }
@@ -318,7 +381,19 @@ func (s *Simulator) finish(c completion) {
 		TimeS: s.now, Kind: trace.KindMigrationComplete, Vehicle: c.record.VehicleID,
 		FromRSU: c.record.FromRSU, ToRSU: c.record.ToRSU, Bandwidth: c.record.BandwidthMHz, AoTM: c.record.AoTM,
 	})
-	s.report.Migrations = append(s.report.Migrations, c.record)
+	// Streaming aggregates, accumulated in completion order with exactly
+	// the arithmetic of mathx.Mean/MinMax over the record slice: sums
+	// start at zero and add per-record terms in order, the max seeds from
+	// the first record and updates on strict >.
+	if s.report.Completed == 0 || c.record.AoTM > s.aotmMax {
+		s.aotmMax = c.record.AoTM
+	}
+	s.aotmSum += c.record.AoTM
+	s.utilSum += c.record.VMUUtility
+	s.report.Completed++
+	if !s.cfg.DiscardMigrationRecords {
+		s.report.Migrations = append(s.report.Migrations, c.record)
+	}
 }
 
 // applyOutages recomputes which RSUs are down and traces window edges.
@@ -329,10 +404,12 @@ func (s *Simulator) applyOutages() {
 	for i := range s.down {
 		s.down[i] = false
 	}
+	anyDown := false
 	for wi, w := range s.cfg.Outages {
 		active := s.now >= w.StartS && s.now < w.EndS
 		if active {
 			s.down[w.RSU] = true
+			anyDown = true
 		}
 		if active != s.outageOn[wi] {
 			s.outageOn[wi] = active
@@ -342,6 +419,12 @@ func (s *Simulator) applyOutages() {
 			}
 			s.emit(trace.Event{TimeS: s.now, Kind: kind, Vehicle: -1, FromRSU: w.RSU, ToRSU: w.RSU})
 		}
+	}
+	// An all-false mask selects exactly like a nil one, and nil keeps the
+	// serving-RSU fast path live outside active windows.
+	s.downNow = nil
+	if anyDown {
+		s.downNow = s.down
 	}
 }
 
@@ -422,35 +505,98 @@ func (s *Simulator) depart(st *vehState) {
 	}
 	s.pending = pending
 	if s.now > st.arrivedAt {
-		s.departedAoI = append(s.departedAoI, st.sensing.AverageAge(s.now))
+		s.departedAoISum += st.sensing.AverageAge(s.now)
+		s.departedAoICount++
+	}
+	if s.shards != nil {
+		s.removeResident(st)
 	}
 	delete(s.byID, id)
 	s.report.Departures++
 	s.emit(trace.Event{TimeS: s.now, Kind: trace.KindDeparture, Vehicle: id})
 }
 
-// moveVehicles advances the kinematics; the night phase of a demand
-// cycle scales speeds down (less migration demand).
-func (s *Simulator) moveVehicles() {
+// moveDt is the kinematics step span; the night phase of a demand cycle
+// scales speeds down (less migration demand).
+func (s *Simulator) moveDt(night bool) float64 {
 	dt := s.cfg.TimeStepS
-	if s.night() {
+	if night {
 		dt *= s.cfg.Demand.NightSpeedFactor
 	}
+	return dt
+}
+
+// stepVehicle advances one vehicle's per-tick independent state: its
+// kinematics, its sensing stream, and its staged serving RSU. Everything
+// here reads shared state (inFlight, downNow, the demand phase) without
+// writing it and draws randomness only from the vehicle's private turn
+// stream, so vehicles can be stepped in any order — or concurrently on
+// region shards — with bit-identical results. Sensing failures are
+// returned rather than panicked so shard workers can surface them on the
+// stepping goroutine.
+func (s *Simulator) stepVehicle(st *vehState, moveDt float64, night bool) error {
+	s.world.Advance(st.v, moveDt)
+	for st.nextUpdate <= s.now {
+		gen := st.nextUpdate
+		period := st.sensingPeriodS
+		if night {
+			period *= s.cfg.Demand.NightSensingFactor
+		}
+		st.nextUpdate += period
+		if gen >= st.pausedFrom && gen < st.pausedUntil && st.pausedUntil > 0 {
+			continue // twin paused: update lost
+		}
+		if err := st.sensing.Deliver(gen, gen+s.cfg.SensingDelayS); err != nil {
+			return fmt.Errorf("sim: sensing delivery for vehicle %d: %v", st.v.ID, err)
+		}
+	}
+	if !s.inFlight[st.v.ID] {
+		// Stage the serving RSU for the serial handover collection. The
+		// lookup is pure, so computing it here instead of inside
+		// collectHandovers changes nothing numerically.
+		st.stagedRSU, _ = s.world.ServingRSU(st.v, s.downNow)
+	}
+	return nil
+}
+
+// stepVehiclesSerial is the unsharded vehicle phase: every vehicle in
+// fleet order on the stepping goroutine.
+func (s *Simulator) stepVehiclesSerial() {
+	night := s.night()
+	dt := s.moveDt(night)
 	for _, st := range s.vehicles {
-		s.world.Advance(st.v, dt)
+		if err := s.stepVehicle(st, dt, night); err != nil {
+			panic(err.Error())
+		}
 	}
 }
 
 // collectHandovers queues a pending migration for every handover of a
-// vehicle that is not already migrating.
+// vehicle that is not already migrating. It runs serially over the fleet
+// in global vehicle order, consuming the serving RSUs staged by the
+// vehicle phase — the fixed-order merge that keeps sharded runs
+// bit-identical to serial ones (rule 7's analogue of rule 3).
+//
+// A vehicle can hand over again while an earlier migration of its sits
+// deferred (bandwidth exhausted or a failed round) — common once fleets
+// outgrow the pool. The queued migration is then retargeted to the new
+// destination instead of queueing a second entry: the twin is still at
+// the original source, and a duplicate would put the same VMU into one
+// Stackelberg round twice (which the game rejects).
 func (s *Simulator) collectHandovers() {
+	if s.pendingIdx == nil {
+		s.pendingIdx = make(map[int]int, len(s.pending))
+	}
+	clear(s.pendingIdx)
+	for i, pm := range s.pending {
+		s.pendingIdx[pm.vehicleID] = i
+	}
 	for _, st := range s.vehicles {
 		v := st.v
 		if s.inFlight[v.ID] {
 			continue // twin already moving; re-evaluate after completion
 		}
-		rsuID, _ := s.world.ServingRSU(v, s.down)
-		ho, changed := s.tracker.Observe(v.ID, rsuID)
+		ho, changed := s.tracker.Observe(v.ID, st.stagedRSU)
 		if !changed {
 			continue
 		}
@@ -458,8 +604,11 @@ func (s *Simulator) collectHandovers() {
 			// First attach: deploy the twin on the serving RSU's edge
 			// server, falling back to the least-loaded server when full.
 			req := s.twinRequirement(v.ID)
-			if err := s.cluster.PlaceOn(v.ID, ho.ToRSU, req); err != nil {
-				if _, err := s.cluster.Place(v.ID, req); err != nil {
+			// Try variants rather than the error-returning ones: outage
+			// recovery at fleet scale re-attaches thousands of vehicles
+			// per tick, and the rejection errors dominated allocations.
+			if !s.cluster.TryPlaceOn(v.ID, ho.ToRSU, req) {
+				if _, ok := s.cluster.TryPlace(v.ID, req); !ok {
 					s.report.PlacementFailures++
 				}
 			}
@@ -467,6 +616,11 @@ func (s *Simulator) collectHandovers() {
 		}
 		s.report.Handovers++
 		s.emit(trace.Event{TimeS: s.now, Kind: trace.KindHandover, Vehicle: v.ID, FromRSU: ho.FromRSU, ToRSU: ho.ToRSU})
+		if i, ok := s.pendingIdx[v.ID]; ok {
+			s.pending[i].toRSU = ho.ToRSU
+			continue
+		}
+		s.pendingIdx[v.ID] = len(s.pending)
 		s.pending = append(s.pending, pendingMigration{
 			vehicleID: v.ID,
 			fromRSU:   ho.FromRSU,
@@ -491,10 +645,7 @@ func (s *Simulator) runPricingRound() {
 	batch := s.pending
 	s.pending = s.pending[:0]
 
-	game, err := s.buildGame(batch)
-	if err != nil {
-		panic(fmt.Sprintf("sim: building round game: %v", err))
-	}
+	game := s.buildGame(batch)
 	price := mathx.Clamp(s.cfg.Pricer.PriceFor(game), game.Cost, game.PMax)
 	if math.IsNaN(price) {
 		// Clamp passes NaN through, and a NaN price would flow into NaN
@@ -506,20 +657,22 @@ func (s *Simulator) runPricingRound() {
 	s.report.PricingRounds++
 	s.emit(trace.Event{TimeS: s.now, Kind: trace.KindPricingRound, Vehicle: -1, Price: price, Participants: len(batch)})
 
-	// Followers best-respond; the remaining pool bounds this round.
+	// Followers best-respond, batched through the mat vector kernels over
+	// the whole round instead of a per-vehicle loop (bit-identical to the
+	// loop form); the remaining pool bounds this round.
 	if cap(s.demandScratch) < game.N() {
 		s.demandScratch = make([]float64, game.N())
 	}
-	demands := game.BestResponsesInto(s.demandScratch[:game.N()], price)
+	demands := game.BestResponsesBatchInto(&s.evalScratch, s.demandScratch[:game.N()], price)
 	avail := s.alloc.Available()
 	if math.IsNaN(avail) || avail < 0 {
 		panic(fmt.Sprintf("sim: t=%.3fs: bandwidth pool accounting corrupt: %g MHz available of %g",
 			s.now, avail, s.alloc.Capacity()))
 	}
-	scaled, scale := channel.NewOFDMAAllocator(math.Max(avail, 1e-12)).ScaleToFit(demands)
+	scale := channel.ScaleDemandsInPlace(demands, math.Max(avail, 1e-12))
 
 	for i, pm := range batch {
-		bw := scaled[i]
+		bw := demands[i]
 		if math.IsNaN(bw) || math.IsInf(bw, 0) {
 			// A garbage scale result must not reach the allocator: treat it
 			// like the other corrupted-accounting paths instead of letting
@@ -531,8 +684,11 @@ func (s *Simulator) runPricingRound() {
 			s.report.OptedOut++
 			continue
 		}
-		if err := s.alloc.Allocate(pm.vehicleID, bw); err != nil {
+		if !s.alloc.TryAllocate(pm.vehicleID, bw) {
 			// Pool exhausted by earlier grants in this batch: retry later.
+			// (TryAllocate rather than Allocate: at fleet scale thousands
+			// of grants defer per tick, and the rejection errors were the
+			// round's dominant allocation.)
 			s.pending = append(s.pending, pm)
 			s.report.Deferred++
 			s.emit(trace.Event{TimeS: s.now, Kind: trace.KindDeferred, Vehicle: pm.vehicleID})
@@ -542,9 +698,20 @@ func (s *Simulator) runPricingRound() {
 	}
 }
 
-// buildGame assembles the round's Stackelberg game. The channel distance
-// is the mean source–destination RSU distance of the batch.
-func (s *Simulator) buildGame(batch []pendingMigration) (*stackelberg.Game, error) {
+// buildGame assembles the round's Stackelberg game into the simulator's
+// reused game value — no per-round VMU slice or validation map, so round
+// cost is flat in fleet size. The channel distance is the mean
+// source–destination RSU distance of the batch.
+//
+// The full NewGame validation is replaced by the two checks that can
+// actually fail here: per-VMU α and D are positive by construction (the
+// config ranges are validated at New), and Cost/PMax were checked there
+// too, leaving the channel parameters and the duplicate-id guard —
+// enforced with a reused set so the panic behavior matches the former
+// NewGame path exactly. No pricer retains the *Game past its PriceFor
+// call (they evaluate or solve it within the round), so handing every
+// round the same address is safe.
+func (s *Simulator) buildGame(batch []pendingMigration) *stackelberg.Game {
 	ch := s.cfg.Channel
 	var dist float64
 	for _, pm := range batch {
@@ -553,8 +720,22 @@ func (s *Simulator) buildGame(batch []pendingMigration) (*stackelberg.Game, erro
 	if d := dist / float64(len(batch)); d > 0 {
 		ch.DistanceM = d
 	}
-	vmus := make([]stackelberg.VMU, len(batch))
+	if err := ch.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: building round game: %v", err))
+	}
+	if cap(s.vmuScratch) < len(batch) {
+		s.vmuScratch = make([]stackelberg.VMU, len(batch))
+	}
+	if s.seenScratch == nil {
+		s.seenScratch = make(map[int]bool, len(batch))
+	}
+	clear(s.seenScratch)
+	vmus := s.vmuScratch[:len(batch)]
 	for i, pm := range batch {
+		if s.seenScratch[pm.vehicleID] {
+			panic(fmt.Sprintf("sim: building round game: stackelberg: duplicate VMU id %d", pm.vehicleID))
+		}
+		s.seenScratch[pm.vehicleID] = true
 		prof := s.byID[pm.vehicleID].prof
 		vmus[i] = stackelberg.VMU{
 			ID:       pm.vehicleID,
@@ -562,9 +743,15 @@ func (s *Simulator) buildGame(batch []pendingMigration) (*stackelberg.Game, erro
 			DataSize: aotm.FromMB(prof.vt.BaseSizeMB()),
 		}
 	}
-	// The round's capacity is what is left in the shared pool.
-	bmax := s.alloc.Available()
-	return stackelberg.NewGame(vmus, ch, s.cfg.Cost, s.cfg.PMax, bmax)
+	s.roundGame = stackelberg.Game{
+		VMUs:    vmus,
+		Channel: ch,
+		Cost:    s.cfg.Cost,
+		PMax:    s.cfg.PMax,
+		// The round's capacity is what is left in the shared pool.
+		BMax: s.alloc.Available(),
+	}
+	return &s.roundGame
 }
 
 // launchMigration runs the pre-copy model and schedules completion.
@@ -617,42 +804,14 @@ func (s *Simulator) twinRequirement(vehicleID int) rsu.Resources {
 	}
 }
 
-// deliverSensingUpdates advances each vehicle's physical-virtual sensing
-// stream up to the current time, dropping updates generated inside the
-// twin's migration-downtime window. The night phase of a demand cycle
-// stretches the update period.
-func (s *Simulator) deliverSensingUpdates() {
-	night := s.night()
-	for _, st := range s.vehicles {
-		for st.nextUpdate <= s.now {
-			gen := st.nextUpdate
-			period := st.sensingPeriodS
-			if night {
-				period *= s.cfg.Demand.NightSensingFactor
-			}
-			st.nextUpdate += period
-			if gen >= st.pausedFrom && gen < st.pausedUntil && st.pausedUntil > 0 {
-				continue // twin paused: update lost
-			}
-			if err := st.sensing.Deliver(gen, gen+s.cfg.SensingDelayS); err != nil {
-				panic(fmt.Sprintf("sim: sensing delivery for vehicle %d: %v", st.v.ID, err))
-			}
-		}
-	}
-}
-
 // finalizeReport computes the aggregate statistics. The sensing-AoI mean
 // covers every vehicle that lived a positive span: departed vehicles
 // contribute their banked lifetime averages, active ones their average up
 // to the horizon.
 func (s *Simulator) finalizeReport() {
 	s.report.SimulatedS = s.now
-	var sumAoI float64
-	included := 0
-	for _, a := range s.departedAoI {
-		sumAoI += a
-		included++
-	}
+	sumAoI := s.departedAoISum
+	included := s.departedAoICount
 	for _, st := range s.vehicles {
 		if s.now > st.arrivedAt {
 			sumAoI += st.sensing.AverageAge(s.now)
@@ -662,17 +821,15 @@ func (s *Simulator) finalizeReport() {
 	if included > 0 {
 		s.report.MeanSensingAoI = sumAoI / float64(included)
 	}
-	if len(s.report.Migrations) == 0 {
+	if s.report.Completed == 0 {
 		return
 	}
-	var ages, utils []float64
-	for _, m := range s.report.Migrations {
-		ages = append(ages, m.AoTM)
-		utils = append(utils, m.VMUUtility)
-	}
-	s.report.MeanAoTM = mathx.Mean(ages)
-	_, s.report.MaxAoTM = mathx.MinMax(ages)
-	s.report.MeanVMUUtility = mathx.Mean(utils)
+	// The streaming sums were accumulated in completion order with
+	// mathx.Mean/MinMax's exact arithmetic, so these divisions reproduce
+	// the former slice-based aggregation bit for bit.
+	s.report.MeanAoTM = s.aotmSum / float64(s.report.Completed)
+	s.report.MaxAoTM = s.aotmMax
+	s.report.MeanVMUUtility = s.utilSum / float64(s.report.Completed)
 }
 
 // emit writes a trace event, disabling tracing on a broken sink.

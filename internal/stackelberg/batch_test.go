@@ -1,0 +1,183 @@
+package stackelberg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vtmig/internal/channel"
+	"vtmig/internal/mathx"
+)
+
+// solveSerialReference is a verbatim copy of the pre-batching SolveInto:
+// golden-section over the per-follower MSPUtilityAtPrice, per-follower
+// best responses and TotalDemand, same tolerances.
+func solveSerialReference(g *Game) Equilibrium {
+	lo, hi := g.Cost, g.PMax
+	price, _ := mathx.GoldenMax(g.MSPUtilityAtPrice, lo, hi, solverTol, solverIters)
+	demands := make([]float64, g.N())
+	for n := range g.VMUs {
+		demands[n] = serialBestResponse(g, n, price)
+	}
+	capacityBound := false
+	if g.BMax > 0 && mathx.Sum(demands) > g.BMax {
+		capacityBound = true
+		excess := func(p float64) float64 { return g.TotalDemand(p) - g.BMax }
+		if excess(g.PMax) <= 0 {
+			if p, ok := mathx.Bisect(excess, price, g.PMax, solverTol, solverIters); ok {
+				price = p
+			} else {
+				price = g.PMax
+			}
+			for n := range g.VMUs {
+				demands[n] = serialBestResponse(g, n, price)
+			}
+			if sum := mathx.Sum(demands); sum > g.BMax {
+				scale := g.BMax / sum
+				for i := range demands {
+					demands[i] *= scale
+				}
+			}
+		} else {
+			price = g.PMax
+			for n := range g.VMUs {
+				demands[n] = serialBestResponse(g, n, price)
+			}
+			scale := g.BMax / mathx.Sum(demands)
+			for i := range demands {
+				demands[i] *= scale
+			}
+		}
+	}
+	utilities := make([]float64, g.N())
+	for n := range g.VMUs {
+		utilities[n] = g.VMUUtility(n, demands[n], price)
+	}
+	return Equilibrium{
+		Price:          price,
+		Demands:        demands,
+		MSPUtility:     g.MSPUtility(price, demands),
+		VMUUtilities:   utilities,
+		TotalBandwidth: mathx.Sum(demands),
+		CapacityBound:  capacityBound,
+	}
+}
+
+// This file pins the batched best-response path introduced for the
+// fleet-scale simulator: routing the follower best responses, the
+// leader's reduced objective, and the solver through the mat vector
+// kernels over an SoA follower mirror must be bit-identical to the
+// per-follower serial forms — the committed goldens depend on it.
+
+// randomBatchGame builds a game with a randomized follower population,
+// including followers priced out at high prices (zero best responses).
+func randomBatchGame(rng *rand.Rand, n int) *Game {
+	vmus := make([]VMU, n)
+	for i := range vmus {
+		vmus[i] = VMU{
+			ID:       i,
+			Alpha:    0.5 + rng.Float64()*20,
+			DataSize: 0.5 + rng.Float64()*3,
+		}
+	}
+	return &Game{
+		VMUs:    vmus,
+		Channel: channel.DefaultParams(),
+		Cost:    5,
+		PMax:    50,
+		BMax:    0.1 + rng.Float64()*2,
+	}
+}
+
+// serialBestResponse is the original unfused per-follower form, kept here
+// as the reference: e recomputed per element, branch-form zero floor.
+func serialBestResponse(g *Game, n int, price float64) float64 {
+	v := g.VMUs[n]
+	b := v.Alpha/price - v.DataSize/g.SpectralEfficiency()
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+func TestBestResponsesBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s EvalScratch
+	for trial := 0; trial < 40; trial++ {
+		g := randomBatchGame(rng, 1+rng.Intn(64))
+		price := g.Cost + rng.Float64()*(g.PMax-g.Cost)
+		batch := g.BestResponsesBatchInto(&s, make([]float64, g.N()), price)
+		for n := range g.VMUs {
+			want := serialBestResponse(g, n, price)
+			if math.Float64bits(batch[n]) != math.Float64bits(want) {
+				t.Fatalf("trial %d: batched b[%d] = %v, want %v (bit mismatch)", trial, n, batch[n], want)
+			}
+		}
+		// The loop form must agree too (it hoists e out of the loop).
+		loop := g.BestResponsesInto(make([]float64, g.N()), price)
+		for n := range loop {
+			if math.Float64bits(loop[n]) != math.Float64bits(batch[n]) {
+				t.Fatalf("trial %d: loop b[%d] = %v, batch %v", trial, n, loop[n], batch[n])
+			}
+		}
+	}
+}
+
+func TestGatheredObjectivesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var s EvalScratch
+	for trial := 0; trial < 40; trial++ {
+		g := randomBatchGame(rng, 1+rng.Intn(64))
+		s.gather(g)
+		for probe := 0; probe < 10; probe++ {
+			p := g.Cost + rng.Float64()*(g.PMax-g.Cost)
+			if got, want := g.mspUtilityGathered(&s, p), g.MSPUtilityAtPrice(p); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("trial %d: mspUtilityGathered(%v) = %v, want %v", trial, p, got, want)
+			}
+			if got, want := g.totalDemandGathered(&s, p), g.TotalDemand(p); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("trial %d: totalDemandGathered(%v) = %v, want %v", trial, p, got, want)
+			}
+		}
+	}
+}
+
+// TestSolveMatchesSerialReference re-solves randomized games with a
+// hand-rolled copy of the pre-batching SolveInto (per-follower forms
+// everywhere) and requires bit-identical equilibria.
+func TestSolveMatchesSerialReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		g := randomBatchGame(rng, 1+rng.Intn(32))
+		got := g.Solve()
+		want := solveSerialReference(g)
+		if math.Float64bits(got.Price) != math.Float64bits(want.Price) {
+			t.Fatalf("trial %d: price %v, want %v", trial, got.Price, want.Price)
+		}
+		if got.CapacityBound != want.CapacityBound {
+			t.Fatalf("trial %d: capacityBound %v, want %v", trial, got.CapacityBound, want.CapacityBound)
+		}
+		for n := range want.Demands {
+			if math.Float64bits(got.Demands[n]) != math.Float64bits(want.Demands[n]) {
+				t.Fatalf("trial %d: demand[%d] %v, want %v", trial, n, got.Demands[n], want.Demands[n])
+			}
+		}
+		if math.Float64bits(got.MSPUtility) != math.Float64bits(want.MSPUtility) {
+			t.Fatalf("trial %d: msp utility %v, want %v", trial, got.MSPUtility, want.MSPUtility)
+		}
+	}
+}
+
+func TestBatchPanicsOnNonPositivePrice(t *testing.T) {
+	g := DefaultGame()
+	var s EvalScratch
+	for _, price := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BestResponsesBatchInto(%g) did not panic", price)
+				}
+			}()
+			g.BestResponsesBatchInto(&s, make([]float64, g.N()), price)
+		}()
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"vtmig/internal/aotm"
 	"vtmig/internal/channel"
+	"vtmig/internal/mat"
 )
 
 // VMU is one follower: a vehicular metaverse user whose twin must be
@@ -155,15 +156,44 @@ func (g *Game) BestResponses(price float64) []float64 {
 
 // BestResponsesInto writes every follower's best response to price into
 // dst (length N) and returns dst — the destination-passing form used by
-// the allocation-free evaluation path.
+// the allocation-free evaluation path. The spectral efficiency is hoisted
+// out of the loop (it is a pure per-game constant), and the per-follower
+// expression and zero floor are exactly BestResponse's, so the fused loop
+// is bit-identical to the per-element form.
 func (g *Game) BestResponsesInto(dst []float64, price float64) []float64 {
 	if len(dst) != g.N() {
 		panic(fmt.Sprintf("stackelberg: BestResponsesInto dst length %d, want %d", len(dst), g.N()))
 	}
-	for n := range g.VMUs {
-		dst[n] = g.BestResponse(n, price)
+	if price <= 0 {
+		panic(fmt.Sprintf("stackelberg: price must be positive, got %g", price))
+	}
+	e := g.SpectralEfficiency()
+	for n, v := range g.VMUs {
+		b := v.Alpha/price - v.DataSize/e
+		if b < 0 {
+			b = 0
+		}
+		dst[n] = b
 	}
 	return dst
+}
+
+// BestResponsesBatchInto is BestResponsesInto routed through the mat
+// vector kernels over the scratch's structure-of-arrays follower mirror:
+// one fused quotient-difference pass (mat.DivSubInto) and one branch-form
+// clamp (mat.ClampMinInto) over the whole batch, instead of a per-vehicle
+// loop. Results are bit-identical to BestResponsesInto — the per-element
+// expression α/p − D/e and the `< 0` floor are unchanged, only batched.
+func (g *Game) BestResponsesBatchInto(s *EvalScratch, dst []float64, price float64) []float64 {
+	if len(dst) != g.N() {
+		panic(fmt.Sprintf("stackelberg: BestResponsesBatchInto dst length %d, want %d", len(dst), g.N()))
+	}
+	if price <= 0 {
+		panic(fmt.Sprintf("stackelberg: price must be positive, got %g", price))
+	}
+	s.gather(g)
+	mat.DivSubInto(dst, s.alphas, price, s.dOverE)
+	return mat.ClampMinInto(dst, dst, 0)
 }
 
 // TotalDemand returns Σ_n b*_n(price).

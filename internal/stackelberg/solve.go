@@ -3,6 +3,7 @@ package stackelberg
 import (
 	"math"
 
+	"vtmig/internal/mat"
 	"vtmig/internal/mathx"
 )
 
@@ -43,19 +44,78 @@ func (eq Equilibrium) Clone() Equilibrium {
 // previously returned Equilibrium. The zero value is ready to use and
 // grows to the follower count on first use; a scratch must not be shared
 // between concurrent goroutines.
+//
+// Besides the result buffers, the scratch carries a structure-of-arrays
+// mirror of the followers (α_n and D_n/e) that the batched best-response
+// kernels read. The mirror is re-gathered from the game on every
+// SolveInto/EvaluateInto entry — never cached across calls — so a scratch
+// can serve games whose VMUs change between rounds.
 type EvalScratch struct {
 	demands   []float64
 	utilities []float64
+
+	// alphas and dOverE are the SoA follower mirror; bbuf is the batch
+	// destination of the solver's inner objective evaluations, kept
+	// separate from demands so objective probes never clobber a result.
+	alphas []float64
+	dOverE []float64
+	bbuf   []float64
 }
 
-// grow sizes both buffers to n followers, reusing capacity.
+// grow sizes every buffer to n followers, reusing capacity.
 func (s *EvalScratch) grow(n int) {
 	if cap(s.demands) < n {
 		s.demands = make([]float64, n)
 		s.utilities = make([]float64, n)
+		s.alphas = make([]float64, n)
+		s.dOverE = make([]float64, n)
+		s.bbuf = make([]float64, n)
 	}
 	s.demands = s.demands[:n]
 	s.utilities = s.utilities[:n]
+	s.alphas = s.alphas[:n]
+	s.dOverE = s.dOverE[:n]
+	s.bbuf = s.bbuf[:n]
+}
+
+// gather refreshes the SoA follower mirror from the game: alphas[i] = α_i
+// and dOverE[i] = D_i/e with e hoisted once. The serial path divides
+// D_n/e with the same e on every call, so precomputing the quotient here
+// is bit-identical to recomputing it per element.
+func (s *EvalScratch) gather(g *Game) {
+	s.grow(g.N())
+	e := g.SpectralEfficiency()
+	for i, v := range g.VMUs {
+		s.alphas[i] = v.Alpha
+		s.dOverE[i] = v.DataSize / e
+	}
+}
+
+// bestResponsesGathered fills dst with every follower's best response at
+// price from the already-gathered mirror — the two mat kernel passes of
+// BestResponsesBatchInto without the re-gather, for the solver's inner
+// loops where the game is fixed.
+func (g *Game) bestResponsesGathered(s *EvalScratch, dst []float64, price float64) []float64 {
+	mat.DivSubInto(dst, s.alphas, price, s.dOverE)
+	return mat.ClampMinInto(dst, dst, 0)
+}
+
+// mspUtilityGathered is MSPUtilityAtPrice over the gathered mirror: one
+// batched best-response pass, then the per-term (p−C)·b_n accumulation in
+// follower order — the exact summation order of the serial form.
+func (g *Game) mspUtilityGathered(s *EvalScratch, price float64) float64 {
+	demands := g.bestResponsesGathered(s, s.bbuf, price)
+	var u float64
+	for _, b := range demands {
+		u += (price - g.Cost) * b
+	}
+	return u
+}
+
+// totalDemandGathered is TotalDemand over the gathered mirror; mathx.Sum
+// accumulates in index order exactly like the serial loop.
+func (g *Game) totalDemandGathered(s *EvalScratch, price float64) float64 {
+	return mathx.Sum(g.bestResponsesGathered(s, s.bbuf, price))
 }
 
 // UnconstrainedOptimalPrice evaluates the closed form of Theorem 2,
@@ -101,14 +161,15 @@ func (g *Game) Solve() Equilibrium {
 // warm-up call the solve is allocation-free in steady state.
 func (g *Game) SolveInto(s *EvalScratch) Equilibrium {
 	lo, hi := g.Cost, g.PMax
-	price, _ := mathx.GoldenMax(g.MSPUtilityAtPrice, lo, hi, solverTol, solverIters)
-	s.grow(g.N())
-	demands := g.BestResponsesInto(s.demands, price)
+	s.gather(g)
+	obj := func(p float64) float64 { return g.mspUtilityGathered(s, p) }
+	price, _ := mathx.GoldenMax(obj, lo, hi, solverTol, solverIters)
+	demands := g.bestResponsesGathered(s, s.demands, price)
 	capacityBound := false
 
 	if g.BMax > 0 && mathx.Sum(demands) > g.BMax {
 		capacityBound = true
-		excess := func(p float64) float64 { return g.TotalDemand(p) - g.BMax }
+		excess := func(p float64) float64 { return g.totalDemandGathered(s, p) - g.BMax }
 		if excess(g.PMax) <= 0 {
 			// The binding price lies in (price, pmax]: demand is
 			// continuous and strictly decreasing there.
@@ -117,7 +178,7 @@ func (g *Game) SolveInto(s *EvalScratch) Equilibrium {
 			} else {
 				price = g.PMax
 			}
-			g.BestResponsesInto(demands, price)
+			g.bestResponsesGathered(s, demands, price)
 			// Wash out residual bisection error so Σb ≤ Bmax exactly.
 			if sum := mathx.Sum(demands); sum > g.BMax {
 				scale := g.BMax / sum
@@ -128,7 +189,7 @@ func (g *Game) SolveInto(s *EvalScratch) Equilibrium {
 		} else {
 			// Demand exceeds capacity even at pmax: admission control.
 			price = g.PMax
-			g.BestResponsesInto(demands, price)
+			g.bestResponsesGathered(s, demands, price)
 			scale := g.BMax / mathx.Sum(demands)
 			for i := range demands {
 				demands[i] *= scale
@@ -155,8 +216,8 @@ func (g *Game) Evaluate(price float64) Equilibrium {
 // retained. Results are bit-identical to Evaluate.
 func (g *Game) EvaluateInto(s *EvalScratch, price float64) Equilibrium {
 	price = mathx.Clamp(price, g.Cost, g.PMax)
-	s.grow(g.N())
-	demands := g.BestResponsesInto(s.demands, price)
+	s.gather(g)
+	demands := g.bestResponsesGathered(s, s.demands, price)
 	bound := false
 	if g.BMax > 0 {
 		if sum := mathx.Sum(demands); sum > g.BMax {
