@@ -105,10 +105,16 @@ race-shardsim:
 # state directory (checkpoint restore + journal replay), and assert the
 # recovered quotes and learner weights are bit-identical to an
 # uninterrupted run — plus the journal edge cases (torn trailing line,
-# rotated-away checkpoint, mid-file corruption) and the daemon-level
-# restart-resume flow.
+# rotated-away checkpoint, mid-file corruption, the FuzzJournalRecover
+# seed corpus) and the daemon-level restart-resume flow. The Batch,
+# Replica, and Shutdown arms pin contract rule 8 (batch size × prework
+# workers bit-identical to serial intake; replica byte-identical to the
+# primary at the same snapshot; batched crash recovery) and the graceful
+# shutdown-under-load accounting, with the prework fan-out goroutines
+# exercised under -race.
 serve-smoke:
-	$(GO) test -race -count=1 -run 'Serve|Journal|Quote|Loadgen|HTTP' ./internal/serve ./cmd/vtmig-serve ./cmd/vtmig-loadgen
+	$(GO) test -race -count=1 -run 'Serve|Journal|Quote|Loadgen|HTTP|Batch|Replica|Shutdown' ./internal/serve ./cmd/vtmig-serve ./cmd/vtmig-loadgen
+	$(GO) test -race -count=1 -run 'QuoteBatch|Frozen' ./internal/sim
 
 # bench-smoke exercises the PPO hot-path benchmarks just enough to catch
 # gross regressions and allocation reintroductions. The checkpoint

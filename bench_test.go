@@ -936,3 +936,41 @@ func BenchmarkServeQuote(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServeQuoteBatched measures the same serving path under
+// concurrent clients, so the intake loop actually coalesces batches:
+// the per-request game prework fans out across workers, the journal is
+// flushed once per batch, and the learning core stays serial — contract
+// rule 8 makes the batch size a pure throughput knob, so this benchmark
+// prices exactly the same work as BenchmarkServeQuote, just cut
+// differently.
+func BenchmarkServeQuoteBatched(b *testing.B) {
+	s, err := serve.Open(serve.Config{
+		Dir:         b.TempDir(),
+		UpdateEvery: 20,
+		Seed:        1,
+		BatchMax:    16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	req := serve.QuoteRequest{
+		VMUs: []serve.QuoteVMU{
+			{ID: 0, Alpha: 5, DataMB: 200},
+			{ID: 1, Alpha: 5, DataMB: 100},
+		},
+		DistanceM: 500,
+	}
+	ctx := context.Background()
+	b.SetParallelism(4) // 4×GOMAXPROCS clients keep the intake queue non-empty
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := s.Quote(ctx, req); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

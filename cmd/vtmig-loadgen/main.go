@@ -1,19 +1,23 @@
 // Command vtmig-loadgen drives concurrent synthetic quote traffic
-// against a running vtmig-serve daemon and reports throughput and
-// latency percentiles. Each client goroutine draws rounds from its own
-// seeded stream — 1–3 VMUs with the paper's α ∈ [5, 20] and data sizes
-// in [100, 300] MB, distances in [200, 1000] m — and the clients share a
-// global request budget, so the total load is exact regardless of how
-// the clients interleave.
+// against one or more running vtmig-serve daemons and reports throughput
+// and latency percentiles per target. Each client goroutine draws rounds
+// from its own seeded stream — 1–3 VMUs with the paper's α ∈ [5, 20] and
+// data sizes in [100, 300] MB, distances in [200, 1000] m — and the
+// clients share a global request budget, so the total load is exact
+// regardless of how the clients interleave. With several -addr targets
+// (comma-separated, e.g. a primary plus its read replicas) the clients
+// are spread round-robin across them and the report carries one
+// per-target block besides the aggregate.
 //
 // Usage:
 //
-//	vtmig-loadgen -addr http://localhost:8080 [-clients 256]
-//	              [-requests 10000] [-seed 1] [-out loadgen.json]
+//	vtmig-loadgen -addr http://localhost:8080[,http://localhost:8081,...]
+//	              [-clients 256] [-requests 10000] [-seed 1]
+//	              [-out loadgen.json]
 //
 // The report (stdout, or -out as JSON) records requests, errors, wall
-// seconds, requests/second, and p50/p95/p99 quote latency in
-// milliseconds.
+// seconds, requests/second, and nearest-rank p50/p95/p99 quote latency
+// in milliseconds — aggregate and per target.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,17 +43,32 @@ func main() {
 	}
 }
 
-// Report is the loadgen's result document.
-type Report struct {
+// TargetReport is one target's slice of the load: the requests its
+// clients completed against it, with that target's own throughput and
+// nearest-rank latency percentiles.
+type TargetReport struct {
 	Addr     string  `json:"addr"`
-	Clients  int     `json:"clients"`
 	Requests int     `json:"requests"`
 	Errors   int     `json:"errors"`
-	Seconds  float64 `json:"seconds"`
 	RPS      float64 `json:"rps"`
 	P50Ms    float64 `json:"p50_ms"`
 	P95Ms    float64 `json:"p95_ms"`
 	P99Ms    float64 `json:"p99_ms"`
+}
+
+// Report is the loadgen's result document: the aggregate across all
+// targets plus one TargetReport per -addr entry.
+type Report struct {
+	Addrs    []string       `json:"addrs"`
+	Clients  int            `json:"clients"`
+	Requests int            `json:"requests"`
+	Errors   int            `json:"errors"`
+	Seconds  float64        `json:"seconds"`
+	RPS      float64        `json:"rps"`
+	P50Ms    float64        `json:"p50_ms"`
+	P95Ms    float64        `json:"p95_ms"`
+	P99Ms    float64        `json:"p99_ms"`
+	Targets  []TargetReport `json:"targets"`
 }
 
 type quoteVMU struct {
@@ -65,9 +85,9 @@ type quoteRequest struct {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("vtmig-loadgen", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "http://localhost:8080", "vtmig-serve base URL")
-		clients  = fs.Int("clients", 256, "concurrent client goroutines")
-		requests = fs.Int("requests", 10000, "total quote requests across all clients")
+		addr     = fs.String("addr", "http://localhost:8080", "vtmig-serve base URL, or a comma-separated list (primary plus replicas)")
+		clients  = fs.Int("clients", 256, "concurrent client goroutines, spread round-robin across the targets")
+		requests = fs.Int("requests", 10000, "total quote requests across all clients and targets")
 		seed     = fs.Int64("seed", 1, "base seed for the synthetic round streams")
 		out      = fs.String("out", "", "write the JSON report to this file (default stdout only)")
 	)
@@ -77,24 +97,36 @@ func run(args []string, stdout io.Writer) error {
 	if *clients <= 0 || *requests <= 0 {
 		return fmt.Errorf("-clients and -requests must be positive")
 	}
+	var targets []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			targets = append(targets, a)
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("-addr lists no targets")
+	}
+	if *clients < len(targets) {
+		return fmt.Errorf("%d clients cannot cover %d targets; raise -clients", *clients, len(targets))
+	}
 
-	url := *addr + "/v1/quote"
 	transport := http.DefaultTransport.(*http.Transport).Clone()
 	transport.MaxIdleConns = *clients
 	transport.MaxIdleConnsPerHost = *clients
 	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
 
 	var (
-		next      atomic.Int64 // shared request budget
-		errCount  atomic.Int64
-		wg        sync.WaitGroup
-		latencies = make([][]time.Duration, *clients)
+		next       atomic.Int64 // shared request budget
+		wg         sync.WaitGroup
+		latencies  = make([][]time.Duration, *clients)
+		clientErrs = make([]int, *clients)
 	)
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			url := targets[c%len(targets)] + "/v1/quote"
 			rng := rand.New(rand.NewSource(*seed + int64(c)))
 			var lats []time.Duration
 			for {
@@ -105,13 +137,13 @@ func run(args []string, stdout io.Writer) error {
 				t0 := time.Now()
 				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 				if err != nil {
-					errCount.Add(1)
+					clientErrs[c]++
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
-					errCount.Add(1)
+					clientErrs[c]++
 					continue
 				}
 				lats = append(lats, time.Since(t0))
@@ -123,23 +155,46 @@ func run(args []string, stdout io.Writer) error {
 	wall := time.Since(start)
 
 	var all []time.Duration
-	for _, l := range latencies {
-		all = append(all, l...)
+	perTarget := make([][]time.Duration, len(targets))
+	perTargetErrs := make([]int, len(targets))
+	for c := 0; c < *clients; c++ {
+		tg := c % len(targets)
+		all = append(all, latencies[c]...)
+		perTarget[tg] = append(perTarget[tg], latencies[c]...)
+		perTargetErrs[tg] += clientErrs[c]
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	rep := Report{
-		Addr:     *addr,
+		Addrs:    targets,
 		Clients:  *clients,
 		Requests: *requests,
-		Errors:   int(errCount.Load()),
 		Seconds:  wall.Seconds(),
 		RPS:      float64(len(all)) / wall.Seconds(),
 		P50Ms:    percentileMs(all, 0.50),
 		P95Ms:    percentileMs(all, 0.95),
 		P99Ms:    percentileMs(all, 0.99),
 	}
+	for tg, lats := range perTarget {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rep.Errors += perTargetErrs[tg]
+		rep.Targets = append(rep.Targets, TargetReport{
+			Addr:     targets[tg],
+			Requests: len(lats) + perTargetErrs[tg],
+			Errors:   perTargetErrs[tg],
+			RPS:      float64(len(lats)) / wall.Seconds(),
+			P50Ms:    percentileMs(lats, 0.50),
+			P95Ms:    percentileMs(lats, 0.95),
+			P99Ms:    percentileMs(lats, 0.99),
+		})
+	}
 	fmt.Fprintf(stdout, "vtmig-loadgen: %d ok / %d errors in %.2fs — %.0f req/s, p50 %.3fms p95 %.3fms p99 %.3fms\n",
 		len(all), rep.Errors, rep.Seconds, rep.RPS, rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	if len(targets) > 1 {
+		for _, tr := range rep.Targets {
+			fmt.Fprintf(stdout, "  %s: %d ok / %d errors — %.0f req/s, p50 %.3fms p95 %.3fms p99 %.3fms\n",
+				tr.Addr, tr.Requests-tr.Errors, tr.Errors, tr.RPS, tr.P50Ms, tr.P95Ms, tr.P99Ms)
+		}
+	}
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

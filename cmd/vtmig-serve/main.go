@@ -11,11 +11,19 @@
 // reference game are pinned into the state: restarting with different
 // ones fails loudly instead of silently continuing a different learner.
 //
+// With -replica-of the daemon instead serves quote-only read traffic
+// from another daemon's state directory: it freezes the latest rotated
+// checkpoint, answers each quote with exactly the price the primary
+// posts for its first round after that snapshot (contract rule 8), and
+// re-freezes on the -refresh cadence as the primary rotates. Replicas
+// never write to the state directory.
+//
 // Usage:
 //
 //	vtmig-serve -dir state/ [-addr :8080] [-update-every 20]
 //	            [-snapshot-every 1] [-keep 2] [-history 4] [-seed 1]
-//	            [-lr 3e-4] [-warm-start-file ck.bin]
+//	            [-lr 3e-4] [-warm-start-file ck.bin] [-batch-max 16]
+//	vtmig-serve -replica-of state/ [-addr :8081] [-refresh 2s]
 //
 // API:
 //
@@ -58,7 +66,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("vtmig-serve", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", ":8080", "HTTP listen address")
-		dir       = fs.String("dir", "", "durable state directory (journal + rotated checkpoints); required")
+		dir       = fs.String("dir", "", "durable state directory (journal + rotated checkpoints); required unless -replica-of")
 		updEvery  = fs.Int("update-every", 20, "online optimization cadence in quoted rounds")
 		snapEvery = fs.Int("snapshot-every", 1, "checkpoint-rotation cadence in optimization phases")
 		keep      = fs.Int("keep", 2, "rotated checkpoints to retain besides the bound one")
@@ -66,51 +74,83 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		seed      = fs.Int64("seed", 1, "seed for the cold-start learner and initial history")
 		lr        = fs.Float64("lr", experiments.DefaultDRLConfig().PPO.LR, "Adam learning rate (keep it identical across restarts of one state dir)")
 		warmFile  = fs.String("warm-start-file", "", "warm-start a FRESH state dir from a vtmig-train checkpoint (ignored rule: resuming an existing dir must not pass this)")
+		batchMax  = fs.Int("batch-max", 0, "max quotes coalesced per intake batch (0: the serving default, 1: disable batching); a pure throughput knob — any value is bit-identical")
+		replicaOf = fs.String("replica-of", "", "serve quote-only reads from this primary state dir's rotated checkpoints instead of running a primary")
+		refresh   = fs.Duration("refresh", 2*time.Second, "replica re-freeze cadence (0: freeze once at start, never refresh)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	explicit := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if *dir == "" {
-		return fmt.Errorf("-dir is required")
-	}
 
 	game := stackelberg.DefaultGame()
 	ppo := experiments.DefaultDRLConfig().PPO
 	ppo.LR = *lr
-	cfg := serve.Config{
-		Dir:             *dir,
-		Game:            game,
-		HistoryLen:      *history,
-		UpdateEvery:     *updEvery,
-		Seed:            *seed,
-		PPO:             ppo,
-		SnapshotEvery:   *snapEvery,
-		KeepCheckpoints: *keep,
-	}
-	if *warmFile != "" {
-		agent, historyLen, err := warmStartAgent(*warmFile, game, ppo, *history, explicit["lr"], *lr)
+
+	var (
+		handler http.Handler
+		closeFn func() error
+	)
+	if *replicaOf != "" {
+		if *dir != "" {
+			return fmt.Errorf("-dir and -replica-of are mutually exclusive: a replica never writes to the state directory")
+		}
+		if *warmFile != "" {
+			return fmt.Errorf("-warm-start-file makes no sense for a replica: it freezes the primary's rotated checkpoints")
+		}
+		r, err := serve.OpenReplica(serve.ReplicaConfig{
+			Dir:        *replicaOf,
+			Game:       game,
+			HistoryLen: *history,
+			PPO:        ppo,
+			Refresh:    *refresh,
+		})
 		if err != nil {
 			return err
 		}
-		cfg.Agent = agent
-		cfg.HistoryLen = historyLen
+		rst := r.Stats()
+		fmt.Printf("vtmig-serve: replica of %s: frozen at snapshot %d (%d rounds, %d updates), refresh every %s\n",
+			*replicaOf, rst.Snapshots, rst.Rounds, rst.Updates, *refresh)
+		handler, closeFn = r.Handler(), r.Close
+	} else {
+		if *dir == "" {
+			return fmt.Errorf("-dir is required")
+		}
+		cfg := serve.Config{
+			Dir:             *dir,
+			Game:            game,
+			HistoryLen:      *history,
+			UpdateEvery:     *updEvery,
+			Seed:            *seed,
+			PPO:             ppo,
+			SnapshotEvery:   *snapEvery,
+			KeepCheckpoints: *keep,
+			BatchMax:        *batchMax,
+		}
+		if *warmFile != "" {
+			agent, historyLen, err := warmStartAgent(*warmFile, game, ppo, *history, explicit["lr"], *lr)
+			if err != nil {
+				return err
+			}
+			cfg.Agent = agent
+			cfg.HistoryLen = historyLen
+		}
+		s, err := serve.Open(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("vtmig-serve: state dir %s: %d rounds, %d updates, %d snapshots (replayed %d journaled rounds)\n",
+			*dir, s.Stats().Rounds, s.Stats().Updates, s.Stats().Snapshots, s.Stats().ReplayedRounds)
+		handler, closeFn = s.Handler(), s.Close
 	}
-
-	s, err := serve.Open(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("vtmig-serve: state dir %s: %d rounds, %d updates, %d snapshots (replayed %d journaled rounds)\n",
-		*dir, s.Stats().Rounds, s.Stats().Updates, s.Stats().Snapshots, s.Stats().ReplayedRounds)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		s.Close()
+		closeFn()
 		return err
 	}
-	srv := &http.Server{Handler: s.Handler()}
+	srv := serve.NewHTTPServer(*addr, handler)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Printf("vtmig-serve: listening on %s\n", ln.Addr())
@@ -125,7 +165,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	case <-sig:
 	case <-stop:
 	case err := <-serveErr:
-		s.Close()
+		closeFn()
 		return err
 	}
 
@@ -134,10 +174,14 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "vtmig-serve: HTTP shutdown: %v\n", err)
 	}
-	if err := s.Close(); err != nil {
+	if err := closeFn(); err != nil {
 		return fmt.Errorf("closing server state: %w", err)
 	}
-	fmt.Printf("vtmig-serve: shut down cleanly; %s resumes from checkpoint + journal\n", *dir)
+	if *replicaOf != "" {
+		fmt.Println("vtmig-serve: replica shut down cleanly")
+	} else {
+		fmt.Printf("vtmig-serve: shut down cleanly; %s resumes from checkpoint + journal\n", *dir)
+	}
 	return nil
 }
 

@@ -108,6 +108,65 @@ func TestServeDaemonRequiresDir(t *testing.T) {
 	}
 }
 
+// TestServeDaemonReplica runs a primary and a -replica-of daemon over one
+// state directory and pins the serving contract end to end: the replica
+// answers with exactly the price the primary posts for its first round
+// after the shared snapshot, and its /v1/stats carries the replica shape.
+func TestServeDaemonReplica(t *testing.T) {
+	dir := t.TempDir()
+	base, shutdown := startDaemon(t, "-dir", dir, "-update-every", "2", "-seed", "7", "-batch-max", "4")
+
+	const round = `{"vmus":[{"id":0,"alpha":6,"data_mb":180},{"id":1,"alpha":14,"data_mb":120}],"distance_m":450}`
+	// Four quotes with UpdateEvery=2, SnapshotEvery=1 → rotations at
+	// rounds 2 and 4; the latest checkpoint freezes the round-4 state.
+	for i := 0; i < 4; i++ {
+		postQuote(t, base, round)
+	}
+
+	rbase, rshutdown := startDaemon(t, "-replica-of", dir, "-refresh", "0")
+	resp, err := http.Get(rbase + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rst serve.ReplicaStats
+	if err := json.NewDecoder(resp.Body).Decode(&rst); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !rst.Replica || rst.Rounds != 4 || rst.Snapshots != 2 {
+		t.Fatalf("replica daemon stats %+v, want replica at snapshot 2 / 4 rounds", rst)
+	}
+
+	fromReplica := postQuote(t, rbase, round)
+	fromPrimary := postQuote(t, base, round) // primary's round 5: first after the snapshot
+	if fromReplica.Price != fromPrimary.Price {
+		t.Fatalf("replica daemon price %v, primary %v", fromReplica.Price, fromPrimary.Price)
+	}
+	if fromReplica.Round != 4 {
+		t.Fatalf("replica reports round %d, want the frozen 4", fromReplica.Round)
+	}
+
+	if err := rshutdown(); err != nil {
+		t.Fatalf("replica shutdown: %v", err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("primary shutdown: %v", err)
+	}
+}
+
+// TestServeDaemonReplicaFlagExclusion pins the flag surface: a replica
+// must not be pointed at its own -dir or warm-started.
+func TestServeDaemonReplicaFlagExclusion(t *testing.T) {
+	err := run([]string{"-dir", t.TempDir(), "-replica-of", t.TempDir()}, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("run with -dir and -replica-of: %v", err)
+	}
+	err = run([]string{"-replica-of", t.TempDir(), "-warm-start-file", "ck.bin"}, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "warm-start") {
+		t.Fatalf("run with -replica-of and -warm-start-file: %v", err)
+	}
+}
+
 func TestServeDaemonRefusesChangedLR(t *testing.T) {
 	dir := t.TempDir()
 	base, shutdown := startDaemon(t, "-dir", dir, "-update-every", "2")

@@ -115,27 +115,58 @@
 // # Serving
 //
 // internal/serve (cmd/vtmig-serve) puts the online pricer behind a
-// long-running request/response front end with snapshot + journal
-// durability. Concurrent quote requests funnel through one serializing
-// intake goroutine, so learning transitions enter the stream strictly in
-// arrival order — rule 5 of the determinism contract applied at a process
-// boundary. Every accepted round is appended to a JSONL journal before it
-// is applied (write-ahead: an acknowledged quote is always recoverable),
-// and the pricer's SnapshotEvery hook rotates full binary checkpoints at
-// optimization-phase boundaries, truncating the journal to extend the new
-// checkpoint. The journal header binds its checkpoint by snapshot ordinal
-// and file CRC-32 plus a fingerprint of the reference game, so recovery
-// is rule 6's strictly-or-not-at-all: reopening the state directory
-// restores the bound checkpoint and replays the journaled rounds through
-// the identical intake path — same quotes, same learner weights, bit for
-// bit — while a journal whose checkpoint is missing, mismatched, or
-// corrupt refuses loudly instead of cold-starting. The only tolerated
-// irregularity is a torn trailing journal line (a crash mid-append):
-// that quote was never acknowledged, so dropping it reconstructs exactly
-// the state every answered quote saw. `make serve-smoke` pins the
-// crash-recovery bit-identity under the race detector;
-// cmd/vtmig-loadgen records serving throughput and latency percentiles
-// into the BENCH_pr*.json files.
+// long-running request/response front end, layered so each concern is a
+// separate, separately testable component:
+//
+//   - Intake: concurrent quote requests funnel through one serializing
+//     intake goroutine that also forms batches at the natural queue
+//     boundary — whatever requests are waiting when the loop turns (up to
+//     Config.BatchMax) become one arrival-ordered batch. Learning
+//     transitions therefore enter the stream strictly in arrival order —
+//     rule 5 of the determinism contract applied at a process boundary.
+//   - Engine: a pure pricing core that maps (state, ordered batch) to
+//     (state, responses, journal entries). Per-request validation, game
+//     construction, and the shaped-reward oracle solve (which consume no
+//     RNG) fan out across worker goroutines in arrival-order slots, while
+//     the policy/belief/learning pass stays strictly serial — the belief
+//     window chains each round's observation through the previous round's
+//     outcome, so the serial core is what makes any batch size
+//     bit-identical to one-at-a-time intake (contract rule 8 below).
+//   - Persistence: every accepted round is staged to a JSONL write-ahead
+//     journal and the whole batch is flushed in one write before any of
+//     its quotes is acknowledged (acknowledged ⇒ durable), while the
+//     pricer's SnapshotEvery hook rotates full binary checkpoints at
+//     optimization-phase boundaries, truncating the journal to extend the
+//     new checkpoint. The journal header binds its checkpoint by snapshot
+//     ordinal and file CRC-32 plus a fingerprint of the reference game,
+//     so recovery is rule 6's strictly-or-not-at-all: reopening the state
+//     directory restores the bound checkpoint and replays the journaled
+//     rounds through the identical engine path — same quotes, same
+//     learner weights, bit for bit — while a journal whose checkpoint is
+//     missing, mismatched, or corrupt refuses loudly instead of
+//     cold-starting (FuzzJournalRecover drives hostile journal bytes
+//     through the full recovery path). The only tolerated irregularity is
+//     a torn trailing journal line (a crash mid-append): that quote was
+//     never acknowledged, so dropping it reconstructs exactly the state
+//     every answered quote saw.
+//   - Read replicas: serve.OpenReplica (vtmig-serve -replica-of) scales
+//     quote reads horizontally by freezing the primary's latest rotated
+//     checkpoint into a sim.FrozenPricer — the deterministic mean-price
+//     readout of the checkpointed belief state, clamped per round, with
+//     no RNG and no learning — and re-freezing on a refresh cadence as
+//     the primary rotates. A replica's answer is byte-identical to the
+//     price the primary posts for its first round after the same
+//     snapshot, and /v1/stats reports the replica's staleness
+//     (checkpoint age plus the frozen round/update ordinals). Replicas
+//     never write to the state directory.
+//
+// The HTTP front end (serve.NewHTTPServer) bounds header reads and idle
+// connections, and both primary and replica serve the same /v1/quote,
+// /v1/stats, /healthz surface. `make serve-smoke` pins the batched
+// crash-recovery bit-identity, the rule-8 batch×workers tables, and the
+// replica identity under the race detector; cmd/vtmig-loadgen records
+// serving throughput and latency percentiles — per target, across a
+// primary and its replicas — into the BENCH_pr*.json files.
 //
 // # Scenarios
 //
@@ -203,7 +234,7 @@
 //
 // # Determinism contract
 //
-// The same seed yields the same figures, bit for bit. Seven rules
+// The same seed yields the same figures, bit for bit. Eight rules
 // enforce it:
 //
 //  1. Batched kernels accumulate in exactly the order of the
@@ -270,6 +301,22 @@
 //     therefore composes freely with everything above: scenario files
 //     may suggest one (Scenario.Shards) and vtmig-sim -shards may
 //     override it without touching results.
+//  8. Serving batch size is a pure throughput knob, not a semantic one:
+//     the intake loop may cut the arrival-ordered request stream into
+//     batches of any size (Config.BatchMax) and fan the pure per-request
+//     prework — validation, game construction, the shaped-reward oracle
+//     solve, none of which consume RNG — across any number of workers in
+//     arrival-order slots, but journal entries are staged in arrival
+//     order and flushed once per batch before any acknowledgement, and
+//     the policy/belief/learning core runs strictly serially in that
+//     same order — so any batch size under any GOMAXPROCS yields
+//     bit-identical responses, journal bytes, and learner weights to
+//     one-at-a-time intake. Read replicas are the same rule across
+//     processes: a replica frozen at snapshot ordinal k answers with
+//     exactly the price the primary posts for its first round after
+//     rotation k — same float bits — because the frozen readout is the
+//     deterministic mean of the checkpointed belief state, which the
+//     request cannot perturb.
 //
 // The golden-file tests under internal/experiments/testdata pin the exact
 // fixed-seed outputs of every figure pipeline, those under
@@ -281,7 +328,11 @@
 // resume-equality tables in internal/rl/resume_test.go,
 // internal/pomdp/resume_test.go, internal/experiments/resume_test.go,
 // and — at simulator level — internal/sim/online_resume_test.go;
-// `make race-resume` runs them under the race detector). Regenerate the golden files after an
+// `make race-resume` runs them under the race detector; rule 8 by the
+// batch×workers bit-identity tables and the replica byte-identity tests
+// in internal/serve and the chunked-quote tables in
+// internal/sim/frozen_test.go, all under `make serve-smoke`'s race
+// pass). Regenerate the golden files after an
 // intentional numeric change with
 //
 //	go test ./internal/experiments -run Golden -update

@@ -28,6 +28,40 @@ func TestValuesMatchesValue(t *testing.T) {
 	}
 }
 
+// TestMeanActionBatchMatchesMeanAction checks that the batched
+// deterministic readout is bit-identical to calling MeanAction once per
+// observation, consumes no RNG (the sampling stream position is
+// untouched), and does not allocate once warm.
+func TestMeanActionBatchMatchesMeanAction(t *testing.T) {
+	agent, buf, _ := newAllocAgent(t)
+	steps := buf.Steps()
+	obs := mat.New(len(steps), 12)
+	for i, tr := range steps {
+		copy(obs.Row(i), tr.Obs)
+	}
+	callsBefore := agent.src.Calls()
+	dst := mat.New(len(steps), agent.ActDim())
+	agent.MeanActionBatch(obs, dst)
+	if agent.src.Calls() != callsBefore {
+		t.Fatalf("MeanActionBatch consumed RNG: %d calls before, %d after", callsBefore, agent.src.Calls())
+	}
+	for i, tr := range steps {
+		want := agent.MeanAction(tr.Obs)
+		got := dst.Row(i)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: row length %d, want %d", i, len(got), len(want))
+		}
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("step %d dim %d: MeanActionBatch gives %v, MeanAction gives %v", i, d, got[d], want[d])
+			}
+		}
+	}
+	if n := testing.AllocsPerRun(20, func() { agent.MeanActionBatch(obs, dst) }); n != 0 {
+		t.Errorf("MeanActionBatch allocates %v times per call, want 0", n)
+	}
+}
+
 func TestValuesLengthMismatchPanics(t *testing.T) {
 	agent, _, _ := newAllocAgent(t)
 	defer func() {

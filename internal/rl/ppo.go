@@ -406,6 +406,23 @@ func (p *PPO) MeanAction(obs []float64) []float64 {
 	return p.denormalizeInto(p.envBuf, mean)
 }
 
+// MeanActionBatch evaluates the deterministic (mean) policy readout for
+// every observation row in one batched forward pass, writing the
+// denormalized environment actions into the rows of dst (resized to
+// obs.Rows×ActDim). It is the evaluation counterpart of
+// SelectActionBatch and consumes NO RNG: the batched kernels reproduce
+// the per-row Forward bit for bit (contract rule 1) and nothing touches
+// the sampling stream, so interleaving frozen evaluation — e.g. a read
+// replica's readout of a rotated checkpoint — with live training leaves
+// the training stream bit-identical.
+func (p *PPO) MeanActionBatch(obs, dst *mat.Matrix) {
+	dst.Resize(obs.Rows, p.net.ActDim())
+	means, _, _ := p.net.ForwardBatch(obs)
+	for r := 0; r < obs.Rows; r++ {
+		p.denormalizeInto(dst.Row(r), means.Row(r))
+	}
+}
+
 // Values evaluates the critic V(s) for every observation row in one
 // batched pass and stores the results in dst (length obs.Rows), returning
 // dst — the batched counterpart of calling Value per rollout step.

@@ -1,0 +1,166 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"vtmig/internal/serve"
+)
+
+// quoteConcurrently pushes reqs through several goroutines so the
+// intake loop actually forms multi-quote batches (arrival order is
+// whatever the queue sees — rule 8 makes the cut irrelevant, not the
+// order, so assertions compare one run against its own recovery).
+func quoteConcurrently(t *testing.T, s *serve.Server, reqs []serve.QuoteRequest) {
+	t.Helper()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(reqs); i += workers {
+				if _, err := s.Quote(context.Background(), reqs[i]); err != nil {
+					errs <- fmt.Errorf("quote %d: %w", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// batchRun is one cell of the rule-8 table: every response (or error
+// string) in stream order, the final on-disk journal bytes, and the
+// final learner checkpoint (weights, Adam moments, RNG position).
+type batchRun struct {
+	resps   []string
+	journal []byte
+	learner []byte
+}
+
+// runBatchTable runs the fixed 200-request stream (with a few invalid
+// requests mixed in at fixed positions) through one server, cut into
+// batches of size batch with the prework fan-out pinned to workers.
+func runBatchTable(t *testing.T, batch, workers int) batchRun {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := testConfig(dir)
+	cfg.BatchMax = batch
+	s := mustOpen(t, cfg)
+	s.SetPreworkWorkers(workers)
+
+	reqs := reqStream(200)
+	for i := range reqs {
+		if i%37 == 36 {
+			reqs[i] = serve.QuoteRequest{} // invalid: no VMUs
+		}
+	}
+	var run batchRun
+	for i := 0; i < len(reqs); i += batch {
+		end := i + batch
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		resps, errs := s.ProcessBatch(reqs[i:end])
+		for j := range resps {
+			if errs[j] != nil {
+				run.resps = append(run.resps, "err: "+errs[j].Error())
+				continue
+			}
+			run.resps = append(run.resps, fmt.Sprintf("price=%016x round=%d updates=%d",
+				math.Float64bits(resps[j].Price), resps[j].Round, resps[j].Updates))
+		}
+	}
+	ck, err := s.AgentCheckpoint()
+	if err != nil {
+		t.Fatalf("learner checkpoint: %v", err)
+	}
+	if run.learner, err = json.Marshal(ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if run.journal, err = os.ReadFile(filepath.Join(dir, "journal.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestBatchIntakeBitIdentityTable pins contract rule 8 end to end: every
+// batch size × prework fan-out width (the GOMAXPROCS knob) produces
+// responses, final journal bytes, and final learner weights bit-identical
+// to strictly serial intake. Run under -race by the serve-smoke target,
+// which also exercises the prework goroutines for data races.
+func TestBatchIntakeBitIdentityTable(t *testing.T) {
+	ref := runBatchTable(t, 1, 1)
+	if len(ref.resps) != 200 {
+		t.Fatalf("reference run answered %d of 200 requests", len(ref.resps))
+	}
+	for _, batch := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 4} {
+			if batch == 1 && workers == 1 {
+				continue
+			}
+			t.Run(fmt.Sprintf("batch=%d/workers=%d", batch, workers), func(t *testing.T) {
+				got := runBatchTable(t, batch, workers)
+				for i := range ref.resps {
+					if got.resps[i] != ref.resps[i] {
+						t.Fatalf("response %d diverged from serial intake:\n  serial:  %s\n  batched: %s", i, ref.resps[i], got.resps[i])
+					}
+				}
+				if string(got.journal) != string(ref.journal) {
+					t.Error("journal bytes diverged from serial intake")
+				}
+				if string(got.learner) != string(ref.learner) {
+					t.Error("final learner state diverged from serial intake")
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedQuoteCrashRecovery reruns the crash-recovery bit-identity
+// check through the live batched intake path: concurrent quoters force
+// multi-quote batches, the server is abandoned mid-stream (no flush, no
+// sync), and the recovered server must pick up with the exact learner
+// state — acknowledged ⇒ durable even when acks are batched.
+func TestBatchedQuoteCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(dir)
+	cfg.BatchMax = 8
+	s := mustOpen(t, cfg)
+	quoteConcurrently(t, s, reqStream(120))
+	before, err := s.AgentCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Abandon()
+
+	r := mustOpen(t, testConfig(dir))
+	defer r.Close()
+	if got := r.Stats().Rounds; got != 120 {
+		t.Fatalf("recovered %d rounds, want all 120 acknowledged ones", got)
+	}
+	after, err := r.AgentCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(before)
+	b2, _ := json.Marshal(after)
+	if string(b1) != string(b2) {
+		t.Fatal("recovered learner state differs from the abandoned server's")
+	}
+}

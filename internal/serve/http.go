@@ -1,14 +1,37 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 )
 
 // maxQuoteBody bounds a quote request body; generous for maxQuoteVMUs
 // followers yet small enough that a hostile client cannot balloon memory.
 const maxQuoteBody = 1 << 20
+
+// NewHTTPServer wraps a handler (Server.Handler or Replica.Handler) in
+// an http.Server with the hardening a long-running public daemon needs:
+// header-read and idle timeouts so slow-loris clients cannot pin
+// connections forever. Quote bodies are already bounded (maxQuoteBody)
+// and quote waits honor the request context, so no write timeout is
+// imposed on legitimate slow learning phases.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// quoter is the shared quote surface of a primary Server and a read
+// Replica — one HTTP front end serves both.
+type quoter interface {
+	Quote(ctx context.Context, req QuoteRequest) (QuoteResponse, error)
+}
 
 // Handler returns the server's HTTP API:
 //
@@ -20,10 +43,23 @@ const maxQuoteBody = 1 << 20
 // themselves honor the request context, so client disconnects stop the
 // wait (not the learning — an accepted round is journaled regardless).
 func (s *Server) Handler() http.Handler {
+	return newQuoteMux(s, func() any { return s.Stats() })
+}
+
+// Handler returns the replica's HTTP API — the same routes as the
+// primary, with ReplicaStats (including the staleness signal) at
+// /v1/stats.
+func (r *Replica) Handler() http.Handler {
+	return newQuoteMux(r, func() any { return r.Stats() })
+}
+
+// newQuoteMux assembles the shared route set over a quote surface and a
+// stats payload.
+func newQuoteMux(q quoter, stats func() any) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/quote", s.handleQuote)
+	mux.HandleFunc("POST /v1/quote", handleQuote(q))
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
+		writeJSON(w, http.StatusOK, stats())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -33,28 +69,30 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
-	var req QuoteRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQuoteBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding quote request: " + err.Error()})
-		return
-	}
-	resp, err := s.Quote(r.Context(), req)
-	if err != nil {
-		var reqErr *RequestError
-		switch {
-		case errors.As(err, &reqErr):
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: reqErr.Error()})
-		case errors.Is(err, ErrClosed):
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
-		default:
-			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+func handleQuote(q quoter) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req QuoteRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQuoteBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding quote request: " + err.Error()})
+			return
 		}
-		return
+		resp, err := q.Quote(r.Context(), req)
+		if err != nil {
+			var reqErr *RequestError
+			switch {
+			case errors.As(err, &reqErr):
+				writeJSON(w, http.StatusBadRequest, errorBody{Error: reqErr.Error()})
+			case errors.Is(err, ErrClosed):
+				writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+			default:
+				writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
 	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 type errorBody struct {

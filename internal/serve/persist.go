@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"vtmig/internal/nn"
+)
+
+// store is the persistence boundary the engine writes through: the
+// write-ahead staging and flushing of journal entries. The engine never
+// sees files, rotation mechanics, or pruning — it stages each round
+// before applying it and the intake layer flushes before acknowledging,
+// which together keep the invariant every recovery path relies on:
+// checkpoint + flushed journal ≽ every acknowledged round.
+type store interface {
+	// nextSeq returns the sequence number the next staged entry must
+	// carry (1-based since the bound checkpoint).
+	nextSeq() int
+	// stage write-ahead-stages one round's journal entry in memory.
+	stage(e journalEntry) error
+	// flush makes every staged entry durable in one write; it must run
+	// before any round staged since the last flush is acknowledged.
+	flush() error
+	// generation counts checkpoint rotations. An entry staged at an older
+	// generation than the current one has been superseded by a checkpoint
+	// and is durable through it even if never flushed.
+	generation() int
+}
+
+// diskStore is the on-disk persistence layer: the live journal plus
+// checkpoint rotation and pruning in one state directory. The engine
+// uses it through the store interface; the Server additionally drives
+// rotate from the pricer's snapshot hook and reads entryCount for stats.
+type diskStore struct {
+	dir     string
+	keep    int
+	gameFP  string
+	journal *journalWriter
+	gen     int
+}
+
+var _ store = (*diskStore)(nil)
+
+func (d *diskStore) nextSeq() int               { return d.journal.nextSeq() }
+func (d *diskStore) stage(e journalEntry) error { return d.journal.stage(e) }
+func (d *diskStore) flush() error               { return d.journal.flush() }
+func (d *diskStore) generation() int            { return d.gen }
+
+// entryCount reports how many rounds the live journal covers (flushed
+// plus staged) since the last rotation.
+func (d *diskStore) entryCount() int { return d.journal.entries + d.journal.staged }
+
+// header builds the journal header binding to a checkpoint's pricer
+// section and CRC.
+func (d *diskStore) header(ps *nn.PricerState, crc uint32) journalHeader {
+	return journalHeader{
+		Magic:         journalMagic,
+		Version:       journalVersion,
+		Snapshots:     ps.Snapshots,
+		Rounds:        ps.Rounds,
+		Updates:       ps.Updates,
+		CheckpointCRC: crc,
+		Game:          d.gameFP,
+	}
+}
+
+// rotate performs one checkpoint rotation: persist ck, truncate the
+// journal to extend it (discarding staged entries the checkpoint now
+// covers), and prune old checkpoints. prune is false during recovery
+// replay, where the on-disk journal still binds the old checkpoint until
+// the replayed journal commits.
+func (d *diskStore) rotate(ck *nn.Checkpoint, prune bool) error {
+	crc, err := writeCheckpoint(checkpointPath(d.dir, ck.Pricer.Snapshots), ck)
+	if err != nil {
+		return err
+	}
+	if err := d.journal.rotate(d.header(ck.Pricer, crc)); err != nil {
+		return err
+	}
+	d.gen++
+	if prune {
+		if err := pruneCheckpoints(d.dir, ck.Pricer.Snapshots, d.keep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close releases the journal, flushing staged entries first.
+func (d *diskStore) close() error { return d.journal.Close() }

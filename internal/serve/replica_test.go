@@ -1,0 +1,217 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vtmig/internal/serve"
+	"vtmig/internal/stackelberg"
+)
+
+// replicaConfig mirrors testConfig for the read side: same reference
+// game and learner architecture, no refresh poller (tests drive Refresh
+// explicitly for determinism).
+func replicaConfig(dir string) serve.ReplicaConfig {
+	cfg := testConfig(dir)
+	return serve.ReplicaConfig{Dir: dir, Game: cfg.Game, HistoryLen: cfg.HistoryLen, PPO: cfg.PPO}
+}
+
+// TestReplicaByteIdenticalToPrimary pins the replica half of contract
+// rule 8: a replica opened on the primary's latest rotated checkpoint
+// answers every quote with exactly the price the primary posts for its
+// first round after that snapshot — same float bits — while reporting
+// the snapshot's round ordinal; and Refresh tracks the primary across
+// further rotations without breaking that identity.
+func TestReplicaByteIdenticalToPrimary(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	defer s.Close()
+	reqs := reqStream(140)
+	// 120 rounds with UpdateEvery=5, SnapshotEvery=2 → a rotation lands
+	// exactly at round 120 (snapshot ordinal 12).
+	for _, req := range reqs[:120] {
+		if _, err := s.Quote(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := serve.OpenReplica(replicaConfig(dir))
+	if err != nil {
+		t.Fatalf("OpenReplica: %v", err)
+	}
+	defer r.Close()
+	rst := r.Stats()
+	if !rst.Replica || rst.Snapshots != 12 || rst.Rounds != 120 || rst.Refreshes != 1 {
+		t.Fatalf("replica stats after open: %+v", rst)
+	}
+	if rst.CheckpointAgeS < 0 {
+		t.Fatalf("negative staleness %v", rst.CheckpointAgeS)
+	}
+
+	// The replica's answer must be byte-identical to the primary's answer
+	// at the same snapshot ordinal — the primary's round 121 is the first
+	// priced at the checkpointed state.
+	fromReplica, err := r.Quote(context.Background(), reqs[120])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromPrimary, err := s.Quote(context.Background(), reqs[120])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(fromReplica.Price) != math.Float64bits(fromPrimary.Price) {
+		t.Fatalf("replica price %x, primary price %x", math.Float64bits(fromReplica.Price), math.Float64bits(fromPrimary.Price))
+	}
+	if fromReplica.Round != 120 || fromReplica.Updates != 24 {
+		t.Fatalf("replica reports round %d updates %d, want the frozen 120/24", fromReplica.Round, fromReplica.Updates)
+	}
+
+	// A different request gets the same frozen price (the deterministic
+	// readout depends only on the belief state, clamped per round).
+	other, err := r.Quote(context.Background(), reqs[121])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Price != fromReplica.Price {
+		t.Fatalf("frozen price varied across requests: %v vs %v", other.Price, fromReplica.Price)
+	}
+
+	// Refresh follows the primary to the next rotation (round 130,
+	// ordinal 13) and restores the same next-round identity.
+	for _, req := range reqs[121:130] {
+		if _, err := s.Quote(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Refresh(); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if rst := r.Stats(); rst.Snapshots != 13 || rst.Rounds != 130 || rst.Refreshes != 2 {
+		t.Fatalf("replica stats after refresh: %+v", rst)
+	}
+	fromReplica, err = r.Quote(context.Background(), reqs[130])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromPrimary, err = s.Quote(context.Background(), reqs[130])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(fromReplica.Price) != math.Float64bits(fromPrimary.Price) {
+		t.Fatalf("after refresh: replica price %x, primary price %x", math.Float64bits(fromReplica.Price), math.Float64bits(fromPrimary.Price))
+	}
+
+	// Request validation matches the primary's surface.
+	var reqErr *serve.RequestError
+	if _, err := r.Quote(context.Background(), serve.QuoteRequest{}); !errors.As(err, &reqErr) {
+		t.Fatalf("invalid request: %v, want RequestError", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Quote(context.Background(), reqs[0]); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("quote after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestReplicaOpenRefusals covers the strict-open surface: no journal, no
+// rotated checkpoint usable, or a mismatched reference game all refuse
+// loudly instead of serving something wrong.
+func TestReplicaOpenRefusals(t *testing.T) {
+	if _, err := serve.OpenReplica(serve.ReplicaConfig{}); err == nil {
+		t.Fatal("OpenReplica without Dir succeeded")
+	}
+	if _, err := serve.OpenReplica(serve.ReplicaConfig{Dir: t.TempDir()}); err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Fatalf("OpenReplica on empty dir: %v", err)
+	}
+
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	s.Close()
+	cfg := replicaConfig(dir)
+	other := *stackelberg.DefaultGame()
+	other.Cost = 6
+	cfg.Game = &other
+	if _, err := serve.OpenReplica(cfg); err == nil || !strings.Contains(err.Error(), "different reference game") {
+		t.Fatalf("OpenReplica with mismatched game: %v", err)
+	}
+}
+
+// TestReplicaHTTP serves a replica through the shared HTTP front end:
+// the quote payload is byte-identical to the primary's at the same
+// ordinal, and /v1/stats carries the replica shape with its staleness
+// signal.
+func TestReplicaHTTP(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testConfig(dir))
+	defer s.Close()
+	reqs := reqStream(11)
+	for _, req := range reqs[:10] {
+		if _, err := s.Quote(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := serve.OpenReplica(replicaConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	primarySrv := httptest.NewServer(s.Handler())
+	defer primarySrv.Close()
+	replicaSrv := httptest.NewServer(r.Handler())
+	defer replicaSrv.Close()
+
+	body, _ := json.Marshal(reqs[10])
+	fromReplica := postJSON(t, replicaSrv.URL+"/v1/quote", string(body))
+	fromPrimary := postJSON(t, primarySrv.URL+"/v1/quote", string(body))
+	var pr, rr serve.QuoteResponse
+	if err := json.Unmarshal([]byte(fromPrimary), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(fromReplica), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(pr.Price) != math.Float64bits(rr.Price) {
+		t.Fatalf("HTTP replica price %v, primary price %v", rr.Price, pr.Price)
+	}
+
+	resp, err := http.Get(replicaSrv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rst serve.ReplicaStats
+	if err := json.NewDecoder(resp.Body).Decode(&rst); err != nil {
+		t.Fatal(err)
+	}
+	if !rst.Replica || rst.Rounds != 10 {
+		t.Fatalf("replica HTTP stats: %+v", rst)
+	}
+}
+
+// postJSON posts a JSON body and returns the response body, failing on
+// non-200.
+func postJSON(t *testing.T, url, body string) string {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d: %s", url, resp.StatusCode, raw)
+	}
+	return string(raw)
+}

@@ -1,33 +1,43 @@
 // Package serve puts the simulator's online continual-learning pricer
 // (sim.OnlinePricer) behind a long-running request/response front end
-// with audit-grade durability. Quote requests are answered from the live
-// learner; every completed round feeds back into it through one
-// serializing intake goroutine, so transitions enter the learning stream
-// strictly in arrival order — determinism contract rule 5 applied at a
-// process boundary. Durability follows the snapshot + journal pillar:
-// full resume checkpoints rotate at optimization-phase boundaries (the
-// pricer's SnapshotEvery hook), and every intake round between rotations
-// is journaled as a JSON line before it is applied. A crashed or
-// restarted server rebuilds its exact serving state — same quotes, same
-// weights, bit for bit — by restoring the latest checkpoint and replaying
-// the journal in order (rule 6's strict restore: a journal whose
-// checkpoint is missing, mismatched, or corrupt refuses loudly instead of
-// cold-starting).
+// with audit-grade durability, layered so that scale-out never touches
+// the determinism contract:
+//
+//   - The intake layer (intake.go) assigns arrival order and forms
+//     batches at the natural queue boundary.
+//   - The engine (engine.go) is the pure core — (state, orderedBatch) →
+//     (state, responses, journal entries). It fans the pure per-round
+//     prework across workers in arrival-order slots and applies the
+//     policy/belief/learning core strictly serially in arrival order, so
+//     any batch size is bit-identical to one-at-a-time (contract rule 8,
+//     with rule 5 intact at the process boundary).
+//   - The persistence layer (persist.go, journal.go, checkpoint.go)
+//     stages write-ahead journal entries, flushes them before anything
+//     is acknowledged, and rotates full resume checkpoints at
+//     optimization-phase boundaries.
+//   - Read replicas (replica.go) freeze a rotated checkpoint into a
+//     learner-free pricer and serve quote-only traffic at arbitrary
+//     fan-out, answering bit-identically to the primary's price at the
+//     same snapshot ordinal.
+//
+// A crashed or restarted server rebuilds its exact serving state — same
+// quotes, same weights, bit for bit — by restoring the latest checkpoint
+// and replaying the journal in order (rule 6's strict restore: a journal
+// whose checkpoint is missing, mismatched, or corrupt refuses loudly
+// instead of cold-starting).
 package serve
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 
-	"vtmig/internal/aotm"
-	"vtmig/internal/mathx"
 	"vtmig/internal/nn"
 	"vtmig/internal/rl"
 	"vtmig/internal/sim"
@@ -83,7 +93,8 @@ type QuoteResponse struct {
 	// Round is the server's global intake ordinal: how many rounds the
 	// learner has been fed, this one included. It is the audit handle —
 	// the round survives in the journal (and eventually a checkpoint)
-	// under this position.
+	// under this position. A read replica reports the frozen state's
+	// round count instead: how many rounds the answer has seen.
 	Round int `json:"round"`
 	// Updates is the number of optimization phases completed so far.
 	Updates int `json:"updates"`
@@ -144,6 +155,12 @@ type Config struct {
 	KeepCheckpoints int
 	// QueueDepth bounds the intake queue. Zero selects 256.
 	QueueDepth int
+	// BatchMax caps how many queued quotes one intake batch may coalesce.
+	// Batching is a pure throughput knob — any value yields bit-identical
+	// responses, journal bytes, and learner weights (contract rule 8) —
+	// so this only bounds per-batch latency and memory. Zero selects 16;
+	// 1 disables batching.
+	BatchMax int
 }
 
 // withDefaults resolves the zero-value conveniences.
@@ -160,6 +177,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 256
 	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 16
+	}
 	return c
 }
 
@@ -168,22 +188,24 @@ func (c Config) Validate() error {
 	if c.Dir == "" {
 		return fmt.Errorf("serve: Config.Dir is required")
 	}
-	if c.SnapshotEvery < 0 || c.KeepCheckpoints < 0 || c.QueueDepth < 0 {
-		return fmt.Errorf("serve: negative SnapshotEvery/KeepCheckpoints/QueueDepth")
+	if c.SnapshotEvery < 0 || c.KeepCheckpoints < 0 || c.QueueDepth < 0 || c.BatchMax < 0 {
+		return fmt.Errorf("serve: negative SnapshotEvery/KeepCheckpoints/QueueDepth/BatchMax")
 	}
 	return nil
 }
 
-// Server is the journaled online-pricing daemon core: one pricer, one
-// journal, one serializing intake goroutine. Construct with Open, serve
-// quotes with Quote (or the HTTP front end from Handler), and shut down
-// with Close. All methods are safe for concurrent use; the pricer itself
-// is only ever touched by the intake goroutine.
+// Server is the journaled online-pricing daemon: the intake, engine, and
+// persistence layers assembled over one state directory (see the package
+// comment for the layering). Construct with Open, serve quotes with
+// Quote (or the HTTP front end from Handler), and shut down with Close.
+// All methods are safe for concurrent use; the engine and its pricer are
+// only ever touched by the intake goroutine.
 type Server struct {
-	cfg     Config
-	game    *stackelberg.Game
-	pricer  *sim.OnlinePricer
-	journal *journalWriter
+	cfg    Config
+	game   *stackelberg.Game
+	pricer *sim.OnlinePricer
+	st     *diskStore
+	eng    *engine
 
 	jobs     chan quoteJob
 	done     chan struct{}
@@ -198,16 +220,6 @@ type Server struct {
 	// the recovery instead of degrading it.
 	replaying bool
 	rotateErr error
-}
-
-type quoteJob struct {
-	req   QuoteRequest
-	reply chan quoteReply
-}
-
-type quoteReply struct {
-	resp QuoteResponse
-	err  error
 }
 
 // Open builds the serving state from cfg.Dir and starts the intake
@@ -246,6 +258,23 @@ func Open(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// newStore assembles the persistence layer over an opened journal.
+func (s *Server) newStore(journal *journalWriter) *diskStore {
+	return &diskStore{
+		dir:     s.cfg.Dir,
+		keep:    s.cfg.KeepCheckpoints,
+		gameFP:  gameFingerprint(s.game),
+		journal: journal,
+	}
+}
+
+// newEngine assembles the engine layer over the pricer and store, with
+// the prework fan-out sized to the machine (the width is invisible in
+// every output — contract rule 8).
+func (s *Server) newEngine() *engine {
+	return &engine{game: s.game, pricer: s.pricer, store: s.st, workers: runtime.GOMAXPROCS(0)}
+}
+
 // boot builds a fresh pricer and persists the boot checkpoint + empty
 // journal before serving anything.
 func (s *Server) boot(jpath string) error {
@@ -265,18 +294,21 @@ func (s *Server) boot(jpath string) error {
 	if err != nil {
 		return err
 	}
-	s.journal, err = newJournal(jpath, s.header(ck.Pricer, crc))
+	s.pricer = p
+	s.st = s.newStore(nil)
+	journal, err := newJournal(jpath, s.st.header(ck.Pricer, crc))
 	if err != nil {
 		return err
 	}
-	s.pricer = p
+	s.st.journal = journal
+	s.eng = s.newEngine()
 	s.syncStats()
 	return nil
 }
 
 // recoverState rebuilds the server from the journal at jpath and its
 // bound checkpoint, replaying every journaled round through the normal
-// intake path. The replay appends to a shadow journal and only renames it
+// engine path. The replay appends to a shadow journal and only renames it
 // over the real one once the replay completes, so a crash mid-recovery
 // leaves the original journal untouched and recovery simply restarts.
 func (s *Server) recoverState(jpath string) error {
@@ -315,13 +347,19 @@ func (s *Server) recoverState(jpath string) error {
 		return err
 	}
 	s.pricer = p
-	s.journal, err = newJournal(jpath+".replay", h)
+	s.st = s.newStore(nil)
+	journal, err := newJournal(jpath+".replay", h)
 	if err != nil {
 		return err
 	}
+	s.st.journal = journal
+	s.eng = s.newEngine()
 	s.replaying = true
 	for _, e := range entries {
-		if _, err := s.process(e.Req); err != nil {
+		// Replay batches one round at a time; rule 8 makes the cut
+		// irrelevant, and per-round replies keep the failing entry exact.
+		replies := s.eng.processBatch([]QuoteRequest{e.Req})
+		if err := replies[0].err; err != nil {
 			return fmt.Errorf("serve: replaying journal entry %d: %w", e.Seq, err)
 		}
 		if s.rotateErr != nil {
@@ -329,10 +367,10 @@ func (s *Server) recoverState(jpath string) error {
 		}
 	}
 	s.replaying = false
-	if err := os.Rename(s.journal.path, jpath); err != nil {
+	if err := os.Rename(s.st.journal.path, jpath); err != nil {
 		return fmt.Errorf("serve: committing replayed journal: %w", err)
 	}
-	s.journal.path = jpath
+	s.st.journal.path = jpath
 	if err := pruneCheckpoints(s.cfg.Dir, s.pricer.Snapshots(), s.cfg.KeepCheckpoints); err != nil {
 		return fmt.Errorf("serve: pruning checkpoints: %w", err)
 	}
@@ -360,29 +398,15 @@ func (s *Server) pricerConfig() sim.OnlinePricerConfig {
 	}
 }
 
-// header builds the journal header binding to a checkpoint's pricer
-// section and CRC.
-func (s *Server) header(ps *nn.PricerState, crc uint32) journalHeader {
-	return journalHeader{
-		Magic:         journalMagic,
-		Version:       journalVersion,
-		Snapshots:     ps.Snapshots,
-		Rounds:        ps.Rounds,
-		Updates:       ps.Updates,
-		CheckpointCRC: crc,
-		Game:          gameFingerprint(s.game),
-	}
-}
-
-// onSnapshot is the pricer's SnapshotEvery hook: persist the checkpoint,
-// truncate the journal to extend it, prune old checkpoints. It runs
-// synchronously on the intake goroutine, so rotation and journaling never
-// race. A failed rotation during live serving is recorded and the journal
-// keeps extending the previous checkpoint — every round since it is still
-// journaled, so the state remains exactly recoverable; during replay it
-// aborts the recovery instead.
+// onSnapshot is the pricer's SnapshotEvery hook: rotate the checkpoint
+// and journal through the persistence layer. It runs synchronously on
+// the intake goroutine (inside the engine's serial core), so rotation
+// and journaling never race. A failed rotation during live serving is
+// recorded and the journal keeps extending the previous checkpoint —
+// every round since it is still journaled, so the state remains exactly
+// recoverable; during replay it aborts the recovery instead.
 func (s *Server) onSnapshot(ck *nn.Checkpoint) {
-	err := s.rotate(ck)
+	err := s.st.rotate(ck, !s.replaying)
 	if err == nil {
 		return
 	}
@@ -396,83 +420,8 @@ func (s *Server) onSnapshot(ck *nn.Checkpoint) {
 	s.mu.Unlock()
 }
 
-// rotate performs one checkpoint rotation.
-func (s *Server) rotate(ck *nn.Checkpoint) error {
-	crc, err := writeCheckpoint(checkpointPath(s.cfg.Dir, ck.Pricer.Snapshots), ck)
-	if err != nil {
-		return err
-	}
-	if err := s.journal.rotate(s.header(ck.Pricer, crc)); err != nil {
-		return err
-	}
-	if !s.replaying {
-		// During replay the on-disk journal still binds the old
-		// checkpoint; pruning waits until the replayed journal commits.
-		if err := pruneCheckpoints(s.cfg.Dir, ck.Pricer.Snapshots, s.cfg.KeepCheckpoints); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// buildGame assembles a round's game from a request over the reference
-// game — a pure function of (request, reference), which is what makes a
-// journaled request replayable.
-func (s *Server) buildGame(req QuoteRequest) (*stackelberg.Game, error) {
-	if len(req.VMUs) == 0 {
-		return nil, fmt.Errorf("serve: quote request has no VMUs")
-	}
-	if len(req.VMUs) > maxQuoteVMUs {
-		return nil, fmt.Errorf("serve: quote request has %d VMUs, cap is %d", len(req.VMUs), maxQuoteVMUs)
-	}
-	if bad(req.DistanceM) || req.DistanceM < 0 {
-		return nil, fmt.Errorf("serve: quote distance %g must be a non-negative finite number of meters", req.DistanceM)
-	}
-	if bad(req.AvailableMHz) || req.AvailableMHz < 0 {
-		return nil, fmt.Errorf("serve: quote available bandwidth %g must be a non-negative finite number of MHz", req.AvailableMHz)
-	}
-	ch := s.game.Channel
-	if req.DistanceM > 0 {
-		ch.DistanceM = req.DistanceM
-	}
-	bmax := s.game.BMax
-	if req.AvailableMHz > 0 {
-		bmax = req.AvailableMHz
-	}
-	vmus := make([]stackelberg.VMU, len(req.VMUs))
-	for i, v := range req.VMUs {
-		if bad(v.Alpha) || bad(v.DataMB) {
-			return nil, fmt.Errorf("serve: quote VMU %d has non-finite parameters (alpha=%g, data=%g MB)", v.ID, v.Alpha, v.DataMB)
-		}
-		vmus[i] = stackelberg.VMU{ID: v.ID, Alpha: v.Alpha, DataSize: aotm.FromMB(v.DataMB)}
-	}
-	return stackelberg.NewGame(vmus, ch, s.game.Cost, s.game.PMax, bmax)
-}
-
-// bad reports a non-finite float.
-func bad(x float64) bool { return math.IsNaN(x) || math.IsInf(x, 0) }
-
-// process applies one quote on the intake goroutine: validate and build
-// the round's game, journal the request (write-ahead: an acknowledged
-// round is always recoverable), then price it — which also feeds the
-// round into the learner and may trigger an optimization phase and a
-// checkpoint rotation. Replay drives the identical path.
-func (s *Server) process(req QuoteRequest) (QuoteResponse, error) {
-	g, err := s.buildGame(req)
-	if err != nil {
-		return QuoteResponse{}, &RequestError{err}
-	}
-	if err := s.journal.append(journalEntry{Seq: s.journal.nextSeq(), Req: req}); err != nil {
-		return QuoteResponse{}, err
-	}
-	price := mathx.Clamp(s.pricer.PriceFor(g), g.Cost, g.PMax)
-	resp := QuoteResponse{Price: price, Round: s.pricer.Rounds(), Updates: s.pricer.Updates()}
-	s.syncStats()
-	return resp, nil
-}
-
 // syncStats refreshes the shared stats view from the pricer; the intake
-// goroutine calls it after every state change.
+// goroutine calls it after every batch.
 func (s *Server) syncStats() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -483,44 +432,7 @@ func (s *Server) syncStats() {
 	if best := s.pricer.BestUtility(); !math.IsInf(best, -1) {
 		s.stats.BestUtility, s.stats.BestSet = best, true
 	}
-	s.stats.JournalEntries = s.journal.entries
-}
-
-// intake is the single serializing consumer: jobs apply strictly in
-// arrival order, which keeps rule 5 intact behind a concurrent front end.
-func (s *Server) intake() {
-	defer close(s.done)
-	for job := range s.jobs {
-		resp, err := s.process(job.req)
-		job.reply <- quoteReply{resp, err}
-	}
-}
-
-// Quote prices one round. It blocks until the intake goroutine reaches
-// the request (or ctx is done; a request already enqueued is still
-// journaled and learned from even if the caller gives up — the round
-// entered the stream the moment it was accepted).
-func (s *Server) Quote(ctx context.Context, req QuoteRequest) (QuoteResponse, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return QuoteResponse{}, ErrClosed
-	}
-	s.inflight.Add(1)
-	s.mu.Unlock()
-	defer s.inflight.Done()
-	job := quoteJob{req: req, reply: make(chan quoteReply, 1)}
-	select {
-	case s.jobs <- job:
-	case <-ctx.Done():
-		return QuoteResponse{}, ctx.Err()
-	}
-	select {
-	case r := <-job.reply:
-		return r.resp, r.err
-	case <-ctx.Done():
-		return QuoteResponse{}, ctx.Err()
-	}
+	s.stats.JournalEntries = s.st.entryCount()
 }
 
 // Stats returns a point-in-time view of the serving state.
@@ -549,7 +461,7 @@ func (s *Server) Close() error {
 	s.inflight.Wait()
 	close(s.jobs)
 	<-s.done
-	return s.journal.Close()
+	return s.st.close()
 }
 
 // gameFingerprint pins the reference game's full parameterization for the

@@ -341,20 +341,56 @@ func (p *OnlinePricer) Name() string { return "online-drl" }
 // setting of the paper is preserved: the agent still observes nothing but
 // the (price, demand) history window.
 func (p *OnlinePricer) PriceFor(g *stackelberg.Game) float64 {
+	return p.PriceForPrepped(g, p.PrepQuote(g, &p.solveScratch))
+}
+
+// QuotePrep carries the pure, pricer-state-independent share of pricing
+// one round: today, the round's closed-form equilibrium leader utility —
+// the shaped-reward normalizer — which depends only on the game, never on
+// the belief window, the learner, or the RNG.
+type QuotePrep struct {
+	// OracleUtility is the round's oracle (closed-form Stackelberg) leader
+	// utility; meaningful only when HasOracle.
+	OracleUtility float64
+	// HasOracle records whether the prework included the oracle solve
+	// (it does exactly when the pricer learns under the shaped reward).
+	HasOracle bool
+}
+
+// PrepQuote computes the prework for pricing g: everything
+// PriceForPrepped needs that is a pure function of the round's game. It
+// never touches the pricer's mutable state and consumes no RNG, so a
+// batching front end may fan PrepQuote calls out across goroutines — one
+// scratch per worker, results landing in arrival-order slots (contract
+// rule 2) — while the serial core consumes them in arrival order.
+func (p *OnlinePricer) PrepQuote(g *stackelberg.Game, scratch *stackelberg.EvalScratch) QuotePrep {
+	if p.reward != pomdp.RewardShaped {
+		return QuotePrep{}
+	}
+	return QuotePrep{OracleUtility: g.SolveInto(scratch).MSPUtility, HasOracle: true}
+}
+
+// PriceForPrepped is PriceFor with the pure prework hoisted out:
+// PriceFor(g) ≡ PriceForPrepped(g, p.PrepQuote(g, scratch)) bit for bit.
+// Everything that remains — the policy forward pass and stochastic
+// sample, the follower best-response at the sampled price, the belief
+// window update, and the learning transition — chains through the
+// pricer's mutable state and MUST apply strictly serially in arrival
+// order (contract rules 5 and 8).
+func (p *OnlinePricer) PriceForPrepped(g *stackelberg.Game, prep QuotePrep) float64 {
+	if p.reward == pomdp.RewardShaped && !prep.HasOracle {
+		panic("sim: PriceForPrepped under the shaped reward needs a PrepQuote with the oracle solve")
+	}
 	raw, envAct, logP, value, meanEnv := p.agent.SelectActionWithMean(p.obs)
 	price := meanEnv[0]
 
 	// Learning transition at the sampled price.
 	sampled := mathx.Clamp(envAct[0], g.Cost, g.PMax)
-	var oracleUs float64
-	if p.reward == pomdp.RewardShaped {
-		oracleUs = g.SolveInto(&p.solveScratch).MSPUtility
-	}
 	eq := g.EvaluateInto(&p.evalScratch, sampled)
 	reward := p.tracker.Observe(eq.MSPUtility)
 	if p.reward == pomdp.RewardShaped {
-		if oracleUs > 0 {
-			reward = eq.MSPUtility / oracleUs
+		if prep.OracleUtility > 0 {
+			reward = eq.MSPUtility / prep.OracleUtility
 		} else {
 			reward = eq.MSPUtility
 		}
@@ -368,6 +404,32 @@ func (p *OnlinePricer) PriceFor(g *stackelberg.Game) float64 {
 		p.maybeSnapshot()
 	}
 	return price
+}
+
+// QuoteBatch prices a batch of rounds in order — prices[i] answers
+// games[i] — bit-identically to calling PriceFor on each game in
+// sequence, for any way the same game stream is cut into batches
+// (contract rule 8). The belief window chains each round's observation
+// through the previous round's outcome, so the policy/belief/learning
+// core can never legally batch across quotes; only the pure prework
+// does. preps may be nil (the prework then runs inline) or carry one
+// PrepQuote result per game.
+func (p *OnlinePricer) QuoteBatch(games []*stackelberg.Game, preps []QuotePrep, prices []float64) {
+	if len(prices) != len(games) {
+		panic(fmt.Sprintf("sim: QuoteBatch prices length %d, want %d", len(prices), len(games)))
+	}
+	if preps != nil && len(preps) != len(games) {
+		panic(fmt.Sprintf("sim: QuoteBatch preps length %d, want %d", len(preps), len(games)))
+	}
+	for i, g := range games {
+		prep := QuotePrep{}
+		if preps != nil {
+			prep = preps[i]
+		} else {
+			prep = p.PrepQuote(g, &p.solveScratch)
+		}
+		prices[i] = p.PriceForPrepped(g, prep)
+	}
 }
 
 // maybeSnapshot fires the mid-run snapshot hook when an optimization

@@ -144,11 +144,42 @@ type (
 	QuoteResponse = serve.QuoteResponse
 	// ServeStats is a point-in-time view of the serving state.
 	ServeStats = serve.Stats
+	// ServeReplicaConfig parameterizes OpenReplica: the primary's state
+	// directory plus the reference game, learner architecture, and
+	// refresh cadence.
+	ServeReplicaConfig = serve.ReplicaConfig
+	// ServeReplica is a quote-only read replica fed by the primary's
+	// rotated checkpoints: it freezes the latest one into a FrozenPricer
+	// and answers every quote with exactly the price the primary posts
+	// for its first round after that snapshot (determinism contract
+	// rule 8 across processes). Replicas never write to the state
+	// directory; their staleness is visible in Stats.
+	ServeReplica = serve.Replica
+	// ServeReplicaStats is a point-in-time view of a replica: the frozen
+	// snapshot's ordinals plus checkpoint age and refresh counters.
+	ServeReplicaStats = serve.ReplicaStats
+	// FrozenPricer is the read-only pricing strategy a replica serves: a
+	// checkpointed belief state's deterministic mean-price readout — no
+	// RNG, no learning, O(1) per quote and safe for concurrent use.
+	FrozenPricer = sim.FrozenPricer
 )
 
 // OpenServer builds (or recovers) the journaled serving state in
 // cfg.Dir and starts the intake goroutine. See ServeServer.
 func OpenServer(cfg ServeConfig) (*ServeServer, error) { return serve.Open(cfg) }
+
+// OpenReplica opens a read-only serving replica over a primary's state
+// directory. See ServeReplica.
+func OpenReplica(cfg ServeReplicaConfig) (*ServeReplica, error) { return serve.OpenReplica(cfg) }
+
+// NewFrozenPricerFromCheckpoint freezes a pricer checkpoint (one written
+// by OnlinePricer.Snapshot or rotated by the serving layer) into the
+// read-only FrozenPricer a replica serves. Zero-valued config fields
+// adopt the checkpointed hyper-parameters; explicitly set ones must
+// match them, and cfg.Agent must be nil.
+func NewFrozenPricerFromCheckpoint(cfg OnlinePricerConfig, ck *Checkpoint) (*FrozenPricer, error) {
+	return sim.NewFrozenPricerFromCheckpoint(cfg, ck)
+}
 
 // NewGame constructs a validated Stackelberg game. Data sizes are in
 // units of 100 MB (use FromMB), bandwidth in MHz.
